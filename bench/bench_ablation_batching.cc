@@ -1,0 +1,87 @@
+// Ablation: write-lock batching (Section 3.3 claims batching "can
+// significantly reduce the number of messages").
+//
+// The bank transfer writes two accounts; when both hash to the same DTM
+// partition, batching turns two lock requests into one message. The
+// MapReduce-style histogram merge (26 writes) shows the effect much more
+// strongly. We report throughput and total messages with batching on/off.
+#include "bench/workloads.h"
+
+namespace tm2c {
+namespace {
+
+struct Point {
+  double throughput;
+  uint64_t messages;
+};
+
+Point RunBank(bool batching, uint32_t cores) {
+  RunSpec spec;
+  spec.total_cores = cores;
+  spec.batch_write_locks = batching;
+  spec.duration = MillisToSim(30);
+  spec.seed = 17;
+  TmSystem sys(MakeConfig(spec));
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 0));
+  sys.Run(spec.duration);
+  const ThroughputResult r = Summarize(sys, spec.duration);
+  return Point{r.ops_per_ms, r.stats.messages_sent};
+}
+
+Point RunWideWrites(bool batching, uint32_t cores) {
+  // Each transaction writes 16 consecutive words — a wide write set, the
+  // best case for batching.
+  RunSpec spec;
+  spec.total_cores = cores;
+  spec.batch_write_locks = batching;
+  spec.duration = MillisToSim(30);
+  spec.seed = 19;
+  TmSystem sys(MakeConfig(spec));
+  const uint64_t base = sys.sim().allocator().AllocGlobal(64 << 10);
+  const uint64_t slots = (64 << 10) / kWordBytes;
+  InstallLoopBodies(sys, spec.duration, spec.seed,
+                    [base, slots](CoreEnv&, TxRuntime& rt, Rng& rng) {
+                      const uint64_t start = rng.NextBelow(slots - 16);
+                      rt.Execute([&](Tx& tx) {
+                        for (uint64_t w = 0; w < 16; ++w) {
+                          tx.Write(base + (start + w) * kWordBytes, w);
+                        }
+                      });
+                    });
+  sys.Run(spec.duration);
+  const ThroughputResult r = Summarize(sys, spec.duration);
+  return Point{r.ops_per_ms, r.stats.messages_sent};
+}
+
+void Main() {
+  TextTable table({"workload", "#cores", "batched ops/ms", "unbatched ops/ms", "batched msgs/op",
+                   "unbatched msgs/op"});
+  for (uint32_t cores : {8u, 24u, 48u}) {
+    const Point on = RunBank(true, cores);
+    const Point off = RunBank(false, cores);
+    table.AddRow({"bank transfers", std::to_string(cores), TextTable::Num(on.throughput, 1),
+                  TextTable::Num(off.throughput, 1),
+                  TextTable::Num(static_cast<double>(on.messages) /
+                                     (on.throughput * SimToMillis(MillisToSim(30))), 1),
+                  TextTable::Num(static_cast<double>(off.messages) /
+                                     (off.throughput * SimToMillis(MillisToSim(30))), 1)});
+    const Point won = RunWideWrites(true, cores);
+    const Point woff = RunWideWrites(false, cores);
+    table.AddRow({"16-word writes", std::to_string(cores), TextTable::Num(won.throughput, 1),
+                  TextTable::Num(woff.throughput, 1),
+                  TextTable::Num(static_cast<double>(won.messages) /
+                                     (won.throughput * SimToMillis(MillisToSim(30))), 1),
+                  TextTable::Num(static_cast<double>(woff.messages) /
+                                     (woff.throughput * SimToMillis(MillisToSim(30))), 1)});
+  }
+  table.Print("Ablation: write-lock batching");
+}
+
+}  // namespace
+}  // namespace tm2c
+
+int main() {
+  tm2c::Main();
+  return 0;
+}

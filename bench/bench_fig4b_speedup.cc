@@ -1,0 +1,83 @@
+// Figure 4(b): hash table speedup of TM2C (24 app + 24 DTM cores) over the
+// bare sequential implementation on one core, for load factors 2..8 and
+// update ratios 20%..50%.
+//
+// The paper reports up to 20x, decreasing with the load factor (longer
+// buckets -> longer transactions -> more conflicts) and with the update
+// ratio (more contention).
+#include "bench/workloads.h"
+
+namespace tm2c {
+namespace {
+
+constexpr uint32_t kBuckets = 64;
+
+double RunTransactional(uint32_t load_factor, uint32_t update_pct) {
+  RunSpec spec;
+  spec.total_cores = 48;
+  spec.duration = MillisToSim(25);
+  spec.seed = 9;
+  TmSystem sys(MakeConfig(spec));
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), kBuckets);
+  Rng fill_rng(13);
+  const uint64_t key_range =
+      FillHashTable(table, sys.sim().allocator(), fill_rng, uint64_t{kBuckets} * load_factor);
+  InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, update_pct, key_range));
+  sys.Run(spec.duration);
+  return Summarize(sys, spec.duration).ops_per_ms;
+}
+
+double RunSequential(uint32_t load_factor, uint32_t update_pct) {
+  RunSpec spec;
+  spec.total_cores = 2;  // one app core, one (idle) service core
+  spec.service_cores = 1;
+  spec.duration = MillisToSim(25);
+  spec.seed = 9;
+  TmSystem sys(MakeConfig(spec));
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), kBuckets);
+  Rng fill_rng(13);
+  const uint64_t key_range =
+      FillHashTable(table, sys.sim().allocator(), fill_rng, uint64_t{kBuckets} * load_factor);
+  uint64_t ops = 0;
+  const SimTime horizon = spec.duration;
+  sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime&) {
+    Rng rng(77);
+    while (env.GlobalNow() < horizon) {
+      env.Compute(kOpOverheadCycles);  // same harness cost as the tx version
+      const uint64_t key = 1 + rng.NextBelow(key_range);
+      if (rng.NextPercent(update_pct)) {
+        if (rng.NextPercent(50)) {
+          table.SeqAdd(env, env.allocator(), key);
+        } else {
+          table.SeqRemove(env, key);
+        }
+      } else {
+        table.SeqContains(env, key);
+      }
+      ++ops;
+    }
+  });
+  sys.Run(spec.duration);
+  return OpsPerMs(ops, spec.duration);
+}
+
+void Main() {
+  TextTable table({"load factor", "20% updates", "30% updates", "40% updates", "50% updates"});
+  for (uint32_t load : {2u, 4u, 6u, 8u}) {
+    std::vector<std::string> row{std::to_string(load)};
+    for (uint32_t upd : {20u, 30u, 40u, 50u}) {
+      const double speedup = RunTransactional(load, upd) / RunSequential(load, upd);
+      row.push_back(TextTable::Num(speedup, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print("Figure 4(b): hash table speedup over bare sequential (24 app + 24 DTM cores)");
+}
+
+}  // namespace
+}  // namespace tm2c
+
+int main() {
+  tm2c::Main();
+  return 0;
+}

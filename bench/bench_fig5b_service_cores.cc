@@ -1,0 +1,42 @@
+// Figure 5(b): throughput as a function of the number of DTM service cores
+// (out of 48 total), for the bank with 20%/80% balance/transfer (left) and
+// 100% transfers (right).
+//
+// Expected shape: throughput grows with service cores but sub-linearly —
+// the SCC's message passing does not scale (receive cost grows with the
+// number of polled peers), which is why the paper settles on a half/half
+// split.
+#include "bench/workloads.h"
+
+namespace tm2c {
+namespace {
+
+double RunOne(uint32_t service_cores, uint32_t balance_pct) {
+  RunSpec spec;
+  spec.total_cores = 48;
+  spec.service_cores = service_cores;
+  spec.duration = MillisToSim(40);
+  spec.seed = 41;
+  TmSystem sys(MakeConfig(spec));
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct));
+  sys.Run(spec.duration);
+  return Summarize(sys, spec.duration).ops_per_ms;
+}
+
+void Main() {
+  TextTable table({"#service cores", "20% balance / 80% transfer", "100% transfer"});
+  for (uint32_t s : {1u, 2u, 4u, 8u, 16u, 24u}) {
+    table.AddRow({std::to_string(s), TextTable::Num(RunOne(s, 20), 2),
+                  TextTable::Num(RunOne(s, 0), 1)});
+  }
+  table.Print("Figure 5(b): bank throughput (ops/ms) vs number of service cores (48 total)");
+}
+
+}  // namespace
+}  // namespace tm2c
+
+int main() {
+  tm2c::Main();
+  return 0;
+}

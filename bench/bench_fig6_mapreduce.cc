@@ -1,0 +1,102 @@
+// Figure 6: the MapReduce letter-count application.
+//
+//  (a) duration vs number of cores, for three input sizes;
+//  (b) speedup over sequential vs input size, for 4/8/16 KB chunk sizes.
+//
+// The paper ran 256MB..2GB inputs on the SCC; we scale inputs by 1/64
+// (4MB..32MB) to keep the bench short and label rows with the paper-scale
+// names. One core runs the DTM service, all remaining cores are workers
+// (Section 5.4). Expected shapes: near-linear scaling with cores, and 8KB
+// chunks beating both 4KB (claim overhead) and 16KB (falls out of the
+// effective L1 share).
+#include "bench/bench_util.h"
+#include "src/apps/mapreduce.h"
+
+namespace tm2c {
+namespace {
+
+constexpr uint64_t kScale = 64;  // paper input bytes / our input bytes
+
+SimTime RunParallel(uint64_t input_bytes, uint32_t cores, uint64_t chunk_bytes) {
+  RunSpec spec;
+  spec.total_cores = cores;
+  spec.service_cores = 1;
+  spec.shmem_bytes = 4 * input_bytes + (8 << 20);
+  spec.seed = 71;
+  TmSystem sys(MakeConfig(spec));
+  MapReduceConfig mr;
+  mr.input_bytes = input_bytes;
+  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr);
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&app, chunk_bytes](CoreEnv& env, TxRuntime& rt) {
+      app.RunWorker(env, rt, chunk_bytes);
+    });
+  }
+  const SimTime t = sys.Run();
+  TM2C_CHECK(app.HostResultCounts() == app.HostExpectedCounts());
+  return t;
+}
+
+SimTime RunSequentialOnce(uint64_t input_bytes) {
+  RunSpec spec;
+  spec.total_cores = 2;
+  spec.service_cores = 1;
+  spec.shmem_bytes = 4 * input_bytes + (8 << 20);
+  spec.seed = 71;
+  TmSystem sys(MakeConfig(spec));
+  MapReduceConfig mr;
+  mr.input_bytes = input_bytes;
+  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr);
+  sys.SetAppBody(0, [&app](CoreEnv& env, TxRuntime&) { app.RunSequential(env); });
+  return sys.Run();
+}
+
+std::string PaperSize(uint64_t input_bytes) {
+  const uint64_t mb = input_bytes * kScale >> 20;
+  if (mb >= 1024) {
+    return std::to_string(mb >> 10) + "GB*";
+  }
+  return std::to_string(mb) + "MB*";
+}
+
+void Main() {
+  // Figure 6(a): duration vs cores (8KB chunks).
+  {
+    const uint64_t sizes[] = {4ull << 20, 8ull << 20, 16ull << 20};
+    TextTable table({"#cores", PaperSize(sizes[0]), PaperSize(sizes[1]), PaperSize(sizes[2])});
+    for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
+      std::vector<std::string> row{std::to_string(cores)};
+      for (uint64_t size : sizes) {
+        row.push_back(TextTable::Num(SimToSeconds(RunParallel(size, cores, 8 << 10)), 2));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(
+        "Figure 6(a): MapReduce duration (simulated s) vs cores; * = paper-scale name, "
+        "inputs scaled 1/64");
+  }
+
+  // Figure 6(b): speedup over sequential vs input size per chunk size, on
+  // 48 cores (1 DTM + 47 workers).
+  {
+    TextTable table({"input size", "4KB", "8KB", "16KB"});
+    for (uint64_t size : {4ull << 20, 8ull << 20, 16ull << 20, 32ull << 20}) {
+      std::vector<std::string> row{PaperSize(size)};
+      const SimTime seq = RunSequentialOnce(size);
+      for (uint64_t chunk : {4u << 10, 8u << 10, 16u << 10}) {
+        const SimTime par = RunParallel(size, 48, chunk);
+        row.push_back(TextTable::Num(static_cast<double>(seq) / static_cast<double>(par), 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print("Figure 6(b): MapReduce speedup over sequential, by chunk size (48 cores)");
+  }
+}
+
+}  // namespace
+}  // namespace tm2c
+
+int main() {
+  tm2c::Main();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figures 8(b), 8(c), 8(d): TM2C on the many-core (SCC / SCC800) vs the
+// cache-coherent multi-core (Opteron), using the Back-off-Retry CM as the
+// common ground (Section 7.1).
+//
+//  8(b) bank: 20%/80% balance/transfer (high contention — the SCC copes
+//       better) and 100% transfers (low contention — follows messaging
+//       latency);
+//  8(c) linked list: 512 elements, 10% updates (high contention; the
+//       multi-core's caches help the traversal hotspot);
+//  8(d) hash table: initial size 512, load 4 and 16, 10% updates (low
+//       contention — follows messaging latency; scc800 leads).
+#include "bench/workloads.h"
+
+namespace tm2c {
+namespace {
+
+const char* const kPlatforms[] = {"scc", "scc800", "opteron"};
+
+RunSpec PortSpec(const std::string& platform, uint32_t cores) {
+  RunSpec spec;
+  spec.platform_name = platform;
+  spec.total_cores = cores;
+  spec.cm = CmKind::kBackoffRetry;  // the CM ported in Section 7.1
+  spec.duration = MillisToSim(30);
+  spec.seed = 91;
+  return spec;
+}
+
+double RunBank(const std::string& platform, uint32_t cores, uint32_t balance_pct) {
+  RunSpec spec = PortSpec(platform, cores);
+  TmSystem sys(MakeConfig(spec));
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct));
+  sys.Run(spec.duration);
+  return Summarize(sys, spec.duration).ops_per_ms;
+}
+
+double RunList(const std::string& platform, uint32_t cores) {
+  RunSpec spec = PortSpec(platform, cores);
+  spec.duration = MillisToSim(50);
+  TmSystem sys(MakeConfig(spec));
+  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  Rng fill_rng(93);
+  const uint64_t key_range = FillList(list, sys.sim().allocator(), fill_rng, 512);
+  InstallLoopBodies(sys, spec.duration, spec.seed, ListMix(&list, 10, key_range));
+  sys.Run(spec.duration);
+  return Summarize(sys, spec.duration).ops_per_ms;
+}
+
+double RunHash(const std::string& platform, uint32_t cores, uint32_t load_factor) {
+  RunSpec spec = PortSpec(platform, cores);
+  TmSystem sys(MakeConfig(spec));
+  const uint64_t elements = 512;
+  const uint32_t buckets = static_cast<uint32_t>(elements / load_factor);
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), buckets);
+  Rng fill_rng(97);
+  const uint64_t key_range = FillHashTable(table, sys.sim().allocator(), fill_rng, elements);
+  InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, 10, key_range));
+  sys.Run(spec.duration);
+  return Summarize(sys, spec.duration).ops_per_ms;
+}
+
+void PrintSweep(const std::string& title, const std::function<double(const std::string&, uint32_t)>& run) {
+  TextTable table({"#cores", "SCC", "SCC800", "Opteron"});
+  for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
+    std::vector<std::string> row{std::to_string(cores)};
+    for (const char* platform : kPlatforms) {
+      row.push_back(TextTable::Num(run(platform, cores), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(title);
+}
+
+void Main() {
+  PrintSweep("Figure 8(b) left: bank 20% balance / 80% transfer (ops/ms)",
+             [](const std::string& p, uint32_t c) { return RunBank(p, c, 20); });
+  PrintSweep("Figure 8(b) right: bank 100% transfers (ops/ms)",
+             [](const std::string& p, uint32_t c) { return RunBank(p, c, 0); });
+  PrintSweep("Figure 8(c): linked list, 512 elements, 10% updates (ops/ms)",
+             [](const std::string& p, uint32_t c) { return RunList(p, c); });
+  PrintSweep("Figure 8(d) left: hash table, load factor 4, 10% updates (ops/ms)",
+             [](const std::string& p, uint32_t c) { return RunHash(p, c, 4); });
+  PrintSweep("Figure 8(d) right: hash table, load factor 16, 10% updates (ops/ms)",
+             [](const std::string& p, uint32_t c) { return RunHash(p, c, 16); });
+}
+
+}  // namespace
+}  // namespace tm2c
+
+int main() {
+  tm2c::Main();
+  return 0;
+}

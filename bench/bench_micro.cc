@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) of the host-side building blocks:
+// lock-table operations, the contention managers' decision path, the
+// CoreSet, the allocator and the event engine. These measure real CPU
+// cost, not simulated time — they bound how fast the simulator itself can
+// run experiments.
+#include <benchmark/benchmark.h>
+
+#include "src/cm/contention_manager.h"
+#include "src/common/core_set.h"
+#include "src/common/rng.h"
+#include "src/dslock/lock_table.h"
+#include "src/noc/topology.h"
+#include "src/shmem/allocator.h"
+#include "src/sim/engine.h"
+
+namespace tm2c {
+namespace {
+
+TxInfo Info(uint32_t core, uint64_t metric) {
+  TxInfo info;
+  info.core = core;
+  info.epoch = (static_cast<uint64_t>(core) << 32) | 1;
+  info.metric = metric;
+  return info;
+}
+
+void BM_LockTableReadAcquireRelease(benchmark::State& state) {
+  LockTable table;
+  const auto cm = MakeContentionManager(CmKind::kFairCm);
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    table.ReadLock(Info(1, 0), addr, *cm);
+    table.ReleaseRead(1, addr);
+    addr = (addr + 8) & 0xffff;
+  }
+}
+BENCHMARK(BM_LockTableReadAcquireRelease);
+
+void BM_LockTableWriteConflictPath(benchmark::State& state) {
+  LockTable table;
+  const auto cm = MakeContentionManager(CmKind::kFairCm);
+  // Ten readers on the contested word; the writer must beat all of them.
+  for (uint32_t r = 2; r < 12; ++r) {
+    table.ReadLock(Info(r, 100), 0x100, *cm);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.WriteLock(Info(1, 1000), 0x100, *cm));  // refused
+  }
+}
+BENCHMARK(BM_LockTableWriteConflictPath);
+
+void BM_CmDecideTenHolders(benchmark::State& state) {
+  const auto cm = MakeContentionManager(CmKind::kFairCm);
+  std::vector<TxInfo> holders;
+  for (uint32_t r = 0; r < 10; ++r) {
+    holders.push_back(Info(r + 2, 50 + r));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm->Decide(Info(1, 10), holders, ConflictKind::kWriteAfterRead));
+  }
+}
+BENCHMARK(BM_CmDecideTenHolders);
+
+void BM_CoreSetInsertEraseForEach(benchmark::State& state) {
+  CoreSet set;
+  for (auto _ : state) {
+    for (uint32_t c = 0; c < 48; c += 3) {
+      set.Insert(c);
+    }
+    uint64_t sum = 0;
+    set.ForEach([&sum](uint32_t c) { sum += c; });
+    benchmark::DoNotOptimize(sum);
+    set.Clear();
+  }
+}
+BENCHMARK(BM_CoreSetInsertEraseForEach);
+
+void BM_AllocatorAllocFree(benchmark::State& state) {
+  SharedMemory mem(8 << 20);
+  Topology topo(MakeSccPlatform(0));
+  ShmAllocator alloc(&mem, topo);
+  for (auto _ : state) {
+    const uint64_t a = alloc.Alloc(64, 7);
+    const uint64_t b = alloc.Alloc(128, 23);
+    alloc.Free(a);
+    alloc.Free(b);
+  }
+}
+BENCHMARK(BM_AllocatorAllocFree);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    SimEngine engine;
+    int remaining = 1000;
+    std::function<void()> tick = [&engine, &remaining, &tick]() {
+      if (--remaining > 0) {
+        engine.ScheduleAfter(10, tick);
+      }
+    };
+    engine.ScheduleAfter(10, tick);
+    engine.Run();
+    benchmark::DoNotOptimize(engine.events_executed());
+  }
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+}  // namespace tm2c
+
+BENCHMARK_MAIN();

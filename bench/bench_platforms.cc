@@ -1,0 +1,37 @@
+// Section 5.1's SCC settings table plus the derived messaging/memory
+// parameters of every modelled platform.
+#include "bench/bench_util.h"
+#include "src/noc/latency.h"
+
+namespace tm2c {
+namespace {
+
+void Main() {
+  TextTable settings({"setting", "tile MHz", "mesh MHz", "DRAM MHz"});
+  for (int s = 0; s < 5; ++s) {
+    const PlatformDesc p = MakeSccPlatform(s);
+    settings.AddRow({std::to_string(s), std::to_string(p.core_mhz), std::to_string(p.mesh_mhz),
+                     std::to_string(p.dram_mhz)});
+  }
+  settings.Print("Section 5.1: SCC performance settings");
+
+  TextTable derived({"platform", "1-way 2c (us)", "1-way 48c (us)", "mem access (us)",
+                     "MC stream (MB/s)"});
+  for (const char* name : {"scc", "scc800", "opteron"}) {
+    const PlatformDesc p = PlatformByName(name);
+    const LatencyModel lat(p);
+    derived.AddRow({name, TextTable::Num(SimToMicros(lat.OneWayPs(0, 1, 1)), 2),
+                    TextTable::Num(SimToMicros(lat.OneWayPs(0, 40, 24)), 2),
+                    TextTable::Num(SimToMicros(lat.MemAccessPs(0, 0, 1 << 20)), 3),
+                    TextTable::Num(static_cast<double>(p.mc_stream_bytes_per_us), 0)});
+  }
+  derived.Print("Derived platform model parameters");
+}
+
+}  // namespace
+}  // namespace tm2c
+
+int main() {
+  tm2c::Main();
+  return 0;
+}

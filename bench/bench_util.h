@@ -1,0 +1,110 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary follows the same shape: build a TmSystem from a
+// RunSpec, create the application structure, install per-core operation
+// loops that run until the simulated horizon, then summarize throughput
+// (ops/ms) and commit rate — the units the paper's figures use.
+#ifndef TM2C_BENCH_BENCH_UTIL_H_
+#define TM2C_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/tm/tm_system.h"
+
+namespace tm2c {
+
+struct RunSpec {
+  std::string platform_name = "scc";
+  uint32_t total_cores = 48;
+  // Service cores for the dedicated deployment; by default half, the
+  // allocation Section 5.3 justifies.
+  uint32_t service_cores = 0;  // 0 => total/2
+  DeployStrategy strategy = DeployStrategy::kDedicated;
+  CmKind cm = CmKind::kFairCm;
+  TxMode tx_mode = TxMode::kNormal;
+  WriteAcquire write_acquire = WriteAcquire::kLazy;
+  bool batch_write_locks = true;
+  uint64_t shmem_bytes = 32ull << 20;
+  uint64_t seed = 1;
+  SimTime duration = MillisToSim(50);
+};
+
+inline TmSystemConfig MakeConfig(const RunSpec& spec) {
+  TmSystemConfig cfg;
+  cfg.sim.platform = PlatformByName(spec.platform_name);
+  cfg.sim.num_cores = spec.total_cores;
+  cfg.sim.num_service =
+      spec.strategy == DeployStrategy::kMultitasked
+          ? 0
+          : (spec.service_cores != 0 ? spec.service_cores
+                                     : (spec.total_cores >= 2 ? spec.total_cores / 2 : 1));
+  cfg.sim.strategy = spec.strategy;
+  cfg.sim.shmem_bytes = spec.shmem_bytes;
+  cfg.sim.seed = spec.seed;
+  cfg.tm.cm = spec.cm;
+  cfg.tm.tx_mode = spec.tx_mode;
+  cfg.tm.write_acquire = spec.write_acquire;
+  cfg.tm.batch_write_locks = spec.batch_write_locks;
+  return cfg;
+}
+
+// One benchmark operation; invoked repeatedly until the horizon.
+using OpFn = std::function<void(CoreEnv&, TxRuntime&, Rng&)>;
+
+// Installs the same operation loop on every application core. Core `i`
+// draws from an Rng seeded with (seed, i).
+inline void InstallLoopBodies(TmSystem& sys, SimTime horizon, uint64_t seed, OpFn op) {
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [op, horizon, seed, i](CoreEnv& env, TxRuntime& rt) {
+      Rng rng(seed * 7919 + i);
+      while (env.GlobalNow() < horizon) {
+        op(env, rt, rng);
+      }
+    });
+  }
+}
+
+// Like InstallLoopBodies but application core 0 runs `special` instead
+// (Figure 5(c)'s one-balance-core workloads).
+inline void InstallLoopBodiesWithSpecialCore(TmSystem& sys, SimTime horizon, uint64_t seed,
+                                             OpFn special, OpFn op) {
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    OpFn body = (i == 0) ? special : op;
+    sys.SetAppBody(i, [body, horizon, seed, i](CoreEnv& env, TxRuntime& rt) {
+      Rng rng(seed * 7919 + i);
+      while (env.GlobalNow() < horizon) {
+        body(env, rt, rng);
+      }
+    });
+  }
+}
+
+struct ThroughputResult {
+  double ops_per_ms = 0.0;
+  double commit_rate = 1.0;
+  uint64_t ops = 0;
+  TxStats stats;
+};
+
+// Transactional throughput: every committed transaction is one operation.
+inline ThroughputResult Summarize(const TmSystem& sys, SimTime duration) {
+  ThroughputResult result;
+  result.stats = sys.MergedStats();
+  result.ops = result.stats.commits;
+  result.ops_per_ms = static_cast<double>(result.ops) / SimToMillis(duration);
+  result.commit_rate = result.stats.CommitRate();
+  return result;
+}
+
+// Non-transactional (lock-based or sequential) throughput: the bodies count
+// operations themselves into `counter`.
+inline double OpsPerMs(uint64_t ops, SimTime duration) {
+  return static_cast<double>(ops) / SimToMillis(duration);
+}
+
+}  // namespace tm2c
+
+#endif  // TM2C_BENCH_BENCH_UTIL_H_

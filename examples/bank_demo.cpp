@@ -1,0 +1,94 @@
+// Bank demo: the paper's Section 5.3 application, configurable from the
+// command line.
+//
+//   $ ./examples/bank_demo --cores=48 --accounts=1024 --balance-pct=20
+//        --cm=faircm --duration-ms=40
+//
+// Runs the transfer/balance mix on the simulated SCC, then verifies that
+// the total balance is conserved and prints throughput, commit rate, and
+// per-conflict-kind abort counts for each contention manager trait worth
+// comparing.
+#include <cstdio>
+#include <string>
+
+#include "src/apps/bank.h"
+#include "src/common/flags.h"
+#include "src/tm/tm_system.h"
+
+int main(int argc, char** argv) {
+  using namespace tm2c;
+
+  int cores = 48;
+  int service_cores = 0;  // 0 = half
+  int accounts = 1024;
+  int balance_pct = 20;
+  int duration_ms = 40;
+  std::string cm_name = "faircm";
+  std::string platform = "scc";
+
+  FlagSet flags;
+  flags.Register("cores", &cores, "total simulated cores");
+  flags.Register("service-cores", &service_cores, "DTM service cores (0 = half)");
+  flags.Register("accounts", &accounts, "number of bank accounts");
+  flags.Register("balance-pct", &balance_pct, "percentage of balance (full-scan) operations");
+  flags.Register("duration-ms", &duration_ms, "simulated duration in milliseconds");
+  flags.Register("cm", &cm_name, "contention manager: none|backoff|offset-greedy|wholly|faircm");
+  flags.Register("platform", &platform, "platform model: scc|scc800|opteron");
+  flags.Parse(argc, argv);
+
+  TmSystemConfig config;
+  config.sim.platform = PlatformByName(platform);
+  config.sim.num_cores = static_cast<uint32_t>(cores);
+  config.sim.num_service =
+      service_cores > 0 ? static_cast<uint32_t>(service_cores) : static_cast<uint32_t>(cores) / 2;
+  config.sim.shmem_bytes = 8 << 20;
+  config.sim.seed = 1;
+  config.tm.cm = CmKindByName(cm_name);
+  TmSystem system(config);
+
+  Bank bank(system.sim().allocator(), system.sim().shmem(), static_cast<uint32_t>(accounts),
+            /*initial=*/1000);
+  const uint64_t expected_total = static_cast<uint64_t>(accounts) * 1000;
+
+  const SimTime horizon = MillisToSim(static_cast<uint64_t>(duration_ms));
+  for (uint32_t i = 0; i < system.num_app_cores(); ++i) {
+    system.SetAppBody(i, [&bank, horizon, balance_pct, i](CoreEnv& env, TxRuntime& rt) {
+      Rng rng(100 + i);
+      while (env.GlobalNow() < horizon) {
+        if (balance_pct > 0 && rng.NextPercent(static_cast<uint32_t>(balance_pct))) {
+          rt.Execute([&bank](Tx& tx) { (void)bank.TxBalance(tx); });
+        } else {
+          const auto from = static_cast<uint32_t>(rng.NextBelow(bank.num_accounts()));
+          const auto to = static_cast<uint32_t>((from + 1 + rng.NextBelow(bank.num_accounts() - 1)) %
+                                                bank.num_accounts());
+          rt.Execute([&](Tx& tx) { bank.TxTransfer(tx, from, to, 1); });
+        }
+      }
+    });
+  }
+
+  system.Run(horizon);
+  const TxStats stats = system.MergedStats();
+
+  std::printf("platform=%s cores=%d (%u app / %u dtm) cm=%s accounts=%d balance%%=%d\n",
+              platform.c_str(), cores, system.num_app_cores(), config.sim.num_service,
+              cm_name.c_str(), accounts, balance_pct);
+  std::printf("throughput   = %.2f ops/ms over %d simulated ms\n",
+              static_cast<double>(stats.commits) / duration_ms, duration_ms);
+  std::printf("commit rate  = %.1f%% (%llu commits, %llu aborts)\n", 100.0 * stats.CommitRate(),
+              static_cast<unsigned long long>(stats.commits),
+              static_cast<unsigned long long>(stats.aborts));
+  std::printf("conflicts    = RAW %llu / WAW %llu / WAR %llu / revoked %llu\n",
+              static_cast<unsigned long long>(stats.raw_conflicts),
+              static_cast<unsigned long long>(stats.waw_conflicts),
+              static_cast<unsigned long long>(stats.war_conflicts),
+              static_cast<unsigned long long>(stats.notify_aborts));
+  std::printf("messages     = %llu\n", static_cast<unsigned long long>(stats.messages_sent));
+
+  const uint64_t total = bank.HostTotal();
+  std::printf("conservation = %s (total %llu, expected %llu)\n",
+              total == expected_total ? "OK" : "VIOLATED",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(expected_total));
+  return total == expected_total ? 0 : 1;
+}

@@ -1,0 +1,242 @@
+#include "src/apps/hash_table.h"
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+ShmHashTable::ShmHashTable(ShmAllocator& allocator, SharedMemory& mem, uint32_t num_buckets)
+    : mem_(&mem), num_buckets_(num_buckets) {
+  TM2C_CHECK(num_buckets >= 1);
+  base_ = allocator.AllocGlobal(static_cast<uint64_t>(num_buckets) * kWordBytes);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    mem_->StoreWord(base_ + b * kWordBytes, 0);
+  }
+}
+
+bool ShmHashTable::TxContains(Tx& tx, uint64_t key) const {
+  TM2C_DCHECK(key != 0);
+  uint64_t node = tx.Read(BucketAddr(key));
+  while (node != 0) {
+    const uint64_t node_key = tx.Read(KeyAddr(node));
+    if (node_key == key) {
+      return true;
+    }
+    if (node_key > key) {
+      return false;  // sorted bucket: passed the insertion point
+    }
+    node = tx.Read(NextAddr(node));
+  }
+  return false;
+}
+
+bool ShmHashTable::TxAdd(Tx& tx, uint64_t key, uint64_t node_addr) const {
+  TM2C_DCHECK(key != 0 && node_addr != 0);
+  uint64_t prev_link = BucketAddr(key);
+  uint64_t node = tx.Read(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = tx.Read(KeyAddr(node));
+    if (node_key == key) {
+      return false;
+    }
+    if (node_key > key) {
+      break;
+    }
+    prev_link = NextAddr(node);
+    node = tx.Read(prev_link);
+  }
+  tx.Write(KeyAddr(node_addr), key);
+  tx.Write(NextAddr(node_addr), node);
+  tx.Write(prev_link, node_addr);
+  return true;
+}
+
+bool ShmHashTable::TxRemove(Tx& tx, uint64_t key) const {
+  TM2C_DCHECK(key != 0);
+  uint64_t prev_link = BucketAddr(key);
+  uint64_t node = tx.Read(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = tx.Read(KeyAddr(node));
+    if (node_key == key) {
+      tx.Write(prev_link, tx.Read(NextAddr(node)));
+      return true;  // node itself is leaked (see header)
+    }
+    if (node_key > key) {
+      return false;
+    }
+    prev_link = NextAddr(node);
+    node = tx.Read(prev_link);
+  }
+  return false;
+}
+
+bool ShmHashTable::Contains(TxRuntime& rt, uint64_t key) const {
+  bool found = false;
+  rt.Execute([&](Tx& tx) { found = TxContains(tx, key); });
+  return found;
+}
+
+bool ShmHashTable::Add(TxRuntime& rt, ShmAllocator& allocator, uint64_t key) const {
+  uint64_t node = 0;  // allocated once, reused across retries
+  bool inserted = false;
+  rt.Execute([&](Tx& tx) {
+    if (node == 0) {
+      node = allocator.Alloc(kNodeBytes, rt.env().core_id());
+    }
+    inserted = TxAdd(tx, key, node);
+  });
+  if (!inserted && node != 0) {
+    allocator.Free(node);
+  }
+  return inserted;
+}
+
+bool ShmHashTable::Remove(TxRuntime& rt, uint64_t key) const {
+  bool removed = false;
+  rt.Execute([&](Tx& tx) { removed = TxRemove(tx, key); });
+  return removed;
+}
+
+bool ShmHashTable::Move(TxRuntime& rt, ShmAllocator& allocator, uint64_t from_key,
+                        uint64_t to_key) const {
+  uint64_t node = 0;
+  uint64_t undo_node = 0;
+  bool moved = false;
+  bool used_undo = false;
+  rt.Execute([&](Tx& tx) {
+    moved = false;
+    used_undo = false;
+    // Remove first, insert second — the paper's move "removes an element
+    // and inserts a new one". Under eager acquisition the removal's write
+    // lock is held across the insertion's traversal, which is exactly the
+    // window Figure 4(c) measures. If the destination turns out to be
+    // occupied, the removal is undone inside the same transaction (the
+    // reads stay consistent, so the re-insertion cannot fail).
+    if (!TxRemove(tx, from_key)) {
+      return;  // source missing: nothing to move
+    }
+    if (node == 0) {
+      node = allocator.Alloc(kNodeBytes, rt.env().core_id());
+    }
+    if (!TxAdd(tx, to_key, node)) {
+      if (undo_node == 0) {
+        undo_node = allocator.Alloc(kNodeBytes, rt.env().core_id());
+      }
+      const bool restored = TxAdd(tx, from_key, undo_node);
+      TM2C_CHECK(restored);
+      used_undo = true;
+      return;  // destination occupied: commit restores the original state
+    }
+    moved = true;
+  });
+  if (!moved && node != 0) {
+    allocator.Free(node);
+  }
+  if (!used_undo && undo_node != 0) {
+    allocator.Free(undo_node);
+  }
+  return moved;
+}
+
+bool ShmHashTable::SeqContains(CoreEnv& env, uint64_t key) const {
+  uint64_t node = env.ShmemRead(BucketAddr(key));
+  while (node != 0) {
+    const uint64_t node_key = env.ShmemRead(KeyAddr(node));
+    if (node_key == key) {
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    node = env.ShmemRead(NextAddr(node));
+  }
+  return false;
+}
+
+bool ShmHashTable::SeqAdd(CoreEnv& env, ShmAllocator& allocator, uint64_t key) const {
+  uint64_t prev_link = BucketAddr(key);
+  uint64_t node = env.ShmemRead(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = env.ShmemRead(KeyAddr(node));
+    if (node_key == key) {
+      return false;
+    }
+    if (node_key > key) {
+      break;
+    }
+    prev_link = NextAddr(node);
+    node = env.ShmemRead(prev_link);
+  }
+  const uint64_t fresh = allocator.Alloc(kNodeBytes, env.core_id());
+  env.ShmemWrite(KeyAddr(fresh), key);
+  env.ShmemWrite(NextAddr(fresh), node);
+  env.ShmemWrite(prev_link, fresh);
+  return true;
+}
+
+bool ShmHashTable::SeqRemove(CoreEnv& env, uint64_t key) const {
+  uint64_t prev_link = BucketAddr(key);
+  uint64_t node = env.ShmemRead(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = env.ShmemRead(KeyAddr(node));
+    if (node_key == key) {
+      env.ShmemWrite(prev_link, env.ShmemRead(NextAddr(node)));
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    prev_link = NextAddr(node);
+    node = env.ShmemRead(prev_link);
+  }
+  return false;
+}
+
+bool ShmHashTable::HostAdd(ShmAllocator& allocator, uint64_t key) const {
+  uint64_t prev_link = BucketAddr(key);
+  uint64_t node = mem_->LoadWord(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = mem_->LoadWord(KeyAddr(node));
+    if (node_key == key) {
+      return false;
+    }
+    if (node_key > key) {
+      break;
+    }
+    prev_link = NextAddr(node);
+    node = mem_->LoadWord(prev_link);
+  }
+  const uint64_t fresh = allocator.AllocGlobal(kNodeBytes);
+  mem_->StoreWord(KeyAddr(fresh), key);
+  mem_->StoreWord(NextAddr(fresh), node);
+  mem_->StoreWord(prev_link, fresh);
+  return true;
+}
+
+bool ShmHashTable::HostContains(uint64_t key) const {
+  uint64_t node = mem_->LoadWord(BucketAddr(key));
+  while (node != 0) {
+    const uint64_t node_key = mem_->LoadWord(KeyAddr(node));
+    if (node_key == key) {
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    node = mem_->LoadWord(NextAddr(node));
+  }
+  return false;
+}
+
+uint64_t ShmHashTable::HostSize() const {
+  uint64_t count = 0;
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    uint64_t node = mem_->LoadWord(base_ + b * kWordBytes);
+    while (node != 0) {
+      ++count;
+      node = mem_->LoadWord(NextAddr(node));
+    }
+  }
+  return count;
+}
+
+}  // namespace tm2c

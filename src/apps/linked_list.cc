@@ -1,0 +1,195 @@
+#include "src/apps/linked_list.h"
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+ShmSortedList::ShmSortedList(ShmAllocator& allocator, SharedMemory& mem) : mem_(&mem) {
+  head_ = allocator.AllocGlobal(kWordBytes);
+  mem_->StoreWord(head_, 0);
+}
+
+bool ShmSortedList::TxContains(Tx& tx, uint64_t key) const {
+  TM2C_DCHECK(key != 0);
+  uint64_t node = tx.Read(head_);
+  while (node != 0) {
+    const uint64_t node_key = tx.Read(KeyAddr(node));
+    if (node_key == key) {
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    node = tx.Read(NextAddr(node));
+  }
+  return false;
+}
+
+bool ShmSortedList::TxAdd(Tx& tx, uint64_t key, uint64_t node_addr) const {
+  TM2C_DCHECK(key != 0 && node_addr != 0);
+  uint64_t prev_link = head_;
+  uint64_t node = tx.Read(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = tx.Read(KeyAddr(node));
+    if (node_key == key) {
+      return false;
+    }
+    if (node_key > key) {
+      break;
+    }
+    prev_link = NextAddr(node);
+    node = tx.Read(prev_link);
+  }
+  tx.Write(KeyAddr(node_addr), key);
+  tx.Write(NextAddr(node_addr), node);
+  tx.Write(prev_link, node_addr);
+  return true;
+}
+
+bool ShmSortedList::TxRemove(Tx& tx, uint64_t key) const {
+  TM2C_DCHECK(key != 0);
+  uint64_t prev_link = head_;
+  uint64_t node = tx.Read(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = tx.Read(KeyAddr(node));
+    if (node_key == key) {
+      tx.Write(prev_link, tx.Read(NextAddr(node)));
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    prev_link = NextAddr(node);
+    node = tx.Read(prev_link);
+  }
+  return false;
+}
+
+bool ShmSortedList::Contains(TxRuntime& rt, uint64_t key) const {
+  bool found = false;
+  rt.Execute([&](Tx& tx) { found = TxContains(tx, key); });
+  return found;
+}
+
+bool ShmSortedList::Add(TxRuntime& rt, ShmAllocator& allocator, uint64_t key) const {
+  uint64_t node = 0;
+  bool inserted = false;
+  rt.Execute([&](Tx& tx) {
+    if (node == 0) {
+      node = allocator.Alloc(kNodeBytes, rt.env().core_id());
+    }
+    inserted = TxAdd(tx, key, node);
+  });
+  if (!inserted && node != 0) {
+    allocator.Free(node);
+  }
+  return inserted;
+}
+
+bool ShmSortedList::Remove(TxRuntime& rt, uint64_t key) const {
+  bool removed = false;
+  rt.Execute([&](Tx& tx) { removed = TxRemove(tx, key); });
+  return removed;
+}
+
+bool ShmSortedList::SeqContains(CoreEnv& env, uint64_t key) const {
+  uint64_t node = env.ShmemRead(head_);
+  while (node != 0) {
+    const uint64_t node_key = env.ShmemRead(KeyAddr(node));
+    if (node_key == key) {
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    node = env.ShmemRead(NextAddr(node));
+  }
+  return false;
+}
+
+bool ShmSortedList::SeqAdd(CoreEnv& env, ShmAllocator& allocator, uint64_t key) const {
+  uint64_t prev_link = head_;
+  uint64_t node = env.ShmemRead(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = env.ShmemRead(KeyAddr(node));
+    if (node_key == key) {
+      return false;
+    }
+    if (node_key > key) {
+      break;
+    }
+    prev_link = NextAddr(node);
+    node = env.ShmemRead(prev_link);
+  }
+  const uint64_t fresh = allocator.Alloc(kNodeBytes, env.core_id());
+  env.ShmemWrite(KeyAddr(fresh), key);
+  env.ShmemWrite(NextAddr(fresh), node);
+  env.ShmemWrite(prev_link, fresh);
+  return true;
+}
+
+bool ShmSortedList::SeqRemove(CoreEnv& env, uint64_t key) const {
+  uint64_t prev_link = head_;
+  uint64_t node = env.ShmemRead(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = env.ShmemRead(KeyAddr(node));
+    if (node_key == key) {
+      env.ShmemWrite(prev_link, env.ShmemRead(NextAddr(node)));
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    prev_link = NextAddr(node);
+    node = env.ShmemRead(prev_link);
+  }
+  return false;
+}
+
+bool ShmSortedList::HostAdd(ShmAllocator& allocator, uint64_t key) const {
+  uint64_t prev_link = head_;
+  uint64_t node = mem_->LoadWord(prev_link);
+  while (node != 0) {
+    const uint64_t node_key = mem_->LoadWord(KeyAddr(node));
+    if (node_key == key) {
+      return false;
+    }
+    if (node_key > key) {
+      break;
+    }
+    prev_link = NextAddr(node);
+    node = mem_->LoadWord(prev_link);
+  }
+  const uint64_t fresh = allocator.AllocGlobal(kNodeBytes);
+  mem_->StoreWord(KeyAddr(fresh), key);
+  mem_->StoreWord(NextAddr(fresh), node);
+  mem_->StoreWord(prev_link, fresh);
+  return true;
+}
+
+bool ShmSortedList::HostContains(uint64_t key) const {
+  uint64_t node = mem_->LoadWord(head_);
+  while (node != 0) {
+    const uint64_t node_key = mem_->LoadWord(KeyAddr(node));
+    if (node_key == key) {
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    node = mem_->LoadWord(NextAddr(node));
+  }
+  return false;
+}
+
+uint64_t ShmSortedList::HostSize() const {
+  uint64_t count = 0;
+  uint64_t node = mem_->LoadWord(head_);
+  while (node != 0) {
+    ++count;
+    node = mem_->LoadWord(NextAddr(node));
+  }
+  return count;
+}
+
+}  // namespace tm2c

@@ -1,0 +1,57 @@
+// The synchrobench-style sorted linked list benchmark structure
+// (Sections 6.2 and 7.2).
+//
+// One global sorted singly linked list of [key, next] nodes implementing a
+// set. Same access modes as ShmHashTable. This is the structure the elastic
+// transaction evaluation uses: run the Tx* operations under
+// TxMode::kElasticEarly or kElasticRead to relax the read-prefix atomicity,
+// exactly as Section 6 describes (node i no longer matters once the search
+// passed node i+1).
+#ifndef TM2C_SRC_APPS_LINKED_LIST_H_
+#define TM2C_SRC_APPS_LINKED_LIST_H_
+
+#include <cstdint>
+
+#include "src/runtime/core_env.h"
+#include "src/shmem/allocator.h"
+#include "src/tm/tx_runtime.h"
+
+namespace tm2c {
+
+class ShmSortedList {
+ public:
+  ShmSortedList(ShmAllocator& allocator, SharedMemory& mem);
+
+  // -- Composable transactional operations --------------------------------
+  bool TxContains(Tx& tx, uint64_t key) const;
+  bool TxAdd(Tx& tx, uint64_t key, uint64_t node_addr) const;
+  bool TxRemove(Tx& tx, uint64_t key) const;
+
+  // -- One-transaction wrappers -------------------------------------------
+  bool Contains(TxRuntime& rt, uint64_t key) const;
+  bool Add(TxRuntime& rt, ShmAllocator& allocator, uint64_t key) const;
+  bool Remove(TxRuntime& rt, uint64_t key) const;
+
+  // -- Sequential baseline --------------------------------------------------
+  bool SeqContains(CoreEnv& env, uint64_t key) const;
+  bool SeqAdd(CoreEnv& env, ShmAllocator& allocator, uint64_t key) const;
+  bool SeqRemove(CoreEnv& env, uint64_t key) const;
+
+  // -- Host-side helpers ----------------------------------------------------
+  bool HostAdd(ShmAllocator& allocator, uint64_t key) const;
+  bool HostContains(uint64_t key) const;
+  uint64_t HostSize() const;
+
+  static constexpr uint64_t kNodeBytes = 2 * kWordBytes;
+
+ private:
+  static uint64_t KeyAddr(uint64_t node) { return node; }
+  static uint64_t NextAddr(uint64_t node) { return node + kWordBytes; }
+
+  SharedMemory* mem_;
+  uint64_t head_ = 0;  // address of the head pointer word
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_APPS_LINKED_LIST_H_

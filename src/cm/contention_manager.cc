@@ -1,0 +1,120 @@
+#include "src/cm/contention_manager.h"
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+const char* CmKindName(CmKind kind) {
+  switch (kind) {
+    case CmKind::kNone:
+      return "none";
+    case CmKind::kBackoffRetry:
+      return "backoff";
+    case CmKind::kOffsetGreedy:
+      return "offset-greedy";
+    case CmKind::kWholly:
+      return "wholly";
+    case CmKind::kFairCm:
+      return "faircm";
+  }
+  return "?";
+}
+
+CmKind CmKindByName(const std::string& name) {
+  if (name == "none") {
+    return CmKind::kNone;
+  }
+  if (name == "backoff") {
+    return CmKind::kBackoffRetry;
+  }
+  if (name == "offset-greedy") {
+    return CmKind::kOffsetGreedy;
+  }
+  if (name == "wholly") {
+    return CmKind::kWholly;
+  }
+  if (name == "faircm") {
+    return CmKind::kFairCm;
+  }
+  TM2C_CHECK_MSG(false, "unknown contention manager name");
+}
+
+bool PriorityWins(const TxInfo& a, const TxInfo& b) {
+  if (a.metric != b.metric) {
+    return a.metric < b.metric;
+  }
+  return a.core < b.core;
+}
+
+namespace {
+
+// kNone and kBackoffRetry: the transaction that detects the conflict always
+// aborts itself; the difference (randomized exponential wait before retry)
+// is applied by the requester's runtime, not at the service node.
+class SelfAbortCm : public ContentionManager {
+ public:
+  explicit SelfAbortCm(CmKind kind) : kind_(kind) {}
+  CmKind kind() const override { return kind_; }
+  CmDecision Decide(const TxInfo& requester, const std::vector<TxInfo>& holders,
+                    ConflictKind conflict) const override {
+    return CmDecision::kAbortRequester;
+  }
+
+ private:
+  CmKind kind_;
+};
+
+// Shared implementation for the three priority-ordered CMs: the requester
+// wins only if it beats every current holder.
+class PriorityCm : public ContentionManager {
+ public:
+  explicit PriorityCm(CmKind kind) : kind_(kind) {}
+  CmKind kind() const override { return kind_; }
+
+  CmDecision Decide(const TxInfo& requester, const std::vector<TxInfo>& holders,
+                    ConflictKind conflict) const override {
+    TM2C_DCHECK(!holders.empty());
+    for (const TxInfo& holder : holders) {
+      if (!PriorityWins(requester, holder)) {
+        return CmDecision::kAbortRequester;
+      }
+    }
+    return CmDecision::kAbortEnemies;
+  }
+
+ private:
+  CmKind kind_;
+};
+
+// Offset-Greedy (Section 4.3): the wire metric is the offset between the
+// requester's transaction start and the send time, measured on the
+// requester's clock. The service core subtracts it from its own local clock
+// to estimate the start timestamp. The message delay between send and
+// receive inflates the estimate and differs across nodes with load — the
+// reason rule (b) of Property 1 (a consistent total order) can be violated.
+class OffsetGreedyCm : public PriorityCm {
+ public:
+  OffsetGreedyCm() : PriorityCm(CmKind::kOffsetGreedy) {}
+
+  uint64_t MetricFromWire(uint64_t wire_metric, SimTime service_local_now) const override {
+    return service_local_now > wire_metric ? service_local_now - wire_metric : 0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ContentionManager> MakeContentionManager(CmKind kind) {
+  switch (kind) {
+    case CmKind::kNone:
+    case CmKind::kBackoffRetry:
+      return std::make_unique<SelfAbortCm>(kind);
+    case CmKind::kOffsetGreedy:
+      return std::make_unique<OffsetGreedyCm>();
+    case CmKind::kWholly:
+    case CmKind::kFairCm:
+      return std::make_unique<PriorityCm>(kind);
+  }
+  TM2C_CHECK_MSG(false, "unknown contention manager kind");
+}
+
+}  // namespace tm2c

@@ -1,0 +1,91 @@
+// Distributed contention management (Section 4).
+//
+// A contention manager runs on every DTM service core. When the DS-Lock
+// detects a conflict it asks the CM to pick a winner; the CM sees only the
+// information available at this node — the requester's metadata piggybacked
+// on the request and the metadata remembered from the lock holders' earlier
+// requests. Property 1 of the paper shows this local information is
+// sufficient for a coherent global decision as long as a transaction's
+// priority never changes during its lifespan.
+//
+// Five policies are implemented:
+//   kNone          abort-and-retry, no arbitration (livelock-prone)
+//   kBackoffRetry  like kNone but the requester backs off exponentially
+//   kOffsetGreedy  Greedy via clock-offset-estimated start times; the
+//                  estimate absorbs the message delay, so concurrent
+//                  conflicts can see inconsistent orders (Section 4.3)
+//   kWholly        priority = -(number of committed transactions);
+//                  starvation-free (Property 2)
+//   kFairCm        priority = -(cumulative effective transactional time);
+//                  starvation-free and favours short transactions
+//                  (Property 3)
+#ifndef TM2C_SRC_CM_CONTENTION_MANAGER_H_
+#define TM2C_SRC_CM_CONTENTION_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/message.h"
+#include "src/sim/time.h"
+
+namespace tm2c {
+
+enum class CmKind : uint8_t {
+  kNone = 0,
+  kBackoffRetry,
+  kOffsetGreedy,
+  kWholly,
+  kFairCm,
+};
+
+const char* CmKindName(CmKind kind);
+CmKind CmKindByName(const std::string& name);
+
+// What a service node knows about one in-flight transaction.
+struct TxInfo {
+  uint32_t core = 0;
+  uint64_t epoch = 0;    // (core << 32) | attempt counter; monotonic per core
+  uint64_t metric = 0;   // CM-specific priority metric (lower wins)
+};
+
+enum class CmDecision : uint8_t {
+  kAbortRequester = 0,  // the requesting transaction must abort
+  kAbortEnemies = 1,    // revoke the holders' locks, grant the requester
+};
+
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+
+  virtual CmKind kind() const = 0;
+
+  // Resolves a conflict between the requester and the current holders.
+  // `holders` is one writer (RAW/WAW) or all readers (WAR); the requester
+  // wins only by beating every holder, since all-but-one of the conflicting
+  // transactions must abort.
+  virtual CmDecision Decide(const TxInfo& requester, const std::vector<TxInfo>& holders,
+                            ConflictKind conflict) const = 0;
+
+  // Translates the metric payload carried on the wire into the metric used
+  // for comparison. Offset-Greedy overrides this: the payload is the
+  // time-offset since transaction start, turned into an estimated start
+  // timestamp against this service core's own clock — the step that bakes
+  // the (load-dependent) message delay into the priority.
+  virtual uint64_t MetricFromWire(uint64_t wire_metric, SimTime service_local_now) const {
+    return wire_metric;
+  }
+};
+
+// Factory. All five policies are stateless service-side; one instance can
+// be shared by all partitions of a service core.
+std::unique_ptr<ContentionManager> MakeContentionManager(CmKind kind);
+
+// Total-order comparison shared by the priority CMs: true when `a` beats
+// `b` (strictly lower metric, core id as tie-break).
+bool PriorityWins(const TxInfo& a, const TxInfo& b);
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_CM_CONTENTION_MANAGER_H_

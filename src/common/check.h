@@ -1,0 +1,45 @@
+// Assertion macros for invariant checking.
+//
+// CHECK(cond) aborts the process with a diagnostic when `cond` is false; it
+// is always compiled in, because the simulator and protocol code rely on
+// these invariants for correctness and silent corruption is worse than an
+// abort. DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+#ifndef TM2C_SRC_COMMON_CHECK_H_
+#define TM2C_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tm2c {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tm2c
+
+#define TM2C_CHECK(cond)                                \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      ::tm2c::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                   \
+  } while (0)
+
+#define TM2C_CHECK_MSG(cond, msg)                       \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      ::tm2c::CheckFailed(__FILE__, __LINE__, msg);     \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define TM2C_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define TM2C_DCHECK(cond) TM2C_CHECK(cond)
+#endif
+
+#endif  // TM2C_SRC_COMMON_CHECK_H_

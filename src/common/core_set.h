@@ -1,0 +1,114 @@
+// Compact set of core identifiers, used for reader sets in the lock table.
+//
+// Optimized for the common case of at most 64 cores (one inline word, no
+// allocation); transparently spills to heap words for larger machines so the
+// library is not artificially capped at SCC size.
+#ifndef TM2C_SRC_COMMON_CORE_SET_H_
+#define TM2C_SRC_COMMON_CORE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+class CoreSet {
+ public:
+  CoreSet() = default;
+
+  void Insert(uint32_t core) {
+    if (core < 64) {
+      inline_bits_ |= (1ull << core);
+      return;
+    }
+    const size_t word = core / 64 - 1;
+    if (word >= overflow_.size()) {
+      overflow_.resize(word + 1, 0);
+    }
+    overflow_[word] |= (1ull << (core % 64));
+  }
+
+  void Erase(uint32_t core) {
+    if (core < 64) {
+      inline_bits_ &= ~(1ull << core);
+      return;
+    }
+    const size_t word = core / 64 - 1;
+    if (word < overflow_.size()) {
+      overflow_[word] &= ~(1ull << (core % 64));
+    }
+  }
+
+  bool Contains(uint32_t core) const {
+    if (core < 64) {
+      return (inline_bits_ & (1ull << core)) != 0;
+    }
+    const size_t word = core / 64 - 1;
+    return word < overflow_.size() && (overflow_[word] & (1ull << (core % 64))) != 0;
+  }
+
+  bool Empty() const {
+    if (inline_bits_ != 0) {
+      return false;
+    }
+    for (uint64_t w : overflow_) {
+      if (w != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t Count() const {
+    size_t n = static_cast<size_t>(__builtin_popcountll(inline_bits_));
+    for (uint64_t w : overflow_) {
+      n += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  void Clear() {
+    inline_bits_ = 0;
+    overflow_.clear();
+  }
+
+  // True when `core` is the only member.
+  bool IsExactly(uint32_t core) const { return Contains(core) && Count() == 1; }
+
+  // Invokes fn(core_id) for every member in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t bits = inline_bits_;
+    while (bits != 0) {
+      const uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(bits));
+      fn(bit);
+      bits &= bits - 1;
+    }
+    for (size_t w = 0; w < overflow_.size(); ++w) {
+      uint64_t word_bits = overflow_[w];
+      while (word_bits != 0) {
+        const uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word_bits));
+        fn(static_cast<uint32_t>((w + 1) * 64) + bit);
+        word_bits &= word_bits - 1;
+      }
+    }
+  }
+
+  // Collects the members into a vector (ascending order).
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out;
+    out.reserve(Count());
+    ForEach([&out](uint32_t c) { out.push_back(c); });
+    return out;
+  }
+
+ private:
+  uint64_t inline_bits_ = 0;
+  std::vector<uint64_t> overflow_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_COMMON_CORE_SET_H_

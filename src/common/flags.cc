@@ -1,0 +1,163 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tm2c {
+namespace {
+
+bool ParseInt(const std::string& s, long long* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void FlagSet::Add(Flag flag) { flags_.push_back(std::move(flag)); }
+
+void FlagSet::Register(const std::string& name, int* value, const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.default_repr = std::to_string(*value);
+  f.setter = [value](const std::string& s) {
+    long long v = 0;
+    if (!ParseInt(s, &v)) {
+      return false;
+    }
+    *value = static_cast<int>(v);
+    return true;
+  };
+  Add(std::move(f));
+}
+
+void FlagSet::Register(const std::string& name, uint64_t* value, const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.default_repr = std::to_string(*value);
+  f.setter = [value](const std::string& s) {
+    long long v = 0;
+    if (!ParseInt(s, &v) || v < 0) {
+      return false;
+    }
+    *value = static_cast<uint64_t>(v);
+    return true;
+  };
+  Add(std::move(f));
+}
+
+void FlagSet::Register(const std::string& name, double* value, const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.default_repr = std::to_string(*value);
+  f.setter = [value](const std::string& s) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end == nullptr || *end != '\0') {
+      return false;
+    }
+    *value = v;
+    return true;
+  };
+  Add(std::move(f));
+}
+
+void FlagSet::Register(const std::string& name, bool* value, const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.default_repr = *value ? "true" : "false";
+  f.is_bool = true;
+  f.setter = [value](const std::string& s) {
+    if (s == "true" || s == "1" || s.empty()) {
+      *value = true;
+      return true;
+    }
+    if (s == "false" || s == "0") {
+      *value = false;
+      return true;
+    }
+    return false;
+  };
+  Add(std::move(f));
+}
+
+void FlagSet::Register(const std::string& name, std::string* value, const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.default_repr = *value;
+  f.setter = [value](const std::string& s) {
+    *value = s;
+    return true;
+  };
+  Add(std::move(f));
+}
+
+void FlagSet::PrintUsage(const char* argv0) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", argv0);
+  for (const Flag& f : flags_) {
+    std::fprintf(stderr, "  --%s (default %s): %s\n", f.name.c_str(), f.default_repr.c_str(),
+                 f.help.c_str());
+  }
+}
+
+std::vector<std::string> FlagSet::Parse(int argc, char** argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    Flag* match = nullptr;
+    for (Flag& f : flags_) {
+      if (f.name == name) {
+        match = &f;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+    if (!has_value && !match->is_bool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        std::exit(2);
+      }
+      value = argv[++i];
+    }
+    if (!match->setter(value)) {
+      std::fprintf(stderr, "bad value '%s' for flag --%s\n", value.c_str(), name.c_str());
+      std::exit(2);
+    }
+  }
+  return positional;
+}
+
+}  // namespace tm2c

@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Usage:
+//   FlagSet flags;
+//   int cores = 48;
+//   flags.Register("cores", &cores, "number of simulated cores");
+//   flags.Parse(argc, argv);   // accepts --cores=24 and --cores 24
+#ifndef TM2C_SRC_COMMON_FLAGS_H_
+#define TM2C_SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tm2c {
+
+class FlagSet {
+ public:
+  void Register(const std::string& name, int* value, const std::string& help);
+  void Register(const std::string& name, uint64_t* value, const std::string& help);
+  void Register(const std::string& name, double* value, const std::string& help);
+  void Register(const std::string& name, bool* value, const std::string& help);
+  void Register(const std::string& name, std::string* value, const std::string& help);
+
+  // Parses argv; prints usage and exits on --help or an unknown/ill-formed
+  // flag. Returns positional (non-flag) arguments.
+  std::vector<std::string> Parse(int argc, char** argv);
+
+  void PrintUsage(const char* argv0) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    std::function<bool(const std::string&)> setter;
+  };
+
+  void Add(Flag flag);
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_COMMON_FLAGS_H_

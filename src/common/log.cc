@@ -1,0 +1,81 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace tm2c {
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  if (std::strcmp(s, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(s, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(s, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(s, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(s, "trace") == 0) {
+    return LogLevel::kTrace;
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("TM2C_LOG");
+  return env != nullptr ? ParseLevel(env) : LogLevel::kWarn;
+}
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStorage().load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  static std::mutex mu;
+  // Strip the directory prefix for readability.
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+
+  char body[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+  va_end(ap);
+
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, body);
+}
+
+}  // namespace tm2c

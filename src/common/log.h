@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded so no synchronization is needed on that
+// path; the std::thread runtime backend serializes writes with a mutex
+// internally in LogMessage. Verbosity is a process-wide level settable by
+// tests and the TM2C_LOG environment variable.
+#ifndef TM2C_SRC_COMMON_LOG_H_
+#define TM2C_SRC_COMMON_LOG_H_
+
+#include <cstdarg>
+
+namespace tm2c {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+// Returns the current process-wide verbosity (default kWarn, overridable via
+// the TM2C_LOG environment variable: error|warn|info|debug|trace).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// printf-style log statement; cheap no-op when `level` is above the current
+// verbosity.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace tm2c
+
+#define TM2C_LOG(level, ...)                                            \
+  do {                                                                  \
+    if (static_cast<int>(level) <= static_cast<int>(::tm2c::GetLogLevel())) { \
+      ::tm2c::LogMessage(level, __FILE__, __LINE__, __VA_ARGS__);       \
+    }                                                                   \
+  } while (0)
+
+#define TM2C_LOG_ERROR(...) TM2C_LOG(::tm2c::LogLevel::kError, __VA_ARGS__)
+#define TM2C_LOG_WARN(...) TM2C_LOG(::tm2c::LogLevel::kWarn, __VA_ARGS__)
+#define TM2C_LOG_INFO(...) TM2C_LOG(::tm2c::LogLevel::kInfo, __VA_ARGS__)
+#define TM2C_LOG_DEBUG(...) TM2C_LOG(::tm2c::LogLevel::kDebug, __VA_ARGS__)
+#define TM2C_LOG_TRACE(...) TM2C_LOG(::tm2c::LogLevel::kTrace, __VA_ARGS__)
+
+#endif  // TM2C_SRC_COMMON_LOG_H_

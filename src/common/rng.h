@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the simulator that needs randomness (workload key choices,
+// back-off draws, clock skew, text generation) draws from an Xorshift128+
+// generator seeded explicitly, so whole experiments replay bit-for-bit.
+#ifndef TM2C_SRC_COMMON_RNG_H_
+#define TM2C_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+// Xorshift128+ generator (Vigna, 2014). Small, fast, and good enough for
+// workload generation; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 seeding avoids the all-zero state and decorrelates nearby
+    // seeds (consecutive core ids are typical callers).
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    auto next = [&z]() {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) {
+      s1_ = 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound). bound must be positive.
+  uint64_t NextBelow(uint64_t bound) {
+    TM2C_DCHECK(bound > 0);
+    // Modulo bias is negligible for the small bounds used by workloads
+    // relative to 2^64, and determinism matters more than perfection here.
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    TM2C_DCHECK(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // True with probability pct/100.
+  bool NextPercent(uint32_t pct) { return NextBelow(100) < pct; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_COMMON_RNG_H_

@@ -1,0 +1,27 @@
+#include "src/common/stats.h"
+
+namespace tm2c {
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      // Midpoint of the bucket is a reasonable point estimate.
+      return (static_cast<double>(i) + 0.5) * bucket_width_;
+    }
+  }
+  return static_cast<double>(counts_.size()) * bucket_width_;
+}
+
+}  // namespace tm2c

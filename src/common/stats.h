@@ -1,0 +1,100 @@
+// Lightweight statistics accumulators used by benches and runtime counters.
+#ifndef TM2C_SRC_COMMON_STATS_H_
+#define TM2C_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tm2c {
+
+// Streaming accumulator: count, sum, min, max, mean, variance (Welford).
+class StatAccumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void Merge(const StatAccumulator& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+    sum_ += other.sum_;
+    count_ += other.count_;
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bucket histogram over [0, bucket_width * num_buckets); out-of-range
+// samples land in the last (overflow) bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, size_t num_buckets)
+      : bucket_width_(bucket_width), counts_(num_buckets + 1, 0) {}
+
+  void Add(double x) {
+    size_t idx = x < 0 ? 0 : static_cast<size_t>(x / bucket_width_);
+    if (idx >= counts_.size() - 1) {
+      idx = counts_.size() - 1;
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+
+  // Value below which `q` (in [0,1]) of the samples fall; linear in buckets.
+  double Quantile(double q) const;
+
+  uint64_t total() const { return total_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  double bucket_width() const { return bucket_width_; }
+
+ private:
+  double bucket_width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_COMMON_STATS_H_

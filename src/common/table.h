@@ -1,0 +1,32 @@
+// Column-aligned plain-text table printer for the benchmark harness.
+//
+// Each bench prints the same rows/series the paper's figure reports; this
+// helper keeps that output consistent and machine-greppable.
+#ifndef TM2C_SRC_COMMON_TABLE_H_
+#define TM2C_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace tm2c {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  // Renders with aligned columns to stdout, preceded by `title`.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_COMMON_TABLE_H_

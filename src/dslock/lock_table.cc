@@ -1,0 +1,204 @@
+#include "src/dslock/lock_table.h"
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+AcquireResult LockTable::ReadLock(const TxInfo& requester, uint64_t addr,
+                                  const ContentionManager& cm) {
+  AcquireResult result;
+  Entry& entry = entries_[addr];
+
+  // Algorithm 1 line 2-7: a foreign writer is a read-after-write conflict.
+  if (entry.writer != kNoWriter && entry.writer != requester.core) {
+    const TxInfo writer_info = entry.holder_info[entry.writer];
+    if (cm.Decide(requester, {writer_info}, ConflictKind::kReadAfterWrite) ==
+        CmDecision::kAbortRequester) {
+      ++stats_.read_refused;
+      EraseIfEmpty(addr, entry);
+      result.refused = ConflictKind::kReadAfterWrite;
+      return result;
+    }
+    // CM aborted the enemy writer: revoke its lock and report the victim.
+    result.victims.push_back(Victim{writer_info, ConflictKind::kReadAfterWrite});
+    entry.holder_info.erase(entry.writer);
+    entry.writer = kNoWriter;
+    entry.writer_epoch = 0;
+    entry.writer_committing = false;
+    ++stats_.revocations;
+  }
+
+  // Algorithm 1 line 9: add_reader.
+  entry.readers.Insert(requester.core);
+  entry.holder_info[requester.core] = requester;
+  ++stats_.read_acquires;
+  return result;
+}
+
+AcquireResult LockTable::WriteLock(const TxInfo& requester, uint64_t addr,
+                                   const ContentionManager& cm, bool committing) {
+  AcquireResult result;
+  Entry& entry = entries_[addr];
+
+  // Algorithm 2 lines 2-7: a foreign writer is a write-after-write conflict.
+  if (entry.writer != kNoWriter && entry.writer != requester.core) {
+    const TxInfo writer_info = entry.holder_info[entry.writer];
+    if (cm.Decide(requester, {writer_info}, ConflictKind::kWriteAfterWrite) ==
+        CmDecision::kAbortRequester) {
+      ++stats_.write_refused;
+      EraseIfEmpty(addr, entry);
+      result.refused = ConflictKind::kWriteAfterWrite;
+      return result;
+    }
+    result.victims.push_back(Victim{writer_info, ConflictKind::kWriteAfterWrite});
+    entry.holder_info.erase(entry.writer);
+    entry.writer = kNoWriter;
+    entry.writer_epoch = 0;
+    entry.writer_committing = false;
+    ++stats_.revocations;
+  }
+
+  // Algorithm 2 lines 9-14: foreign readers are a write-after-read
+  // conflict; the requester must beat the whole reader set.
+  std::vector<TxInfo> enemies;
+  entry.readers.ForEach([&](uint32_t reader) {
+    if (reader != requester.core) {
+      enemies.push_back(entry.holder_info[reader]);
+    }
+  });
+  if (!enemies.empty()) {
+    if (cm.Decide(requester, enemies, ConflictKind::kWriteAfterRead) ==
+        CmDecision::kAbortRequester) {
+      ++stats_.write_refused;
+      EraseIfEmpty(addr, entry);
+      result.refused = ConflictKind::kWriteAfterRead;
+      return result;
+    }
+    for (const TxInfo& enemy : enemies) {
+      entry.readers.Erase(enemy.core);
+      entry.holder_info.erase(enemy.core);
+      result.victims.push_back(Victim{enemy, ConflictKind::kWriteAfterRead});
+      ++stats_.revocations;
+    }
+  }
+
+  // Algorithm 2 line 16: take the write lock. The requester may keep its
+  // own read lock (upgrade); other readers are gone. Re-acquisition by the
+  // current owner upgrades the lock to commit phase.
+  entry.writer = requester.core;
+  entry.writer_epoch = requester.epoch;
+  entry.writer_committing = entry.writer_committing || committing;
+  entry.holder_info[requester.core] = requester;
+  ++stats_.write_acquires;
+  return result;
+}
+
+void LockTable::ReleaseRead(uint32_t core, uint64_t addr) {
+  auto it = entries_.find(addr);
+  if (it == entries_.end()) {
+    return;  // already revoked
+  }
+  Entry& entry = it->second;
+  if (!entry.readers.Contains(core)) {
+    return;  // already revoked
+  }
+  entry.readers.Erase(core);
+  if (entry.writer != core) {
+    entry.holder_info.erase(core);
+  }
+  ++stats_.releases;
+  EraseIfEmpty(addr, entry);
+}
+
+void LockTable::ReleaseWrite(uint32_t core, uint64_t addr) {
+  auto it = entries_.find(addr);
+  if (it == entries_.end()) {
+    return;  // already revoked
+  }
+  Entry& entry = it->second;
+  if (entry.writer != core) {
+    return;  // revoked and re-acquired by someone else; stale release
+  }
+  entry.writer = kNoWriter;
+  entry.writer_epoch = 0;
+  entry.writer_committing = false;
+  if (!entry.readers.Contains(core)) {
+    entry.holder_info.erase(core);
+  }
+  ++stats_.releases;
+  EraseIfEmpty(addr, entry);
+}
+
+void LockTable::ReleaseAllOf(uint32_t core) {
+  std::vector<uint64_t> to_erase;
+  for (auto& [addr, entry] : entries_) {
+    if (entry.readers.Contains(core)) {
+      entry.readers.Erase(core);
+      if (entry.writer != core) {
+        entry.holder_info.erase(core);
+      }
+    }
+    if (entry.writer == core) {
+      entry.writer = kNoWriter;
+      entry.writer_epoch = 0;
+      entry.writer_committing = false;
+      entry.holder_info.erase(core);
+    }
+    if (entry.readers.Empty() && entry.writer == kNoWriter) {
+      to_erase.push_back(addr);
+    }
+  }
+  for (uint64_t addr : to_erase) {
+    entries_.erase(addr);
+  }
+}
+
+bool LockTable::HasWriter(uint64_t addr, uint32_t* writer) const {
+  auto it = entries_.find(addr);
+  if (it == entries_.end() || it->second.writer == kNoWriter) {
+    return false;
+  }
+  if (writer != nullptr) {
+    *writer = it->second.writer;
+  }
+  return true;
+}
+
+bool LockTable::HasReader(uint64_t addr, uint32_t core) const {
+  auto it = entries_.find(addr);
+  return it != entries_.end() && it->second.readers.Contains(core);
+}
+
+bool LockTable::CheckInvariants() const {
+  for (const auto& [addr, entry] : entries_) {
+    if (entry.readers.Empty() && entry.writer == kNoWriter) {
+      return false;  // empty entries must have been erased
+    }
+    bool bad = false;
+    entry.readers.ForEach([&](uint32_t reader) {
+      // A writer excludes all readers except itself (lock upgrade).
+      if (entry.writer != kNoWriter && reader != entry.writer) {
+        bad = true;
+      }
+      if (entry.holder_info.find(reader) == entry.holder_info.end()) {
+        bad = true;
+      }
+    });
+    if (bad) {
+      return false;
+    }
+    if (entry.writer != kNoWriter &&
+        entry.holder_info.find(entry.writer) == entry.holder_info.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockTable::EraseIfEmpty(uint64_t addr, Entry& entry) {
+  if (entry.readers.Empty() && entry.writer == kNoWriter) {
+    entries_.erase(addr);
+  }
+}
+
+}  // namespace tm2c

@@ -1,0 +1,126 @@
+// DS-Lock: the distributed multiple-readers/single-writer revocable lock
+// table (Section 3.2).
+//
+// Each DTM service core owns one LockTable covering its partition of the
+// shared address space. The table implements Algorithms 1 and 2: read-lock
+// and write-lock acquisition with RAW/WAW/WAR conflict detection, delegating
+// winner selection to the contention manager. Revocation (the CM aborting a
+// holder) is reported back to the caller as a list of victims so the service
+// loop can send the abort notifications.
+//
+// Correctness note on releases: messages between one app core and one
+// service core are FIFO, and an aborted transaction always releases its
+// locks before starting its next attempt, so a release can never arrive
+// after the same core's re-acquisition. Release of a lock that was already
+// revoked is a silent no-op; releasing a write lock checks ownership so a
+// stale release cannot clobber a lock that has since moved to another core.
+#ifndef TM2C_SRC_DSLOCK_LOCK_TABLE_H_
+#define TM2C_SRC_DSLOCK_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cm/contention_manager.h"
+#include "src/common/core_set.h"
+#include "src/runtime/message.h"
+
+namespace tm2c {
+
+constexpr uint32_t kNoWriter = UINT32_MAX;
+
+// A transaction whose lock was revoked in the requester's favour, plus the
+// conflict kind it lost on (for the abort notification and statistics).
+struct Victim {
+  TxInfo info;
+  ConflictKind kind = ConflictKind::kNone;
+};
+
+// Outcome of an acquire: either granted (possibly after revoking victims)
+// or refused with the conflict kind the requester lost on.
+struct AcquireResult {
+  ConflictKind refused = ConflictKind::kNone;  // kNone == granted
+  // Transactions whose locks were revoked in the requester's favour; the
+  // caller must notify each victim core.
+  std::vector<Victim> victims;
+};
+
+// Counters for the service-side statistics the benches report.
+struct LockTableStats {
+  uint64_t read_acquires = 0;
+  uint64_t write_acquires = 0;
+  uint64_t read_refused = 0;
+  uint64_t write_refused = 0;
+  uint64_t revocations = 0;
+  uint64_t releases = 0;
+};
+
+class LockTable {
+ public:
+  LockTable() = default;
+
+  // Algorithm 1: dsl_read_lock. `requester` carries the already-decoded
+  // metric. On success the requester is added to the reader set.
+  AcquireResult ReadLock(const TxInfo& requester, uint64_t addr, const ContentionManager& cm);
+
+  // Algorithm 2: dsl_write_lock. Checks the writer (WAW) first, then the
+  // reader set (WAR); the requester's own read lock does not conflict.
+  //
+  // `committing` records that the acquisition happened in the owner's
+  // commit phase (introspection/debugging metadata). Revocation of
+  // commit-phase locks is safe because revocations are also published to
+  // the victim's shared-memory abort status word, which the victim checks
+  // atomically with its persist (see TxRuntime::TxCommit).
+  AcquireResult WriteLock(const TxInfo& requester, uint64_t addr, const ContentionManager& cm,
+                          bool committing = false);
+
+  // Releases. Idempotent; wrong-owner write releases are ignored (see the
+  // correctness note above).
+  void ReleaseRead(uint32_t core, uint64_t addr);
+  void ReleaseWrite(uint32_t core, uint64_t addr);
+
+  // Removes every lock `core` holds under `epoch` (or any epoch), used when
+  // the service core learns the owner aborted. Linear in table size; only
+  // used by tests and recovery paths, not the hot protocol.
+  void ReleaseAllOf(uint32_t core);
+
+  // Introspection for tests and invariant checks.
+  bool HasWriter(uint64_t addr, uint32_t* writer = nullptr) const;
+  bool HasReader(uint64_t addr, uint32_t core) const;
+  size_t NumEntries() const { return entries_.size(); }
+  const LockTableStats& stats() const { return stats_; }
+
+  // Debug/introspection: invokes fn(addr, writer_core_or_kNoWriter,
+  // writer_committing, readers) for every entry.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [addr, entry] : entries_) {
+      fn(addr, entry.writer, entry.writer_committing, entry.readers);
+    }
+  }
+
+  // Invariant check: no entry has both a writer and a non-owner reader, and
+  // no entry is empty (empty entries must be erased). Returns true when
+  // consistent.
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry {
+    CoreSet readers;
+    uint32_t writer = kNoWriter;
+    uint64_t writer_epoch = 0;
+    bool writer_committing = false;
+    // Last-known metadata of each holder, for CM decisions. Readers' info
+    // is keyed by core id; the writer's info is stored explicitly.
+    std::unordered_map<uint32_t, TxInfo> holder_info;
+  };
+
+  void EraseIfEmpty(uint64_t addr, Entry& entry);
+
+  std::unordered_map<uint64_t, Entry> entries_;
+  LockTableStats stats_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_DSLOCK_LOCK_TABLE_H_

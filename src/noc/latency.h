@@ -1,0 +1,84 @@
+// Message and memory latency model.
+//
+// One-way message cost =
+//     send overhead (sender core cycles)
+//   + wire time (mesh cycles per hop x hops, or socket penalty)
+//   + receive overhead (receiver core cycles)
+//   + poll scan (receiver core cycles per polled peer).
+//
+// The poll term models the SCC's software message-passing: to receive
+// asynchronously a core repeatedly scans one flag per potential sender, so
+// the cost of noticing a message grows linearly with the number of peers it
+// serves. This is the effect the paper blames for Figure 8(a)'s latency
+// growth from ~5.1 us (2 cores) to ~12.4 us (48 cores) round trip.
+#ifndef TM2C_SRC_NOC_LATENCY_H_
+#define TM2C_SRC_NOC_LATENCY_H_
+
+#include <cstdint>
+
+#include "src/noc/topology.h"
+#include "src/sim/time.h"
+
+namespace tm2c {
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const PlatformDesc& platform) : topo_(platform) {}
+
+  // Sender-side occupancy of a message (the core is busy this long before
+  // the message is on the wire).
+  SimTime SendOverheadPs() const {
+    return topo_.platform().CoreCyclesToPs(topo_.platform().msg_send_cycles);
+  }
+
+  // Wire time from src to dst after leaving the sender.
+  SimTime WirePs(uint32_t src, uint32_t dst) const {
+    const PlatformDesc& p = topo_.platform();
+    const uint32_t hops = topo_.Hops(src, dst);
+    if (p.kind == PlatformKind::kOpteron) {
+      return p.CoreCyclesToPs(static_cast<uint64_t>(hops) * p.socket_hop_extra_cycles);
+    }
+    return CyclesToSim(static_cast<uint64_t>(hops) * p.mesh_cycles_per_hop, p.MeshPeriodPs());
+  }
+
+  // Receiver-side cost to notice and ingest one message when the receiver
+  // polls `polled_peers` potential senders.
+  SimTime RecvOverheadPs(uint32_t polled_peers) const {
+    const PlatformDesc& p = topo_.platform();
+    const uint64_t poll = polled_peers > 0
+                              ? p.msg_poll_cycles_per_peer * static_cast<uint64_t>(polled_peers - 1)
+                              : 0;
+    return p.CoreCyclesToPs(p.msg_recv_cycles + poll);
+  }
+
+  // Uncontended end-to-end one-way latency (excludes queueing at a busy
+  // receiver, which the runtime models by serializing service).
+  SimTime OneWayPs(uint32_t src, uint32_t dst, uint32_t polled_peers) const {
+    return SendOverheadPs() + WirePs(src, dst) + RecvOverheadPs(polled_peers);
+  }
+
+  // Uncontended shared-memory access time from `core` for one word at
+  // `addr` (memory-controller queueing is added by the shmem module).
+  SimTime MemAccessPs(uint32_t core, uint64_t addr, uint64_t shmem_bytes) const {
+    const PlatformDesc& p = topo_.platform();
+    const uint32_t mc = topo_.MemControllerOf(addr, shmem_bytes);
+    const uint32_t hops = topo_.HopsToMemController(core, mc);
+    SimTime wire;
+    if (p.kind == PlatformKind::kOpteron) {
+      wire = p.CoreCyclesToPs(static_cast<uint64_t>(hops) * p.socket_hop_extra_cycles);
+    } else {
+      // Request and reply both cross the mesh.
+      wire = CyclesToSim(2ull * hops * p.mesh_cycles_per_hop, p.MeshPeriodPs());
+    }
+    return p.CoreCyclesToPs(p.mem_latency_cycles) + wire;
+  }
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  Topology topo_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_NOC_LATENCY_H_

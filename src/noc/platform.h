@@ -1,0 +1,92 @@
+// Platform descriptors: calibrated timing models of the machines the paper
+// evaluates on.
+//
+// The Intel SCC is a 6x4 mesh of tiles, two P54C cores per tile, per-tile
+// message-passing buffers, four DDR3 memory controllers and no hardware
+// cache coherence. The paper's Section 5.1 lists five frequency settings
+// (tile/mesh/DRAM MHz); all SCC figures use setting 0 (533/800/800) except
+// the Section 7 port study which also uses "SCC800" (setting 1:
+// 800/1600/1066). The multi-core comparison machine is a 48-core 2.1 GHz
+// AMD Opteron with a Barrelfish-style cache-line message-passing library.
+//
+// We model each platform by a handful of parameters that drive the
+// discrete-event simulator: core/mesh/DRAM clocks, per-message fixed costs,
+// a per-polled-peer receive cost (the paper attributes the SCC's latency
+// growth with core count to software flag polling), mesh hop latency, and
+// memory-controller service occupancy.
+#ifndef TM2C_SRC_NOC_PLATFORM_H_
+#define TM2C_SRC_NOC_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace tm2c {
+
+enum class PlatformKind {
+  kScc,      // mesh NoC, MPB message passing, non-coherent
+  kOpteron,  // cache-coherent multi-core, cache-line channels
+};
+
+struct PlatformDesc {
+  std::string name;
+  PlatformKind kind = PlatformKind::kScc;
+
+  // Topology. For kScc: mesh_cols x mesh_rows tiles, cores_per_tile each.
+  // For kOpteron: cores_per_socket cores per socket, num_sockets sockets.
+  uint32_t mesh_cols = 6;
+  uint32_t mesh_rows = 4;
+  uint32_t cores_per_tile = 2;
+  uint32_t num_sockets = 4;
+  uint32_t cores_per_socket = 12;
+  uint32_t max_cores = 48;
+
+  // Clocks (MHz).
+  uint64_t core_mhz = 533;
+  uint64_t mesh_mhz = 800;
+  uint64_t dram_mhz = 800;
+
+  // Messaging costs, in core cycles unless noted.
+  uint64_t msg_send_cycles = 450;          // marshalling + MPB write
+  uint64_t msg_recv_cycles = 700;          // MPB read + dispatch
+  uint64_t msg_poll_cycles_per_peer = 85;  // flag scan per polled peer
+  uint64_t mesh_cycles_per_hop = 4;        // mesh clock cycles per hop
+  uint64_t socket_hop_extra_cycles = 350;  // kOpteron: cross-socket penalty
+
+  // Memory model.
+  uint32_t num_mem_controllers = 4;
+  uint64_t mem_latency_cycles = 160;  // uncontended shared access, core cycles
+  uint64_t mc_service_ns = 12;       // controller occupancy per request
+  // Streaming bandwidth per controller, in bytes per microsecond (DDR3-800
+  // is roughly 6.4 GB/s = 6400 B/us).
+  uint64_t mc_stream_bytes_per_us = 6400;
+  uint64_t l1_data_kb = 16;          // per-core data cache
+  // Effective fraction of L1 available to the application (the OS takes the
+  // rest; the paper uses this to explain the 8KB MapReduce sweet spot).
+  double l1_app_fraction = 0.75;
+  double cache_miss_penalty = 1.8;   // compute multiplier past the cache
+
+  // Derived helpers.
+  SimTime CorePeriodPs() const { return PeriodPsFromMhz(core_mhz); }
+  SimTime MeshPeriodPs() const { return PeriodPsFromMhz(mesh_mhz); }
+  SimTime CoreCyclesToPs(uint64_t cycles) const { return cycles * CorePeriodPs(); }
+};
+
+// SCC frequency settings from Section 5.1 (tile/mesh/DRAM MHz):
+//   0: 533/800/800 (default, used by all Section 5 experiments)
+//   1: 800/1600/1066 ("SCC800", the fastest setting, used in Section 7)
+//   2: 800/1600/800    3: 800/800/1066    4: 800/800/800
+PlatformDesc MakeSccPlatform(int setting = 0);
+
+// The Section 7 comparison machine: 4 x 12-core 2.1 GHz AMD Opteron with a
+// cache-line-channel message-passing library and coherent caches.
+PlatformDesc MakeOpteronPlatform();
+
+// Looks up a platform by name: "scc", "scc800", "scc-setting-N", "opteron".
+// Checked error on unknown names.
+PlatformDesc PlatformByName(const std::string& name);
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_NOC_PLATFORM_H_

@@ -1,0 +1,84 @@
+// Core placement and routing distance.
+//
+// SCC: cores are packed two per tile onto a mesh_cols x mesh_rows mesh;
+// messages follow dimension-ordered (XY) routing, so the hop count between
+// tiles is the Manhattan distance. Opteron: distance is 0 within a socket
+// and 1 "socket hop" across sockets.
+#ifndef TM2C_SRC_NOC_TOPOLOGY_H_
+#define TM2C_SRC_NOC_TOPOLOGY_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/noc/platform.h"
+
+namespace tm2c {
+
+struct TileCoord {
+  uint32_t x = 0;
+  uint32_t y = 0;
+};
+
+class Topology {
+ public:
+  explicit Topology(const PlatformDesc& platform) : platform_(platform) {}
+
+  uint32_t max_cores() const { return platform_.max_cores; }
+
+  // Mesh coordinates of the tile hosting `core` (kScc only).
+  TileCoord TileOf(uint32_t core) const {
+    TM2C_DCHECK(core < platform_.max_cores);
+    const uint32_t tile = core / platform_.cores_per_tile;
+    return TileCoord{tile % platform_.mesh_cols, tile / platform_.mesh_cols};
+  }
+
+  // Routing distance between two cores, in mesh hops (kScc: XY Manhattan
+  // distance; kOpteron: 0 same-socket, 1 cross-socket).
+  uint32_t Hops(uint32_t src, uint32_t dst) const {
+    if (platform_.kind == PlatformKind::kOpteron) {
+      return src / platform_.cores_per_socket == dst / platform_.cores_per_socket ? 0 : 1;
+    }
+    const TileCoord a = TileOf(src);
+    const TileCoord b = TileOf(dst);
+    const uint32_t dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+    const uint32_t dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+    return dx + dy;
+  }
+
+  // Which memory controller serves physical address `addr`. The SCC's four
+  // controllers sit at the mesh corners; we stripe the address space across
+  // them in large contiguous regions, matching the paper's observation that
+  // an initial structure can land entirely in one controller's region.
+  uint32_t MemControllerOf(uint64_t addr, uint64_t shmem_bytes) const {
+    const uint32_t n = platform_.num_mem_controllers;
+    if (n <= 1 || shmem_bytes == 0) {
+      return 0;
+    }
+    const uint64_t region = (shmem_bytes + n - 1) / n;
+    uint32_t mc = static_cast<uint32_t>(addr / region);
+    return mc < n ? mc : n - 1;
+  }
+
+  // Hop distance from a core to a memory controller (kScc: controllers sit
+  // at the four mesh corners).
+  uint32_t HopsToMemController(uint32_t core, uint32_t mc) const {
+    if (platform_.kind == PlatformKind::kOpteron) {
+      return core / platform_.cores_per_socket == mc % platform_.num_sockets ? 0 : 1;
+    }
+    const TileCoord a = TileOf(core);
+    const uint32_t corner_x = (mc % 2 == 0) ? 0 : platform_.mesh_cols - 1;
+    const uint32_t corner_y = (mc / 2 == 0) ? 0 : platform_.mesh_rows - 1;
+    const uint32_t dx = a.x > corner_x ? a.x - corner_x : corner_x - a.x;
+    const uint32_t dy = a.y > corner_y ? a.y - corner_y : corner_y - a.y;
+    return dx + dy;
+  }
+
+  const PlatformDesc& platform() const { return platform_; }
+
+ private:
+  PlatformDesc platform_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_NOC_TOPOLOGY_H_

@@ -1,0 +1,126 @@
+// Deployment plan: which cores run the DTM service and which run the
+// application.
+//
+// TM2C supports two strategies (Section 3.1):
+//  - kDedicated: disjoint core sets; service cores run only the DS-Lock/CM
+//    loop, application cores run only transactions. Service cores are
+//    spread across the mesh (every k-th core) so service traffic does not
+//    concentrate in one mesh region.
+//  - kMultitasked: every core hosts both an application task and a service
+//    task, cooperatively scheduled (libtask-style); the service task runs
+//    only when the application task yields, which is the timing dependency
+//    of Figure 2.
+#ifndef TM2C_SRC_RUNTIME_DEPLOYMENT_H_
+#define TM2C_SRC_RUNTIME_DEPLOYMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+enum class DeployStrategy : uint8_t {
+  kDedicated = 0,
+  kMultitasked = 1,
+};
+
+class DeploymentPlan {
+ public:
+  // kDedicated: `num_service` of the `num_cores` cores are service cores.
+  // kMultitasked: every core plays both roles; num_service is ignored and
+  // the DTM partition space equals num_cores.
+  DeploymentPlan(uint32_t num_cores, uint32_t num_service, DeployStrategy strategy)
+      : num_cores_(num_cores), strategy_(strategy) {
+    TM2C_CHECK(num_cores >= 1);
+    if (strategy == DeployStrategy::kMultitasked) {
+      num_service_ = num_cores;
+      for (uint32_t c = 0; c < num_cores; ++c) {
+        service_cores_.push_back(c);
+        app_cores_.push_back(c);
+        service_index_.push_back(c);
+      }
+      return;
+    }
+    TM2C_CHECK_MSG(num_service >= 1 && num_service < num_cores,
+                   "dedicated deployment needs 1 <= num_service < num_cores");
+    num_service_ = num_service;
+    service_index_.assign(num_cores, UINT32_MAX);
+    // Spread service cores evenly across the core id range (and thus across
+    // the mesh): core floor(i * num_cores / num_service) is the i-th
+    // service core.
+    std::vector<bool> is_service(num_cores, false);
+    for (uint32_t i = 0; i < num_service; ++i) {
+      const uint32_t c = static_cast<uint32_t>(
+          (static_cast<uint64_t>(i) * num_cores) / num_service);
+      is_service[c] = true;
+    }
+    for (uint32_t c = 0; c < num_cores; ++c) {
+      if (is_service[c]) {
+        service_index_[c] = static_cast<uint32_t>(service_cores_.size());
+        service_cores_.push_back(c);
+      } else {
+        app_cores_.push_back(c);
+      }
+    }
+    TM2C_CHECK(service_cores_.size() == num_service);
+  }
+
+  uint32_t num_cores() const { return num_cores_; }
+  uint32_t num_service() const { return num_service_; }
+  uint32_t num_app() const { return static_cast<uint32_t>(app_cores_.size()); }
+  DeployStrategy strategy() const { return strategy_; }
+
+  bool IsService(uint32_t core) const {
+    return strategy_ == DeployStrategy::kMultitasked || service_index_[core] != UINT32_MAX;
+  }
+  bool IsApp(uint32_t core) const {
+    return strategy_ == DeployStrategy::kMultitasked || service_index_[core] == UINT32_MAX;
+  }
+
+  const std::vector<uint32_t>& service_cores() const { return service_cores_; }
+  const std::vector<uint32_t>& app_cores() const { return app_cores_; }
+
+  // Core id of the i-th DTM partition owner.
+  uint32_t ServiceCore(uint32_t partition) const {
+    TM2C_DCHECK(partition < service_cores_.size());
+    return service_cores_[partition];
+  }
+
+  // Partition index served by a service core.
+  uint32_t PartitionOf(uint32_t service_core) const {
+    if (strategy_ == DeployStrategy::kMultitasked) {
+      return service_core;
+    }
+    TM2C_DCHECK(service_index_[service_core] != UINT32_MAX);
+    return service_index_[service_core];
+  }
+
+  // How many peers each role must poll for incoming messages: a service
+  // core polls every app core; an app core polls every service core. Under
+  // multitasking every core polls every other core.
+  uint32_t PolledPeersOfService() const {
+    return strategy_ == DeployStrategy::kMultitasked ? num_cores_ - 1 : num_app();
+  }
+  uint32_t PolledPeersOfApp() const {
+    return strategy_ == DeployStrategy::kMultitasked ? num_cores_ - 1 : num_service_;
+  }
+  uint32_t PolledPeers(uint32_t receiver_core) const {
+    if (strategy_ == DeployStrategy::kMultitasked) {
+      return num_cores_ - 1;
+    }
+    return IsService(receiver_core) ? PolledPeersOfService() : PolledPeersOfApp();
+  }
+
+ private:
+  uint32_t num_cores_;
+  uint32_t num_service_ = 0;
+  DeployStrategy strategy_;
+  std::vector<uint32_t> service_cores_;
+  std::vector<uint32_t> app_cores_;
+  std::vector<uint32_t> service_index_;  // core -> partition or UINT32_MAX
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_RUNTIME_DEPLOYMENT_H_

@@ -1,0 +1,84 @@
+// Wire format for on-chip messages.
+//
+// The SCC exchanges small MPB-resident messages; TM2C's protocol needs only
+// a type tag, the sender, a few word-sized arguments, and (for write-lock
+// batching) a variable-length list of addresses. The same struct is used by
+// the simulator backend and the std::thread backend.
+#ifndef TM2C_SRC_RUNTIME_MESSAGE_H_
+#define TM2C_SRC_RUNTIME_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tm2c {
+
+enum class MsgType : uint8_t {
+  kInvalid = 0,
+
+  // DTM service requests (app core -> service core).
+  kReadLockReq,        // w0=addr, w1=tx epoch, w2=priority metric
+  kWriteLockReq,       // as kReadLockReq; w3=1 marks a commit-phase acquisition
+  kWriteLockBatchReq,  // w1/w2/w3 as above, extra=addresses
+  kReadRelease,        // w0=addr, w1=tx epoch (no response)
+  kWriteRelease,       // w0=addr, w1=tx epoch, w2=new value? (persist handled by app)
+  kReleaseAllReads,    // w1=tx epoch, extra=addresses (no response)
+  kReleaseAllWrites,   // w1=tx epoch, extra=addresses (no response)
+  kEarlyReadRelease,   // elastic-early: w0=addr, w1=tx epoch (no response)
+
+  // DTM service responses (service core -> app core).
+  kLockGranted,   // w0=addr (or batch id)
+  kLockConflict,  // w0=addr, w1=conflict kind (RAW/WAW/WAR)
+
+  // Asynchronous abort notification (service core -> app core): the CM
+  // revoked this transaction's locks in favour of a higher-priority one.
+  kAbortNotify,  // w1=victim tx epoch, w2=conflict kind
+
+  // Infrastructure.
+  kEcho,      // latency bench: request
+  kEchoRsp,   // latency bench: response
+  kBarrier,   // runtime barrier token
+  kShutdown,  // tells a service core to exit its loop
+  kApp,       // application-defined payload
+};
+
+struct Message {
+  MsgType type = MsgType::kInvalid;
+  uint32_t src = 0;
+  uint64_t w0 = 0;
+  uint64_t w1 = 0;
+  uint64_t w2 = 0;
+  uint64_t w3 = 0;
+  std::vector<uint64_t> extra;
+
+  // Payload size in words, used by the latency model to charge for larger
+  // (batched) messages.
+  size_t SizeWords() const { return 5 + extra.size(); }
+};
+
+// Conflict kinds, matching the paper's RAW/WAW/WAR terminology. NO_CONFLICT
+// mirrors Algorithm 1/2's success return.
+enum class ConflictKind : uint8_t {
+  kNone = 0,
+  kReadAfterWrite = 1,   // RAW: reader found an existing writer
+  kWriteAfterWrite = 2,  // WAW: writer found an existing writer
+  kWriteAfterRead = 3,   // WAR: writer found existing readers
+};
+
+inline const char* ConflictKindName(ConflictKind k) {
+  switch (k) {
+    case ConflictKind::kNone:
+      return "NO_CONFLICT";
+    case ConflictKind::kReadAfterWrite:
+      return "RAW";
+    case ConflictKind::kWriteAfterWrite:
+      return "WAW";
+    case ConflictKind::kWriteAfterRead:
+      return "WAR";
+  }
+  return "?";
+}
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_RUNTIME_MESSAGE_H_

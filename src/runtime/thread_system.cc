@@ -1,0 +1,164 @@
+#include "src/runtime/thread_system.h"
+
+#include <chrono>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+namespace {
+
+SimTime HostNowPs() {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  return static_cast<SimTime>(ns) * kPicosPerNano;
+}
+
+}  // namespace
+
+class ThreadSystem::Core : public CoreEnv {
+ public:
+  Core(ThreadSystem* sys, uint32_t id) : sys_(sys), id_(id) {}
+
+  uint32_t core_id() const override { return id_; }
+  const DeploymentPlan& plan() const override { return sys_->plan_; }
+  const PlatformDesc& platform() const override { return sys_->config_.platform; }
+
+  void Send(uint32_t dst, Message msg) override {
+    TM2C_CHECK(dst < sys_->plan_.num_cores());
+    msg.src = id_;
+    Core* receiver = sys_->cores_[dst].get();
+    {
+      std::lock_guard<std::mutex> lock(receiver->inbox_mu_);
+      receiver->inbox_.push_back(std::move(msg));
+    }
+    receiver->inbox_cv_.notify_one();
+  }
+
+  Message Recv() override {
+    std::unique_lock<std::mutex> lock(inbox_mu_);
+    inbox_cv_.wait(lock, [this]() { return !inbox_.empty(); });
+    Message msg = std::move(inbox_.front());
+    inbox_.pop_front();
+    return msg;
+  }
+
+  bool TryRecv(Message* out) override {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    if (inbox_.empty()) {
+      return false;
+    }
+    *out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return true;
+  }
+
+  SimTime LocalNow() const override { return HostNowPs(); }
+  SimTime GlobalNow() const override { return HostNowPs(); }
+
+  void Compute(uint64_t core_cycles) override {
+    // Approximate: one spin iteration per cycle at the modelled clock would
+    // be too slow on a loaded host; a nanosecond-scale busy wait preserves
+    // relative costs well enough for functional tests.
+    const SimTime deadline = HostNowPs() + platform().CoreCyclesToPs(core_cycles);
+    while (HostNowPs() < deadline) {
+    }
+  }
+
+  uint64_t ShmemRead(uint64_t addr) override { return sys_->shmem_->LoadWord(addr); }
+  void ShmemWrite(uint64_t addr, uint64_t value) override {
+    sys_->shmem_->StoreWord(addr, value);
+  }
+
+  bool ShmemTestAndSet(uint64_t addr) override {
+    std::lock_guard<std::mutex> lock(sys_->tas_mu_);
+    if (sys_->shmem_->LoadWord(addr) != 0) {
+      return false;
+    }
+    sys_->shmem_->StoreWord(addr, 1);
+    return true;
+  }
+
+  void ShmemBulkAccess(uint64_t addr, uint64_t bytes) override {
+    // Real memory: nothing to charge; the caller reads through shmem().
+  }
+
+  void Barrier() override {
+    std::unique_lock<std::mutex> lock(sys_->barrier_mu_);
+    const uint64_t my_generation = sys_->barrier_generation_;
+    if (++sys_->barrier_waiting_ == sys_->plan_.num_cores()) {
+      sys_->barrier_waiting_ = 0;
+      ++sys_->barrier_generation_;
+      sys_->barrier_cv_.notify_all();
+      return;
+    }
+    sys_->barrier_cv_.wait(lock,
+                           [this, my_generation]() { return sys_->barrier_generation_ != my_generation; });
+  }
+
+  SharedMemory& shmem() override { return *sys_->shmem_; }
+  ShmAllocator& allocator() override { return *sys_->allocator_; }
+
+ private:
+  friend class ThreadSystem;
+
+  ThreadSystem* sys_;
+  uint32_t id_;
+  std::deque<Message> inbox_;
+  std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  CoreMain main_;
+};
+
+ThreadSystem::ThreadSystem(ThreadSystemConfig config)
+    : config_(std::move(config)),
+      plan_(config_.num_cores, config_.num_service, config_.strategy) {
+  shmem_ = std::make_unique<SharedMemory>(config_.shmem_bytes);
+  allocator_ = std::make_unique<ShmAllocator>(shmem_.get(), Topology(config_.platform));
+  for (uint32_t c = 0; c < config_.num_cores; ++c) {
+    cores_.push_back(std::make_unique<Core>(this, c));
+  }
+}
+
+ThreadSystem::~ThreadSystem() = default;
+
+void ThreadSystem::SetCoreMain(uint32_t core, CoreMain main) {
+  TM2C_CHECK(core < cores_.size());
+  cores_[core]->main_ = std::move(main);
+}
+
+void ThreadSystem::SendShutdown(uint32_t core) {
+  TM2C_CHECK(core < cores_.size());
+  Core* receiver = cores_[core].get();
+  Message msg;
+  msg.type = MsgType::kShutdown;
+  msg.src = core;
+  {
+    std::lock_guard<std::mutex> lock(receiver->inbox_mu_);
+    receiver->inbox_.push_back(std::move(msg));
+  }
+  receiver->inbox_cv_.notify_one();
+}
+
+void ThreadSystem::RunToCompletion() {
+  std::vector<std::thread> threads;
+  threads.reserve(cores_.size());
+  for (auto& core : cores_) {
+    Core* c = core.get();
+    threads.emplace_back([c]() {
+      if (c->main_) {
+        c->main_(*c);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+CoreEnv& ThreadSystem::env(uint32_t core) {
+  TM2C_CHECK(core < cores_.size());
+  return *cores_[core];
+}
+
+}  // namespace tm2c

@@ -1,0 +1,76 @@
+// std::thread backend of the runtime — the Section 7 "port".
+//
+// The same protocol code that runs on the simulated SCC runs here on real
+// OS threads communicating through mutex-protected mailboxes (standing in
+// for the Barrelfish-style cache-line channels of the paper's multi-core
+// port). Time is the host's steady clock; Compute spins. This backend
+// exists to demonstrate that TM2C's code is transport-agnostic and to run
+// the protocol under real concurrency in tests; the figure-scale
+// experiments use the deterministic simulator.
+#ifndef TM2C_SRC_RUNTIME_THREAD_SYSTEM_H_
+#define TM2C_SRC_RUNTIME_THREAD_SYSTEM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/core_env.h"
+
+namespace tm2c {
+
+struct ThreadSystemConfig {
+  PlatformDesc platform;  // used for topology/partitioning only
+  uint32_t num_cores = 4;
+  uint32_t num_service = 2;
+  DeployStrategy strategy = DeployStrategy::kDedicated;
+  uint64_t shmem_bytes = 4ull << 20;
+};
+
+class ThreadSystem {
+ public:
+  explicit ThreadSystem(ThreadSystemConfig config);
+  ~ThreadSystem();
+
+  ThreadSystem(const ThreadSystem&) = delete;
+  ThreadSystem& operator=(const ThreadSystem&) = delete;
+
+  void SetCoreMain(uint32_t core, CoreMain main);
+
+  // Spawns one thread per core, runs every core's main to completion, and
+  // joins. Mains that loop forever (service loops) must exit on a
+  // kShutdown message; SendShutdown() delivers those.
+  void RunToCompletion();
+
+  // Sends kShutdown to the given core (typically service cores, after the
+  // app cores' mains have returned).
+  void SendShutdown(uint32_t core);
+
+  CoreEnv& env(uint32_t core);
+  const DeploymentPlan& deployment() const { return plan_; }
+  SharedMemory& shmem() { return *shmem_; }
+  ShmAllocator& allocator() { return *allocator_; }
+
+ private:
+  class Core;
+  friend class Core;
+
+  ThreadSystemConfig config_;
+  DeploymentPlan plan_;
+  std::unique_ptr<SharedMemory> shmem_;
+  std::unique_ptr<ShmAllocator> allocator_;
+  std::vector<std::unique_ptr<Core>> cores_;
+
+  std::mutex tas_mu_;  // serializes the modelled test-and-set registers
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  uint32_t barrier_waiting_ = 0;
+  uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_RUNTIME_THREAD_SYSTEM_H_

@@ -1,0 +1,119 @@
+#include "src/shmem/allocator.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+ShmAllocator::ShmAllocator(SharedMemory* mem, const Topology& topology)
+    : mem_(mem), topology_(topology), num_regions_(topology.platform().num_mem_controllers) {
+  TM2C_CHECK(num_regions_ >= 1);
+  free_lists_.resize(num_regions_);
+  const uint64_t total = mem_->size_bytes();
+  const uint64_t region_bytes = (total / num_regions_) / kWordBytes * kWordBytes;
+  TM2C_CHECK_MSG(region_bytes >= kWordBytes, "shared memory too small for region split");
+  for (uint32_t r = 0; r < num_regions_; ++r) {
+    const uint64_t start = static_cast<uint64_t>(r) * region_bytes;
+    const uint64_t len = (r == num_regions_ - 1) ? total - start : region_bytes;
+    free_lists_[r].emplace(start, len);
+  }
+  // Address 0 doubles as the null pointer for in-memory data structures;
+  // never hand it out.
+  const uint64_t reserved = AllocFromRegion(0, kWordBytes);
+  TM2C_CHECK(reserved == 0);
+}
+
+uint32_t ShmAllocator::ClosestRegion(uint32_t core) const {
+  uint32_t best = 0;
+  uint32_t best_hops = std::numeric_limits<uint32_t>::max();
+  for (uint32_t mc = 0; mc < num_regions_; ++mc) {
+    const uint32_t hops = topology_.HopsToMemController(core, mc);
+    if (hops < best_hops) {
+      best_hops = hops;
+      best = mc;
+    }
+  }
+  return best;
+}
+
+uint64_t ShmAllocator::AllocFromRegion(uint32_t region, uint64_t bytes) {
+  auto& fl = free_lists_[region];
+  for (auto it = fl.begin(); it != fl.end(); ++it) {
+    if (it->second >= bytes) {
+      const uint64_t addr = it->first;
+      const uint64_t remaining = it->second - bytes;
+      fl.erase(it);
+      if (remaining > 0) {
+        fl.emplace(addr + bytes, remaining);
+      }
+      return addr;
+    }
+  }
+  return UINT64_MAX;
+}
+
+uint64_t ShmAllocator::Alloc(uint64_t bytes, uint32_t core) {
+  TM2C_CHECK(bytes > 0);
+  bytes = (bytes + kWordBytes - 1) / kWordBytes * kWordBytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t preferred = ClosestRegion(core);
+  for (uint32_t i = 0; i < num_regions_; ++i) {
+    const uint32_t region = (preferred + i) % num_regions_;
+    const uint64_t addr = AllocFromRegion(region, bytes);
+    if (addr != UINT64_MAX) {
+      block_sizes_[addr] = bytes;
+      bytes_in_use_ += bytes;
+      return addr;
+    }
+  }
+  TM2C_CHECK_MSG(false, "shared memory exhausted");
+}
+
+uint64_t ShmAllocator::AllocGlobal(uint64_t bytes) {
+  TM2C_CHECK(bytes > 0);
+  bytes = (bytes + kWordBytes - 1) / kWordBytes * kWordBytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t region = 0; region < num_regions_; ++region) {
+    const uint64_t addr = AllocFromRegion(region, bytes);
+    if (addr != UINT64_MAX) {
+      block_sizes_[addr] = bytes;
+      bytes_in_use_ += bytes;
+      return addr;
+    }
+  }
+  TM2C_CHECK_MSG(false, "shared memory exhausted");
+}
+
+void ShmAllocator::Free(uint64_t addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = block_sizes_.find(addr);
+  TM2C_CHECK_MSG(it != block_sizes_.end(), "Free of unknown or already-freed block");
+  uint64_t len = it->second;
+  bytes_in_use_ -= len;
+  block_sizes_.erase(it);
+
+  // Reinsert into the owning region's free list and coalesce neighbours.
+  const uint64_t total = mem_->size_bytes();
+  const uint64_t region_bytes = (total / num_regions_) / kWordBytes * kWordBytes;
+  uint32_t region = static_cast<uint32_t>(addr / region_bytes);
+  if (region >= num_regions_) {
+    region = num_regions_ - 1;
+  }
+  auto& fl = free_lists_[region];
+  auto next = fl.lower_bound(addr);
+  if (next != fl.end() && addr + len == next->first) {
+    len += next->second;
+    next = fl.erase(next);
+  }
+  if (next != fl.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == addr) {
+      prev->second += len;
+      return;
+    }
+  }
+  fl.emplace(addr, len);
+}
+
+}  // namespace tm2c

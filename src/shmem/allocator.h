@@ -1,0 +1,61 @@
+// Shared-memory allocator.
+//
+// Carves the flat shared address space into one region per memory
+// controller and hands out word-aligned blocks. A core-aware Alloc prefers
+// the region closest to the requesting core on the mesh, reproducing the
+// paper's observation that cores inserting new hash-table elements store
+// them in their closest controller and thereby balance memory load.
+// Metadata (free lists, block sizes) lives on the host side, outside the
+// simulated memory, as a real SCC allocator would keep it in private RAM.
+#ifndef TM2C_SRC_SHMEM_ALLOCATOR_H_
+#define TM2C_SRC_SHMEM_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/noc/topology.h"
+#include "src/shmem/shared_memory.h"
+
+namespace tm2c {
+
+class ShmAllocator {
+ public:
+  ShmAllocator(SharedMemory* mem, const Topology& topology);
+
+  // Allocates `bytes` (rounded up to words) from the region closest to
+  // `core`; falls back to other regions when the preferred one is full.
+  // Returns the byte address. Checked error when memory is exhausted.
+  uint64_t Alloc(uint64_t bytes, uint32_t core);
+
+  // Allocates from region 0 regardless of caller locality. Used for initial
+  // data structures, matching the paper's note that the initial hash table
+  // resides in a single controller's region.
+  uint64_t AllocGlobal(uint64_t bytes);
+
+  // Returns a block to its free list. The address must come from Alloc/
+  // AllocGlobal and must not be freed twice.
+  void Free(uint64_t addr);
+
+  uint64_t bytes_in_use() const { return bytes_in_use_; }
+
+ private:
+  uint64_t AllocFromRegion(uint32_t region, uint64_t bytes);
+  uint32_t ClosestRegion(uint32_t core) const;
+
+  SharedMemory* mem_;
+  Topology topology_;
+  uint32_t num_regions_;
+  // Free ranges per region: start -> length (bytes), coalesced on free.
+  std::vector<std::map<uint64_t, uint64_t>> free_lists_;
+  // Live block sizes for Free().
+  std::unordered_map<uint64_t, uint64_t> block_sizes_;
+  uint64_t bytes_in_use_ = 0;
+  std::mutex mu_;  // the std::thread backend allocates concurrently
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_SHMEM_ALLOCATOR_H_

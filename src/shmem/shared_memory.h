@@ -1,0 +1,101 @@
+// Non-coherent shared memory.
+//
+// The SCC exposes off-chip DRAM that any core can address but that no
+// hardware keeps coherent; TM2C treats it as a flat array of bytes whose
+// consistency is managed entirely by the DS-Lock protocol. We model it as a
+// flat word array (64-bit words, the simulator's access granularity) plus a
+// memory-controller occupancy model that charges queueing delay when many
+// cores hit the same controller (the effect behind the paper's elastic-read
+// congestion and hash-table balancing observations).
+#ifndef TM2C_SRC_SHMEM_SHARED_MEMORY_H_
+#define TM2C_SRC_SHMEM_SHARED_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/noc/latency.h"
+#include "src/sim/time.h"
+
+namespace tm2c {
+
+constexpr uint64_t kWordBytes = 8;
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(uint64_t bytes)
+      : size_bytes_((bytes + kWordBytes - 1) / kWordBytes * kWordBytes),
+        words_(new std::atomic<uint64_t>[size_bytes_ / kWordBytes]) {
+    for (uint64_t i = 0; i < size_bytes_ / kWordBytes; ++i) {
+      words_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t LoadWord(uint64_t addr) const {
+    return words_[WordIndex(addr)].load(std::memory_order_relaxed);
+  }
+
+  void StoreWord(uint64_t addr, uint64_t value) {
+    words_[WordIndex(addr)].store(value, std::memory_order_relaxed);
+  }
+
+  uint64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  uint64_t WordIndex(uint64_t addr) const {
+    TM2C_DCHECK(addr % kWordBytes == 0);
+    TM2C_DCHECK(addr < size_bytes_);
+    return addr / kWordBytes;
+  }
+
+  uint64_t size_bytes_;
+  // Atomic words so the std::thread backend can share the array without
+  // data races; the simulator backend is single-threaded and unaffected.
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+};
+
+// Queueing model for the platform's memory controllers. Each controller
+// serves one request at a time with a fixed occupancy; a request issued at
+// time t to a busy controller waits until the controller frees up. Only the
+// simulator backend uses this (real threads experience real memory timing).
+class MemControllerModel {
+ public:
+  MemControllerModel(const PlatformDesc& platform, uint64_t shmem_bytes)
+      : shmem_bytes_(shmem_bytes),
+        service_ps_(platform.mc_service_ns * kPicosPerNano),
+        stream_bytes_per_us_(platform.mc_stream_bytes_per_us),
+        busy_until_(platform.num_mem_controllers, 0) {}
+
+  // Completion time of a word access issued at `now` from `core`; advances
+  // the controller's occupancy window.
+  SimTime Access(SimTime now, uint32_t core, uint64_t addr, const LatencyModel& latency) {
+    const uint32_t mc = latency.topology().MemControllerOf(addr, shmem_bytes_);
+    const SimTime start = now > busy_until_[mc] ? now : busy_until_[mc];
+    busy_until_[mc] = start + service_ps_;
+    return start + latency.MemAccessPs(core, addr, shmem_bytes_);
+  }
+
+  // Completion time of streaming `bytes` starting at `addr`: one initial
+  // latency plus bandwidth-limited transfer, occupying the controller for
+  // the whole burst.
+  SimTime BulkAccess(SimTime now, uint32_t core, uint64_t addr, uint64_t bytes,
+                     const LatencyModel& latency) {
+    const uint32_t mc = latency.topology().MemControllerOf(addr, shmem_bytes_);
+    const SimTime start = now > busy_until_[mc] ? now : busy_until_[mc];
+    const SimTime transfer = bytes * kPicosPerMicro / stream_bytes_per_us_;
+    busy_until_[mc] = start + transfer;
+    return start + transfer + latency.MemAccessPs(core, addr, shmem_bytes_);
+  }
+
+ private:
+  uint64_t shmem_bytes_;
+  SimTime service_ps_;
+  uint64_t stream_bytes_per_us_;
+  std::vector<SimTime> busy_until_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_SHMEM_SHARED_MEMORY_H_

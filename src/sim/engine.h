@@ -1,0 +1,114 @@
+// Discrete-event simulation engine.
+//
+// The engine owns an ordered queue of (time, callback) events and a set of
+// actor fibers. The scheduler context pops events in time order; events
+// typically resume a blocked fiber, which runs until it blocks again (on a
+// simulated delay, a mailbox, or a resource queue) and yields back. Events
+// scheduled at the same instant run in FIFO order of scheduling, which keeps
+// executions deterministic.
+#ifndef TM2C_SRC_SIM_ENGINE_H_
+#define TM2C_SRC_SIM_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/fiber.h"
+#include "src/sim/time.h"
+
+namespace tm2c {
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  // -- Construction phase -----------------------------------------------
+
+  // Registers an actor; its fiber starts running at time 0 when Run() is
+  // called. Returns the actor index.
+  size_t AddActor(std::function<void()> body, size_t stack_size = Fiber::kDefaultStackSize);
+
+  // -- Scheduler-side API -----------------------------------------------
+
+  // Runs until the event queue drains, all actors finish, or simulated time
+  // would pass `until` (events after `until` are left unexecuted). Returns
+  // the final simulated time.
+  SimTime Run(SimTime until = UINT64_MAX);
+
+  // Schedules `cb` at absolute simulated time `t` (>= now).
+  void ScheduleAt(SimTime t, std::function<void()> cb);
+  void ScheduleAfter(SimTime delay, std::function<void()> cb) { ScheduleAt(now_ + delay, cb); }
+
+  // -- Fiber-side API (must be called from inside an actor fiber) --------
+
+  // Blocks the calling actor for `delay` of simulated time.
+  void Sleep(SimTime delay);
+
+  // Blocks the calling actor until another party calls WakeActor on it.
+  // Returns the simulated time at wake.
+  SimTime BlockCurrent();
+
+  // Wakes actor `idx` (blocked in BlockCurrent) at time now + delay.
+  // Waking an actor that is not blocked is a checked error.
+  void WakeActor(size_t idx, SimTime delay = 0);
+
+  // True if the actor is currently parked in BlockCurrent and no wake for it
+  // is already in flight.
+  bool ActorBlocked(size_t idx) const;
+
+  // Index of the actor currently executing; checked error outside fibers.
+  size_t CurrentActor() const;
+
+  SimTime now() const { return now_; }
+  size_t num_actors() const { return actors_.size(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+  // Stops the run loop after the current event completes (callable from
+  // fibers or callbacks). Used by workloads that hit their operation target
+  // before the time horizon.
+  void RequestStop() { stop_requested_ = true; }
+
+ private:
+  struct Actor {
+    std::unique_ptr<Fiber> fiber;
+    bool blocked = false;        // parked in BlockCurrent
+    bool wake_pending = false;   // a wake event is in flight
+    size_t index = 0;
+  };
+
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::function<void()> cb;
+  };
+
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void ResumeActor(Actor* actor);
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> events_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  Actor* running_ = nullptr;
+  bool started_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_SIM_ENGINE_H_

@@ -1,0 +1,64 @@
+#include "src/sim/fiber.h"
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+namespace {
+
+// Fibers never migrate across OS threads in this design (the simulator is
+// single-threaded), so a plain thread_local tracks the running fiber.
+thread_local Fiber* g_current_fiber = nullptr;
+
+}  // namespace
+
+Fiber* Fiber::Current() { return g_current_fiber; }
+
+Fiber::Fiber(Fn fn, size_t stack_size) : fn_(std::move(fn)), stack_(new char[stack_size]) {
+  TM2C_CHECK(fn_ != nullptr);
+  TM2C_CHECK(getcontext(&context_) == 0);
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_size;
+  context_.uc_link = nullptr;  // Trampoline switches back explicitly.
+  // makecontext only passes ints; split the pointer into two 32-bit halves.
+  const auto self = reinterpret_cast<uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 2,
+              static_cast<unsigned int>(self >> 32),
+              static_cast<unsigned int>(self & 0xffffffffu));
+  started_ = true;
+}
+
+Fiber::~Fiber() {
+  // Destroying a live suspended fiber leaks whatever is on its stack; the
+  // engine only tears fibers down after the run ends, where this is the
+  // intended way to stop a blocked core.
+}
+
+void Fiber::Trampoline(unsigned int hi, unsigned int lo) {
+  const uintptr_t ptr = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  Fiber* self = reinterpret_cast<Fiber*>(ptr);
+  self->fn_();
+  self->finished_ = true;
+  g_current_fiber = nullptr;
+  swapcontext(&self->context_, &self->return_context_);
+  // Unreachable: a finished fiber is never resumed.
+  TM2C_CHECK_MSG(false, "resumed a finished fiber");
+}
+
+void Fiber::Resume() {
+  TM2C_CHECK_MSG(g_current_fiber == nullptr, "Resume() called from inside a fiber");
+  TM2C_CHECK_MSG(!finished_, "Resume() on finished fiber");
+  g_current_fiber = this;
+  TM2C_CHECK(swapcontext(&return_context_, &context_) == 0);
+  g_current_fiber = nullptr;
+}
+
+void Fiber::Yield() {
+  TM2C_CHECK_MSG(g_current_fiber == this, "Yield() called from outside the fiber");
+  g_current_fiber = nullptr;
+  TM2C_CHECK(swapcontext(&context_, &return_context_) == 0);
+  g_current_fiber = this;
+}
+
+}  // namespace tm2c

@@ -1,0 +1,61 @@
+// Cooperative fibers (stackful coroutines) built on POSIX ucontext.
+//
+// Each simulated core runs its program on a fiber so that protocol and
+// benchmark code can be written in plain blocking style (txread() blocks on
+// a reply) while the single-threaded discrete-event engine interleaves
+// cores at simulated-time granularity.
+#ifndef TM2C_SRC_SIM_FIBER_H_
+#define TM2C_SRC_SIM_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace tm2c {
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  // Creates a suspended fiber that will execute `fn` when first resumed.
+  // `stack_size` is rounded up to page granularity.
+  explicit Fiber(Fn fn, size_t stack_size = kDefaultStackSize);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Transfers control from the calling (scheduler) context into the fiber.
+  // Returns when the fiber calls Yield() or its function returns. Must not
+  // be called from inside any fiber.
+  void Resume();
+
+  // Transfers control from inside this fiber back to the context that
+  // resumed it. Must be called from inside the fiber.
+  void Yield();
+
+  // True once fn has returned; a finished fiber must not be resumed.
+  bool finished() const { return finished_; }
+
+  // The fiber currently executing on this thread, or nullptr when running
+  // in the scheduler context.
+  static Fiber* Current();
+
+  static constexpr size_t kDefaultStackSize = 256 * 1024;
+
+ private:
+  static void Trampoline(unsigned int hi, unsigned int lo);
+
+  Fn fn_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t context_;
+  ucontext_t return_context_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_SIM_FIBER_H_

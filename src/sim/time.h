@@ -1,0 +1,38 @@
+// Simulated time base.
+//
+// Global simulated time is measured in integer picoseconds so that cores
+// with different clock frequencies (SCC tiles at 533 or 800 MHz, the mesh,
+// DDR3 controllers, an "Opteron" at 2.1 GHz) can all be expressed without
+// floating-point drift. 2^64 ps is about 213 days of simulated time.
+#ifndef TM2C_SRC_SIM_TIME_H_
+#define TM2C_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace tm2c {
+
+using SimTime = uint64_t;  // picoseconds
+
+constexpr SimTime kPicosPerNano = 1000;
+constexpr SimTime kPicosPerMicro = 1000 * 1000;
+constexpr SimTime kPicosPerMilli = 1000ull * 1000 * 1000;
+constexpr SimTime kPicosPerSecond = 1000ull * 1000 * 1000 * 1000;
+
+constexpr SimTime NanosToSim(uint64_t ns) { return ns * kPicosPerNano; }
+constexpr SimTime MicrosToSim(uint64_t us) { return us * kPicosPerMicro; }
+constexpr SimTime MillisToSim(uint64_t ms) { return ms * kPicosPerMilli; }
+
+constexpr double SimToNanos(SimTime t) { return static_cast<double>(t) / kPicosPerNano; }
+constexpr double SimToMicros(SimTime t) { return static_cast<double>(t) / kPicosPerMicro; }
+constexpr double SimToMillis(SimTime t) { return static_cast<double>(t) / kPicosPerMilli; }
+constexpr double SimToSeconds(SimTime t) { return static_cast<double>(t) / kPicosPerSecond; }
+
+// Period of a clock in picoseconds, from a frequency in MHz.
+constexpr SimTime PeriodPsFromMhz(uint64_t mhz) { return kPicosPerSecond / (mhz * 1000 * 1000); }
+
+// Duration of `cycles` ticks of a clock with the given period.
+constexpr SimTime CyclesToSim(uint64_t cycles, SimTime period_ps) { return cycles * period_ps; }
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_SIM_TIME_H_

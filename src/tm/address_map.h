@@ -1,0 +1,47 @@
+// Address-to-partition mapping.
+//
+// A memory location is mapped to its responsible DS-Lock node by hashing
+// (Section 3.2). We hash the stripe index with a Fibonacci multiplier so
+// that contiguous structures spread across partitions.
+#ifndef TM2C_SRC_TM_ADDRESS_MAP_H_
+#define TM2C_SRC_TM_ADDRESS_MAP_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/runtime/deployment.h"
+
+namespace tm2c {
+
+class AddressMap {
+ public:
+  AddressMap(const DeploymentPlan& plan, uint64_t stripe_bytes)
+      : plan_(&plan), stripe_bytes_(stripe_bytes) {
+    TM2C_CHECK(stripe_bytes >= 1 && (stripe_bytes & (stripe_bytes - 1)) == 0);
+  }
+
+  // Canonical lock unit for an address: the stripe base address.
+  uint64_t StripeOf(uint64_t addr) const { return addr & ~(stripe_bytes_ - 1); }
+
+  // Partition index responsible for the stripe.
+  uint32_t PartitionOf(uint64_t addr) const {
+    const uint64_t stripe = addr / stripe_bytes_;
+    const uint64_t h = stripe * 0x9e3779b97f4a7c15ull;
+    return static_cast<uint32_t>((h >> 32) % plan_->num_service());
+  }
+
+  // Core id of the DTM service node responsible for the address.
+  uint32_t ResponsibleCore(uint64_t addr) const {
+    return plan_->ServiceCore(PartitionOf(addr));
+  }
+
+  uint64_t stripe_bytes() const { return stripe_bytes_; }
+
+ private:
+  const DeploymentPlan* plan_;
+  uint64_t stripe_bytes_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_TM_ADDRESS_MAP_H_

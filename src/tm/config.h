@@ -1,0 +1,72 @@
+// TM2C configuration knobs.
+#ifndef TM2C_SRC_TM_CONFIG_H_
+#define TM2C_SRC_TM_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/cm/contention_manager.h"
+
+namespace tm2c {
+
+// When write locks are acquired (Section 3.3). TM2C's default is lazy
+// (deferred writes / write-back, locks taken at commit); eager takes the
+// lock at txwrite time and is kept as the Figure 4(c) ablation.
+enum class WriteAcquire : uint8_t {
+  kLazy = 0,
+  kEager = 1,
+};
+
+// Transaction execution mode (Sections 3 and 6).
+enum class TxMode : uint8_t {
+  kNormal = 0,        // visible reads, read locks held to commit
+  kElasticEarly = 1,  // early release of read locks outside the window
+  kElasticRead = 2,   // no read locks; value-based read validation
+};
+
+struct TmConfig {
+  CmKind cm = CmKind::kFairCm;
+  WriteAcquire write_acquire = WriteAcquire::kLazy;
+  TxMode tx_mode = TxMode::kNormal;
+
+  // Lock granularity in bytes (power of two). The paper maps single bytes;
+  // a word stripe is the simulator's natural unit.
+  uint64_t stripe_bytes = 8;
+
+  // Batch write-lock requests per service node at commit (on by default;
+  // the batching ablation turns it off).
+  bool batch_write_locks = true;
+
+  // Elastic window: how many trailing reads stay protected/validated.
+  uint32_t elastic_window = 2;
+
+  // Back-off-Retry parameters: wait is uniform in [0, bound) core cycles,
+  // bound doubling per consecutive abort up to the cap.
+  uint64_t backoff_initial_cycles = 2000;
+  uint64_t backoff_max_cycles = 1 << 20;
+
+  // Service-side processing cost per request, in service-core cycles
+  // (drives the service saturation behaviour of Figure 5(b)).
+  uint64_t service_base_cycles = 120;
+  uint64_t service_per_item_cycles = 40;
+
+  // Base address of the per-core abort status words in shared memory
+  // (one word per core, indexed by core id), or kNoAbortStatus when the
+  // mechanism is disabled. The DS-Lock service publishes a revocation by
+  // storing the victim's epoch here — the paper's "status atomically
+  // switched from pending to aborted" — and the victim reads it atomically
+  // with its write-set persist, closing the race between an in-flight
+  // abort notification and the commit point. TmSystem sets this up
+  // automatically; standalone harnesses may leave it disabled.
+  uint64_t abort_status_base = kNoAbortStatus;
+  static constexpr uint64_t kNoAbortStatus = UINT64_MAX;
+
+  // Multitasked deployment only: cost of the libtask coroutine switch into
+  // and out of the service task, charged per request an application core
+  // serves. Dedicated cores never pay it — one reason the dedicated
+  // deployment wins (Figure 4(a)).
+  uint64_t multitask_switch_cycles = 250;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_TM_CONFIG_H_

@@ -1,0 +1,222 @@
+#include "src/tm/dtm_service.h"
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace tm2c {
+
+DtmService::DtmService(CoreEnv& env, const TmConfig& config)
+    : env_(env), config_(config), cm_(MakeContentionManager(config.cm)) {}
+
+void DtmService::RunLoop() {
+  for (;;) {
+    Message msg = env_.Recv();
+    if (msg.type == MsgType::kShutdown) {
+      return;
+    }
+    TM2C_CHECK_MSG(HandleMessage(msg), "non-DTM message reached a dedicated service core");
+  }
+}
+
+bool DtmService::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kEcho: {
+      // Latency probe: respond immediately (Figure 8(a) methodology).
+      Message rsp;
+      rsp.type = MsgType::kEchoRsp;
+      rsp.w0 = msg.w0;
+      env_.Send(msg.src, std::move(rsp));
+      return true;
+    }
+    case MsgType::kReadLockReq:
+    case MsgType::kWriteLockReq:
+    case MsgType::kWriteLockBatchReq: {
+      Message rsp = Process(msg);
+      TM2C_DCHECK(rsp.type != MsgType::kInvalid);
+      env_.Send(msg.src, std::move(rsp));
+      return true;
+    }
+    case MsgType::kReadRelease:
+    case MsgType::kWriteRelease:
+    case MsgType::kReleaseAllReads:
+    case MsgType::kReleaseAllWrites:
+    case MsgType::kEarlyReadRelease:
+      HandleRelease(msg);
+      return true;
+    default:
+      return false;
+  }
+}
+
+Message DtmService::HandleLocal(const Message& request) {
+  return Process(request);
+}
+
+Message DtmService::Process(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kReadLockReq:
+      return HandleAcquire(msg, /*is_write=*/false);
+    case MsgType::kWriteLockReq:
+      return HandleAcquire(msg, /*is_write=*/true);
+    case MsgType::kWriteLockBatchReq:
+      return HandleWriteBatch(msg);
+    case MsgType::kReadRelease:
+    case MsgType::kWriteRelease:
+    case MsgType::kReleaseAllReads:
+    case MsgType::kReleaseAllWrites:
+    case MsgType::kEarlyReadRelease:
+      HandleRelease(msg);
+      return Message{};
+    default:
+      TM2C_CHECK_MSG(false, "unexpected message type in DtmService::Process");
+  }
+}
+
+TxInfo DtmService::DecodeRequester(const Message& msg) const {
+  TxInfo info;
+  info.core = msg.src;
+  info.epoch = msg.w1;
+  info.metric = cm_->MetricFromWire(msg.w2, env_.LocalNow());
+  return info;
+}
+
+void DtmService::ChargeProcessing(uint64_t items) {
+  env_.Compute(config_.service_base_cycles + config_.service_per_item_cycles * items);
+}
+
+void DtmService::NotifyVictims(const std::vector<Victim>& victims) {
+  for (const Victim& victim : victims) {
+    RemoteCoreState& state = remote_state_[victim.info.core];
+    if (state.aborted_epoch == victim.info.epoch) {
+      continue;  // this node already notified that transaction attempt
+    }
+    state.aborted_epoch = victim.info.epoch;
+    state.aborted_kind = victim.kind;
+    ++stats_.notifications_sent;
+    // Publish the abort to the victim's shared status word (the paper's
+    // "status atomically switched from pending to aborted"): the victim
+    // reads it atomically with its persist, which closes the race between
+    // this revocation and the victim's commit point. The message below
+    // remains the prompt wake-up path.
+    if (config_.abort_status_base != TmConfig::kNoAbortStatus) {
+      env_.ShmemWrite(config_.abort_status_base + victim.info.core * kWordBytes,
+                      victim.info.epoch);
+    }
+    if (victim.info.core == env_.core_id()) {
+      // Multitasked deployment: the victim runs on this very core.
+      TM2C_CHECK_MSG(local_abort_sink_ != nullptr,
+                     "revoked a local transaction but no local abort sink is registered");
+      local_abort_sink_(victim.info.epoch, victim.kind);
+      continue;
+    }
+    Message notify;
+    notify.type = MsgType::kAbortNotify;
+    notify.w1 = victim.info.epoch;
+    notify.w2 = static_cast<uint64_t>(victim.kind);
+    env_.Send(victim.info.core, std::move(notify));
+  }
+}
+
+Message DtmService::HandleAcquire(const Message& msg, bool is_write) {
+  ++stats_.requests;
+  ChargeProcessing(1);
+
+  Message rsp;
+  rsp.w0 = msg.w0;
+  rsp.w1 = msg.w1;
+
+  // A request from an attempt this node already revoked is refused outright;
+  // the refusal races with (and is equivalent to) the in-flight abort
+  // notification.
+  RemoteCoreState& state = remote_state_[msg.src];
+  if (state.aborted_epoch == msg.w1) {
+    ++stats_.stale_requests_refused;
+    rsp.type = MsgType::kLockConflict;
+    rsp.w2 = static_cast<uint64_t>(state.aborted_kind);
+    return rsp;
+  }
+
+  const TxInfo requester = DecodeRequester(msg);
+  const AcquireResult result =
+      is_write ? table_.WriteLock(requester, msg.w0, *cm_, /*committing=*/msg.w3 != 0)
+               : table_.ReadLock(requester, msg.w0, *cm_);
+  NotifyVictims(result.victims);
+  if (result.refused != ConflictKind::kNone) {
+    rsp.type = MsgType::kLockConflict;
+    rsp.w2 = static_cast<uint64_t>(result.refused);
+  } else {
+    rsp.type = MsgType::kLockGranted;
+  }
+  return rsp;
+}
+
+Message DtmService::HandleWriteBatch(const Message& msg) {
+  ++stats_.requests;
+  ChargeProcessing(msg.extra.size());
+
+  Message rsp;
+  rsp.w1 = msg.w1;
+
+  RemoteCoreState& state = remote_state_[msg.src];
+  if (state.aborted_epoch == msg.w1) {
+    ++stats_.stale_requests_refused;
+    rsp.type = MsgType::kLockConflict;
+    rsp.w0 = msg.extra.empty() ? 0 : msg.extra.front();
+    rsp.w2 = static_cast<uint64_t>(state.aborted_kind);
+    return rsp;
+  }
+
+  const TxInfo requester = DecodeRequester(msg);
+  std::vector<uint64_t> acquired;
+  acquired.reserve(msg.extra.size());
+  for (uint64_t addr : msg.extra) {
+    const AcquireResult result =
+        table_.WriteLock(requester, addr, *cm_, /*committing=*/msg.w3 != 0);
+    NotifyVictims(result.victims);
+    if (result.refused != ConflictKind::kNone) {
+      // All-or-nothing at this node: undo this batch's own acquisitions.
+      for (uint64_t undo : acquired) {
+        table_.ReleaseWrite(msg.src, undo);
+      }
+      rsp.type = MsgType::kLockConflict;
+      rsp.w0 = addr;
+      rsp.w2 = static_cast<uint64_t>(result.refused);
+      return rsp;
+    }
+    acquired.push_back(addr);
+  }
+  rsp.type = MsgType::kLockGranted;
+  rsp.w0 = msg.extra.size();
+  return rsp;
+}
+
+void DtmService::HandleRelease(const Message& msg) {
+  ++stats_.releases;
+  switch (msg.type) {
+    case MsgType::kReadRelease:
+    case MsgType::kEarlyReadRelease:
+      ChargeProcessing(1);
+      table_.ReleaseRead(msg.src, msg.w0);
+      break;
+    case MsgType::kWriteRelease:
+      ChargeProcessing(1);
+      table_.ReleaseWrite(msg.src, msg.w0);
+      break;
+    case MsgType::kReleaseAllReads:
+      ChargeProcessing(msg.extra.size());
+      for (uint64_t addr : msg.extra) {
+        table_.ReleaseRead(msg.src, addr);
+      }
+      break;
+    case MsgType::kReleaseAllWrites:
+      ChargeProcessing(msg.extra.size());
+      for (uint64_t addr : msg.extra) {
+        table_.ReleaseWrite(msg.src, addr);
+      }
+      break;
+    default:
+      TM2C_CHECK_MSG(false, "not a release message");
+  }
+}
+
+}  // namespace tm2c

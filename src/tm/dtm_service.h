@@ -1,0 +1,85 @@
+// The DTM service: one instance per service core (Figure 1).
+//
+// Wraps a LockTable partition and a contention manager behind the wire
+// protocol. The dedicated deployment runs RunLoop() as the core's main; the
+// multitasked deployment calls HandleMessage() from the application task's
+// wait loops, and HandleLocal() for requests whose responsible node is the
+// requesting core itself.
+#ifndef TM2C_SRC_TM_DTM_SERVICE_H_
+#define TM2C_SRC_TM_DTM_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/cm/contention_manager.h"
+#include "src/dslock/lock_table.h"
+#include "src/runtime/core_env.h"
+#include "src/tm/config.h"
+
+namespace tm2c {
+
+struct DtmServiceStats {
+  uint64_t requests = 0;
+  uint64_t releases = 0;
+  uint64_t notifications_sent = 0;
+  uint64_t stale_requests_refused = 0;
+};
+
+class DtmService {
+ public:
+  DtmService(CoreEnv& env, const TmConfig& config);
+
+  // Dedicated-deployment main: serve until the engine stops the run or a
+  // kShutdown message arrives.
+  void RunLoop();
+
+  // Handles one DTM message; responses and abort notifications are sent
+  // through the environment. Returns false when the message is not a DTM
+  // request (the caller owns it).
+  bool HandleMessage(const Message& msg);
+
+  // Synchronous processing of a request originating from this very core
+  // (multitasked deployment). Notifications to third parties are still
+  // sent; the response is returned directly.
+  Message HandleLocal(const Message& request);
+
+  // Multitasked deployment: a victim of a revocation can be a transaction
+  // running on this very core; the sink delivers the abort locally instead
+  // of a self-addressed message.
+  void SetLocalAbortSink(std::function<void(uint64_t epoch, ConflictKind kind)> sink) {
+    local_abort_sink_ = std::move(sink);
+  }
+
+  const LockTable& lock_table() const { return table_; }
+  const DtmServiceStats& stats() const { return stats_; }
+
+ private:
+  struct RemoteCoreState {
+    uint64_t aborted_epoch = 0;  // most recent epoch this node revoked
+    ConflictKind aborted_kind = ConflictKind::kNone;
+  };
+
+  // Dispatches a request and produces the response (no response for
+  // release-type messages: Message.type stays kInvalid).
+  Message Process(const Message& msg);
+
+  Message HandleAcquire(const Message& msg, bool is_write);
+  Message HandleWriteBatch(const Message& msg);
+  void HandleRelease(const Message& msg);
+  void NotifyVictims(const std::vector<Victim>& victims);
+  TxInfo DecodeRequester(const Message& msg) const;
+  void ChargeProcessing(uint64_t items);
+
+  CoreEnv& env_;
+  TmConfig config_;
+  std::unique_ptr<ContentionManager> cm_;
+  LockTable table_;
+  std::unordered_map<uint32_t, RemoteCoreState> remote_state_;
+  std::function<void(uint64_t, ConflictKind)> local_abort_sink_;
+  DtmServiceStats stats_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_TM_DTM_SERVICE_H_

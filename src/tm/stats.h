@@ -1,0 +1,52 @@
+// Per-core transaction statistics.
+#ifndef TM2C_SRC_TM_STATS_H_
+#define TM2C_SRC_TM_STATS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace tm2c {
+
+struct TxStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t raw_conflicts = 0;
+  uint64_t waw_conflicts = 0;
+  uint64_t war_conflicts = 0;
+  uint64_t notify_aborts = 0;  // aborted by a remote CM revocation
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t messages_sent = 0;
+  uint64_t early_releases = 0;
+  uint64_t validation_failures = 0;  // elastic-read
+  SimTime busy_time = 0;             // local time spent inside attempts
+  uint64_t max_attempts_per_tx = 0;  // worst-case retries of a single tx
+
+  double CommitRate() const {
+    const uint64_t attempts = commits + aborts;
+    return attempts == 0 ? 1.0 : static_cast<double>(commits) / static_cast<double>(attempts);
+  }
+
+  void Merge(const TxStats& other) {
+    commits += other.commits;
+    aborts += other.aborts;
+    raw_conflicts += other.raw_conflicts;
+    waw_conflicts += other.waw_conflicts;
+    war_conflicts += other.war_conflicts;
+    notify_aborts += other.notify_aborts;
+    reads += other.reads;
+    writes += other.writes;
+    messages_sent += other.messages_sent;
+    early_releases += other.early_releases;
+    validation_failures += other.validation_failures;
+    busy_time += other.busy_time;
+    if (other.max_attempts_per_tx > max_attempts_per_tx) {
+      max_attempts_per_tx = other.max_attempts_per_tx;
+    }
+  }
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_TM_STATS_H_

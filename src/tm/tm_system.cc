@@ -1,0 +1,119 @@
+#include "src/tm/tm_system.h"
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+TmSystem::TmSystem(TmSystemConfig config)
+    : config_(std::move(config)),
+      sim_(config_.sim),
+      map_(sim_.deployment(), config_.tm.stripe_bytes) {
+  const DeploymentPlan& plan = sim_.deployment();
+  // Per-core abort status words (see TmConfig::abort_status_base).
+  if (config_.tm.abort_status_base == TmConfig::kNoAbortStatus) {
+    config_.tm.abort_status_base =
+        sim_.allocator().AllocGlobal(static_cast<uint64_t>(plan.num_cores()) * kWordBytes);
+    for (uint32_t c = 0; c < plan.num_cores(); ++c) {
+      sim_.shmem().StoreWord(config_.tm.abort_status_base + c * kWordBytes, 0);
+    }
+  }
+  bodies_.resize(plan.num_app());
+
+  if (plan.strategy() == DeployStrategy::kDedicated) {
+    // Service cores run the DTM loop; app cores run their body with a
+    // TxRuntime that has no local partition.
+    services_.reserve(plan.num_service());
+    for (uint32_t p = 0; p < plan.num_service(); ++p) {
+      const uint32_t core = plan.ServiceCore(p);
+      auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm);
+      DtmService* svc = service.get();
+      sim_.SetCoreMain(core, [svc](CoreEnv&) { svc->RunLoop(); });
+      services_.push_back(std::move(service));
+    }
+    runtimes_.reserve(plan.num_app());
+    for (uint32_t i = 0; i < plan.num_app(); ++i) {
+      const uint32_t core = plan.app_cores()[i];
+      runtimes_.push_back(
+          std::make_unique<TxRuntime>(sim_.env(core), config_.tm, map_, nullptr));
+      TxRuntime* rt = runtimes_.back().get();
+      sim_.SetCoreMain(core, [this, i, rt](CoreEnv& env) {
+        if (bodies_[i]) {
+          bodies_[i](env, *rt);
+        }
+      });
+    }
+    return;
+  }
+
+  // Multitasked: every core hosts a DTM partition and an application task.
+  services_.reserve(plan.num_cores());
+  runtimes_.reserve(plan.num_cores());
+  for (uint32_t core = 0; core < plan.num_cores(); ++core) {
+    auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm);
+    runtimes_.push_back(
+        std::make_unique<TxRuntime>(sim_.env(core), config_.tm, map_, service.get()));
+    services_.push_back(std::move(service));
+    TxRuntime* rt = runtimes_.back().get();
+    const uint32_t i = core;  // app index == core id under multitasking
+    sim_.SetCoreMain(core, [this, i, rt](CoreEnv& env) {
+      if (bodies_[i]) {
+        bodies_[i](env, *rt);
+      }
+      // The application task finished; keep serving DTM requests so other
+      // cores' transactions can still make progress (the libtask scheduler
+      // would keep running the service coroutine).
+      for (;;) {
+        Message msg = env.Recv();
+        if (msg.type == MsgType::kShutdown) {
+          return;
+        }
+        if (msg.type == MsgType::kAbortNotify) {
+          continue;  // stale: our transactions are done
+        }
+        TM2C_CHECK(services_[i]->HandleMessage(msg));
+      }
+    });
+  }
+}
+
+void TmSystem::SetAppBody(uint32_t app_index, AppBody body) {
+  TM2C_CHECK(app_index < bodies_.size());
+  bodies_[app_index] = std::move(body);
+}
+
+void TmSystem::SetAllAppBodies(const AppBody& body) {
+  for (auto& b : bodies_) {
+    b = body;
+  }
+}
+
+SimTime TmSystem::Run(SimTime until) { return sim_.Run(until); }
+
+const TxStats& TmSystem::AppStats(uint32_t app_index) const {
+  TM2C_CHECK(app_index < runtimes_.size());
+  return runtimes_[app_index]->stats();
+}
+
+TxStats TmSystem::MergedStats() const {
+  TxStats total;
+  for (const auto& rt : runtimes_) {
+    total.Merge(rt->stats());
+  }
+  return total;
+}
+
+const DtmService& TmSystem::ServiceAt(uint32_t partition) const {
+  TM2C_CHECK(partition < services_.size());
+  return *services_[partition];
+}
+
+bool TmSystem::AllLockTablesEmpty() const {
+  for (const auto& service : services_) {
+    if (service->lock_table().NumEntries() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tm2c

@@ -1,0 +1,67 @@
+// Top-level convenience wiring: a simulated many-core running TM2C.
+//
+// TmSystem builds the simulator backend, installs a DtmService on every
+// service core (dedicated deployment) or on every core (multitasked), and
+// gives each application core a TxRuntime. Benchmarks and examples only
+// provide per-app-core bodies.
+#ifndef TM2C_SRC_TM_TM_SYSTEM_H_
+#define TM2C_SRC_TM_TM_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/sim_system.h"
+#include "src/tm/address_map.h"
+#include "src/tm/dtm_service.h"
+#include "src/tm/tx_runtime.h"
+
+namespace tm2c {
+
+struct TmSystemConfig {
+  SimSystemConfig sim;
+  TmConfig tm;
+};
+
+class TmSystem {
+ public:
+  explicit TmSystem(TmSystemConfig config);
+
+  // Body run by the `app_index`-th application core (0-based among app
+  // cores). Bodies typically loop until the simulated horizon:
+  //   while (env.GlobalNow() < horizon) { rt.Execute(...); }
+  using AppBody = std::function<void(CoreEnv&, TxRuntime&)>;
+
+  void SetAppBody(uint32_t app_index, AppBody body);
+  // Installs the same body on every application core.
+  void SetAllAppBodies(const AppBody& body);
+
+  SimTime Run(SimTime until = UINT64_MAX);
+
+  uint32_t num_app_cores() const { return sim_.deployment().num_app(); }
+  const TxStats& AppStats(uint32_t app_index) const;
+  TxStats MergedStats() const;
+  const DtmService& ServiceAt(uint32_t partition) const;
+
+  // End-of-run invariant: once every application body has completed (all
+  // transactions committed or abandoned and their releases processed), no
+  // partition may still hold a lock. Returns true when all tables are
+  // empty. Meaningless if the run was cut mid-transaction by a horizon.
+  bool AllLockTablesEmpty() const;
+
+  SimSystem& sim() { return sim_; }
+  const AddressMap& address_map() const { return map_; }
+  const TmSystemConfig& config() const { return config_; }
+
+ private:
+  TmSystemConfig config_;
+  SimSystem sim_;
+  AddressMap map_;
+  std::vector<std::unique_ptr<DtmService>> services_;   // per service core
+  std::vector<std::unique_ptr<TxRuntime>> runtimes_;    // per app core
+  std::vector<AppBody> bodies_;                         // per app core
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_TM_TM_SYSTEM_H_

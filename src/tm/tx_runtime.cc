@@ -1,0 +1,599 @@
+#include "src/tm/tx_runtime.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+TxRuntime::TxRuntime(CoreEnv& env, const TmConfig& config, const AddressMap& map,
+                     DtmService* local_service)
+    : env_(env),
+      config_(config),
+      map_(map),
+      local_service_(local_service),
+      backoff_rng_(0x5bd1e995u * (env.core_id() + 1)) {
+  if (local_service_ != nullptr) {
+    local_service_->SetLocalAbortSink([this](uint64_t epoch, ConflictKind kind) {
+      if (in_tx_ && epoch == current_epoch_) {
+        pending_abort_ = true;
+        pending_abort_kind_ = kind;
+      }
+    });
+  }
+}
+
+void TxRuntime::Execute(const std::function<void(Tx&)>& body) {
+  const bool committed = TryExecute(body, UINT64_MAX);
+  TM2C_CHECK(committed);
+}
+
+bool TxRuntime::TryExecute(const std::function<void(Tx&)>& body, uint64_t max_attempts) {
+  TM2C_CHECK_MSG(!in_tx_, "nested transactions are not supported");
+  tx_start_local_ = env_.LocalNow();  // fixed for the whole lifespan (rule a)
+  uint64_t attempts = 0;
+  for (;;) {
+    BeginAttempt();
+    ++attempts;
+    Tx tx(this);
+    try {
+      body(tx);
+      TxCommit();
+      in_tx_ = false;
+      ++stats_.commits;
+      stats_.busy_time += env_.LocalNow() - attempt_start_local_;
+      if (attempts > stats_.max_attempts_per_tx) {
+        stats_.max_attempts_per_tx = attempts;
+      }
+      // CM bookkeeping: Wholly counts commits; FairCM accumulates only the
+      // successful attempt's duration (the "effective" transactional time).
+      ++commits_count_;
+      effective_tx_time_ += env_.LocalNow() - attempt_start_local_;
+      consecutive_aborts_ = 0;
+      return true;
+    } catch (const TxAbortException&) {
+      in_tx_ = false;
+      ++stats_.aborts;
+      ++consecutive_aborts_;
+      if (attempts >= max_attempts) {
+        return false;
+      }
+      if (config_.cm == CmKind::kBackoffRetry) {
+        // Randomized exponential back-off before the retry (Section 4.2).
+        const uint64_t shift = std::min<uint64_t>(consecutive_aborts_ - 1, 16);
+        uint64_t bound = config_.backoff_initial_cycles << shift;
+        if (bound > config_.backoff_max_cycles) {
+          bound = config_.backoff_max_cycles;
+        }
+        env_.Compute(backoff_rng_.NextBelow(bound) + 1);
+      }
+    }
+  }
+}
+
+void TxRuntime::BeginAttempt() {
+  ServePending();
+  ++attempt_counter_;
+  current_epoch_ = (static_cast<uint64_t>(env_.core_id()) << 32) | attempt_counter_;
+  pending_abort_ = false;
+  pending_abort_kind_ = ConflictKind::kNone;
+  write_buffer_.clear();
+  write_order_.clear();
+  read_locks_.clear();
+  read_lock_order_.clear();
+  read_cache_.clear();
+  write_locks_.clear();
+  validation_window_.clear();
+  elastic_read_values_.clear();
+  early_released_values_.clear();
+  attempt_start_local_ = env_.LocalNow();
+  in_tx_ = true;
+}
+
+void TxRuntime::ServePending() {
+  // Bounded slice: under closed-loop retries (every refusal this core
+  // serves immediately triggers the sender's next request) the inbox can
+  // refill as fast as it drains, and an unbounded drain would wedge a
+  // mid-commit transaction into serving forever. A bounded slice lets the
+  // commit proceed; missed abort notifications are covered by the
+  // shared-memory status word checked at the persist instant.
+  Message msg;
+  int budget = 128;
+  while (budget-- > 0 && env_.TryRecv(&msg)) {
+    if (msg.type == MsgType::kAbortNotify) {
+      if (in_tx_ && msg.w1 == current_epoch_) {
+        pending_abort_ = true;
+        pending_abort_kind_ = static_cast<ConflictKind>(msg.w2);
+      }
+      continue;  // stale notification for a finished attempt
+    }
+    if (msg.type == MsgType::kBarrier) {
+      // A peer already reached a privatization barrier we have not entered
+      // yet; remember its token for when we do.
+      ++barrier_arrivals_[msg.w0];
+      continue;
+    }
+    if (local_service_ != nullptr) {
+      env_.Compute(config_.multitask_switch_cycles);  // coroutine switch
+      if (local_service_->HandleMessage(msg)) {
+        continue;  // multitasked deployment: served a DTM request
+      }
+    }
+    TM2C_CHECK_MSG(false, "unexpected message in application inbox");
+  }
+}
+
+void TxRuntime::PrivatizationBarrier() {
+  TM2C_CHECK_MSG(!in_tx_, "PrivatizationBarrier inside a transaction");
+  const DeploymentPlan& plan = env_.plan();
+  ++barrier_generation_;
+  const uint64_t generation = barrier_generation_;
+  // Announce arrival to every other application core.
+  for (uint32_t core : plan.app_cores()) {
+    if (core == env_.core_id()) {
+      continue;
+    }
+    Message msg;
+    msg.type = MsgType::kBarrier;
+    msg.w0 = generation;
+    env_.Send(core, std::move(msg));
+    ++stats_.messages_sent;
+  }
+  // Wait for everyone. A peer that races ahead may already send generation
+  // g+1 tokens while we still collect g; those are buffered, never lost.
+  const uint32_t needed = plan.num_app() - 1;
+  while (barrier_arrivals_[generation] < needed) {
+    Message msg = env_.Recv();
+    switch (msg.type) {
+      case MsgType::kBarrier:
+        ++barrier_arrivals_[msg.w0];
+        break;
+      case MsgType::kAbortNotify:
+        break;  // stale: we are not in a transaction
+      default:
+        if (local_service_ != nullptr) {
+          env_.Compute(config_.multitask_switch_cycles);
+          if (local_service_->HandleMessage(msg)) {
+            break;
+          }
+        }
+        TM2C_CHECK_MSG(false, "unexpected message while in the privatization barrier");
+    }
+  }
+  barrier_arrivals_.erase(generation);
+}
+
+void TxRuntime::CheckPendingAbort() {
+  // Drain the inbox first: an abort notification may have been delivered
+  // while this core was busy with local work (in particular, serving its
+  // own partition synchronously under the multitasked deployment never
+  // touches the inbox). TryRecv on an empty inbox is free.
+  ServePending();
+  if (pending_abort_) {
+    ++stats_.notify_aborts;
+    AbortSelf(pending_abort_kind_);
+  }
+}
+
+uint64_t TxRuntime::WireMetric() {
+  switch (config_.cm) {
+    case CmKind::kOffsetGreedy: {
+      // Offset since transaction start, on this core's clock (step 1-2 of
+      // Section 4.3).
+      const SimTime now = env_.LocalNow();
+      return now > tx_start_local_ ? now - tx_start_local_ : 0;
+    }
+    case CmKind::kWholly:
+      return commits_count_;
+    case CmKind::kFairCm:
+      return effective_tx_time_;
+    case CmKind::kNone:
+    case CmKind::kBackoffRetry:
+      return 0;
+  }
+  return 0;
+}
+
+Message TxRuntime::Rpc(uint32_t dst, Message request) {
+  ++stats_.messages_sent;
+  if (dst == env_.core_id()) {
+    // Multitasked deployment: this core is its own responsible node.
+    TM2C_CHECK_MSG(local_service_ != nullptr, "self-addressed request without a local service");
+    request.src = env_.core_id();
+    env_.Compute(config_.multitask_switch_cycles);  // coroutine switch
+    return local_service_->HandleLocal(request);
+  }
+  env_.Send(dst, std::move(request));
+  for (;;) {
+    Message msg = env_.Recv();
+    switch (msg.type) {
+      case MsgType::kLockGranted:
+      case MsgType::kLockConflict:
+        return msg;
+      case MsgType::kAbortNotify:
+        if (in_tx_ && msg.w1 == current_epoch_) {
+          pending_abort_ = true;
+          pending_abort_kind_ = static_cast<ConflictKind>(msg.w2);
+        }
+        continue;
+      case MsgType::kBarrier:
+        ++barrier_arrivals_[msg.w0];  // peer reached a privatization barrier
+        continue;
+      default:
+        if (local_service_ != nullptr) {
+          env_.Compute(config_.multitask_switch_cycles);  // coroutine switch
+          if (local_service_->HandleMessage(msg)) {
+            continue;  // served a DTM request while waiting (Figure 2)
+          }
+        }
+        TM2C_CHECK_MSG(false, "unexpected message while awaiting a DTM response");
+    }
+  }
+}
+
+void TxRuntime::FireAndForget(uint32_t dst, Message msg) {
+  ++stats_.messages_sent;
+  if (dst == env_.core_id()) {
+    TM2C_CHECK_MSG(local_service_ != nullptr, "self-addressed release without a local service");
+    msg.src = env_.core_id();
+    env_.Compute(config_.multitask_switch_cycles);  // coroutine switch
+    local_service_->HandleLocal(std::move(msg));
+    return;
+  }
+  env_.Send(dst, std::move(msg));
+}
+
+uint64_t TxRuntime::TxRead(uint64_t addr) {
+  TM2C_CHECK_MSG(in_tx_, "tx.Read outside a transaction");
+  TM2C_DCHECK(addr % kWordBytes == 0);
+  ++stats_.reads;
+  switch (config_.tx_mode) {
+    case TxMode::kNormal:
+      return ReadNormal(addr, /*elastic_early=*/false);
+    case TxMode::kElasticEarly:
+      return ReadNormal(addr, /*elastic_early=*/true);
+    case TxMode::kElasticRead:
+      return ReadElasticValidated(addr);
+  }
+  TM2C_CHECK_MSG(false, "bad tx mode");
+}
+
+uint64_t TxRuntime::ReadNormal(uint64_t addr, bool elastic_early) {
+  // Algorithm 4 line 2-5: buffered values win.
+  if (auto it = write_buffer_.find(addr); it != write_buffer_.end()) {
+    return it->second;
+  }
+  if (auto it = read_cache_.find(addr); it != read_cache_.end()) {
+    return it->second;
+  }
+  CheckPendingAbort();
+
+  const uint64_t stripe = map_.StripeOf(addr);
+  if (read_locks_.find(stripe) == read_locks_.end() &&
+      write_locks_.find(stripe) == write_locks_.end()) {
+    Message req;
+    req.type = MsgType::kReadLockReq;
+    req.w0 = stripe;
+    req.w1 = current_epoch_;
+    req.w2 = WireMetric();
+    Message rsp = Rpc(map_.ResponsibleCore(stripe), std::move(req));
+    if (rsp.type == MsgType::kLockConflict) {
+      AbortSelf(static_cast<ConflictKind>(rsp.w2));
+    }
+    read_locks_.insert(stripe);
+    read_lock_order_.push_back(stripe);
+
+    if (elastic_early) {
+      // Elastic-early (Section 6.1): keep only the trailing window of read
+      // locks; anything older is released with an extra message.
+      while (read_lock_order_.size() > config_.elastic_window) {
+        const uint64_t oldest = read_lock_order_.front();
+        read_lock_order_.erase(read_lock_order_.begin());
+        if (oldest == stripe || write_buffer_.find(oldest) != write_buffer_.end()) {
+          continue;  // still needed: just acquired, or will be written
+        }
+        read_locks_.erase(oldest);
+        // The value is no longer protected: remember it in case a later
+        // write depends on it (see TxWrite below).
+        if (auto it = read_cache_.find(oldest); it != read_cache_.end()) {
+          early_released_values_[oldest] = it->second;
+          read_cache_.erase(it);
+        }
+        Message rel;
+        rel.type = MsgType::kEarlyReadRelease;
+        rel.w0 = oldest;
+        rel.w1 = current_epoch_;
+        FireAndForget(map_.ResponsibleCore(oldest), std::move(rel));
+        ++stats_.early_releases;
+      }
+    }
+  }
+
+  const uint64_t value = env_.ShmemRead(addr);
+  read_cache_[addr] = value;
+  CheckPendingAbort();
+  return value;
+}
+
+uint64_t TxRuntime::ReadElasticValidated(uint64_t addr) {
+  if (auto it = write_buffer_.find(addr); it != write_buffer_.end()) {
+    return it->second;
+  }
+  CheckPendingAbort();
+  const uint64_t value = env_.ShmemRead(addr);
+  // Elastic-read (Section 6.1): after stepping to the next node, re-read
+  // the trailing window and abort if any value changed under us.
+  ValidateWindowOrAbort();
+  validation_window_.emplace_back(addr, value);
+  while (validation_window_.size() > config_.elastic_window) {
+    validation_window_.pop_front();
+  }
+  // Also remember the value for commit-time validation: a location that
+  // this transaction read and will overwrite must not have changed, or the
+  // write would be based on a stale view (e.g. unlinking through a prev
+  // pointer that a concurrent insert has since redirected).
+  elastic_read_values_[addr] = value;
+  return value;
+}
+
+void TxRuntime::ValidateWindowOrAbort() {
+  for (const auto& [addr, value] : validation_window_) {
+    if (env_.ShmemRead(addr) != value) {
+      ++stats_.validation_failures;
+      AbortSelf(ConflictKind::kReadAfterWrite);
+    }
+  }
+}
+
+void TxRuntime::TxWrite(uint64_t addr, uint64_t value) {
+  TM2C_CHECK_MSG(in_tx_, "tx.Write outside a transaction");
+  TM2C_DCHECK(addr % kWordBytes == 0);
+  ++stats_.writes;
+  CheckPendingAbort();
+  if (config_.tx_mode == TxMode::kElasticEarly) {
+    // Writing a location whose read lock was early-released: the value the
+    // write was derived from has been unprotected in the meantime. Re-take
+    // the read lock and validate it; a change means a concurrent
+    // transaction committed underneath (e.g. an insert through the same
+    // predecessor link) and this transaction must restart.
+    const uint64_t stripe = map_.StripeOf(addr);
+    if (auto it = early_released_values_.find(stripe); it != early_released_values_.end()) {
+      const uint64_t expected = it->second;
+      Message req;
+      req.type = MsgType::kReadLockReq;
+      req.w0 = stripe;
+      req.w1 = current_epoch_;
+      req.w2 = WireMetric();
+      Message rsp = Rpc(map_.ResponsibleCore(stripe), std::move(req));
+      if (rsp.type == MsgType::kLockConflict) {
+        AbortSelf(static_cast<ConflictKind>(rsp.w2));
+      }
+      read_locks_.insert(stripe);
+      read_lock_order_.push_back(stripe);
+      early_released_values_.erase(stripe);
+      if (env_.ShmemRead(addr) != expected) {
+        ++stats_.validation_failures;
+        AbortSelf(ConflictKind::kReadAfterWrite);
+      }
+      read_cache_[addr] = expected;
+    }
+  }
+  if (config_.write_acquire == WriteAcquire::kEager) {
+    const uint64_t stripe = map_.StripeOf(addr);
+    if (write_locks_.find(stripe) == write_locks_.end()) {
+      AcquireWriteLockOrAbort(stripe);
+    }
+  }
+  // Deferred write (write-back): buffer locally, persist at commit.
+  if (write_buffer_.emplace(addr, value).second) {
+    write_order_.push_back(addr);
+  } else {
+    write_buffer_[addr] = value;
+  }
+}
+
+void TxRuntime::AcquireWriteLockOrAbort(uint64_t stripe, bool committing) {
+  Message req;
+  req.type = MsgType::kWriteLockReq;
+  req.w0 = stripe;
+  req.w1 = current_epoch_;
+  req.w2 = WireMetric();
+  req.w3 = committing ? 1 : 0;
+  Message rsp = Rpc(map_.ResponsibleCore(stripe), std::move(req));
+  if (rsp.type == MsgType::kLockConflict) {
+    AbortSelf(static_cast<ConflictKind>(rsp.w2));
+  }
+  write_locks_.insert(stripe);
+}
+
+void TxRuntime::TxCommit() {
+  CheckPendingAbort();
+
+  // Algorithm 3 lines 3-12: acquire the write locks for the buffered
+  // writes (lazy acquisition; under eager mode they are already held —
+  // revocations of those are caught by the abort status check below).
+  if (!write_buffer_.empty()) {
+    std::map<uint32_t, std::vector<uint64_t>> by_node;
+    std::unordered_set<uint64_t> seen;
+    for (uint64_t addr : write_order_) {
+      const uint64_t stripe = map_.StripeOf(addr);
+      if (write_locks_.find(stripe) != write_locks_.end() || !seen.insert(stripe).second) {
+        continue;
+      }
+      by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
+    }
+    for (const auto& [node, stripes] : by_node) {
+      if (config_.batch_write_locks) {
+        // Write-lock batching (Section 3.3): all locks this node is
+        // responsible for travel in one message.
+        Message req;
+        req.type = MsgType::kWriteLockBatchReq;
+        req.w1 = current_epoch_;
+        req.w2 = WireMetric();
+        req.w3 = 1;  // commit phase
+        req.extra = stripes;
+        Message rsp = Rpc(node, std::move(req));
+        if (rsp.type == MsgType::kLockConflict) {
+          AbortSelf(static_cast<ConflictKind>(rsp.w2));
+        }
+        for (uint64_t stripe : stripes) {
+          write_locks_.insert(stripe);
+        }
+      } else {
+        for (uint64_t stripe : stripes) {
+          AcquireWriteLockOrAbort(stripe, /*committing=*/true);
+        }
+      }
+    }
+  }
+
+  // All locks held. A revocation of one of our read locks may still be in
+  // flight; this is the last point it can take effect (see DESIGN.md).
+  CheckPendingAbort();
+  if (config_.tx_mode == TxMode::kElasticEarly && !write_buffer_.empty() &&
+      !early_released_values_.empty()) {
+    // Elastic-early update transactions re-validate the reads whose locks
+    // were released early: a structural update (unlink/insert) may depend
+    // on a link deep in the released prefix (for example, the reachability
+    // of the node it writes behind), and a concurrent commit there would
+    // otherwise go unnoticed. Searches skip this — ignoring such false
+    // conflicts is the point of elasticity.
+    for (const auto& [stripe, value] : early_released_values_) {
+      if (env_.ShmemRead(stripe) != value) {
+        ++stats_.validation_failures;
+        AbortSelf(ConflictKind::kReadAfterWrite);
+      }
+    }
+  }
+  if (config_.tx_mode == TxMode::kElasticRead) {
+    ValidateWindowOrAbort();
+    // Update transactions validate their whole read set: a structural
+    // write (unlinking a node, say) depends on reads well outside the
+    // sliding window — the predecessor link it rewrites, but also the
+    // next-pointer it routes around, which a concurrent insert may have
+    // changed without touching any address this transaction writes.
+    // Read-only transactions keep the cheap window-only validation (the
+    // elastic semantics for searches).
+    if (!write_buffer_.empty()) {
+      for (const auto& [addr, value] : elastic_read_values_) {
+        if (write_buffer_.find(addr) != write_buffer_.end()) {
+          continue;  // will be overwritten; staleness checked via its read
+        }
+        if (env_.ShmemRead(addr) != value) {
+          ++stats_.validation_failures;
+          AbortSelf(ConflictKind::kReadAfterWrite);
+        }
+      }
+      for (uint64_t addr : write_order_) {
+        auto it = elastic_read_values_.find(addr);
+        if (it != elastic_read_values_.end() && env_.ShmemRead(addr) != it->second) {
+          ++stats_.validation_failures;
+          AbortSelf(ConflictKind::kReadAfterWrite);
+        }
+      }
+    }
+  }
+
+  // Commit point. With the abort-status protocol enabled, the status read
+  // and the whole write-set persist execute at one simulated instant: a
+  // revocation either lands before (the status word names our epoch and we
+  // abort with no writes applied) or after (we are fully persisted and the
+  // revoker serializes behind us). Without it — standalone harnesses — the
+  // persist is word-at-a-time and relies on notification timing alone.
+  if (config_.abort_status_base != TmConfig::kNoAbortStatus) {
+    const uint64_t status_addr = config_.abort_status_base + env_.core_id() * kWordBytes;
+    (void)env_.ShmemRead(status_addr);  // pay the access latency
+    // Re-read instantly after the timed access: nothing can interleave
+    // between this load and the stores below (single simulated instant).
+    if (env_.shmem().LoadWord(status_addr) == current_epoch_) {
+      ++stats_.notify_aborts;
+      AbortSelf(pending_abort_kind_ != ConflictKind::kNone ? pending_abort_kind_
+                                                           : ConflictKind::kWriteAfterRead);
+    }
+    // Elastic updates: re-validate at this same instant. The timed
+    // validation above paid the cost, but a foreign commit can land
+    // between it and this point (unlocked reads leave that window open);
+    // the instant recheck makes validation and persist atomic.
+    if (config_.tx_mode == TxMode::kElasticRead && !write_buffer_.empty()) {
+      for (const auto& [addr, value] : elastic_read_values_) {
+        if (write_buffer_.find(addr) == write_buffer_.end() &&
+            env_.shmem().LoadWord(addr) != value) {
+          ++stats_.validation_failures;
+          AbortSelf(ConflictKind::kReadAfterWrite);
+        }
+      }
+    }
+    if (config_.tx_mode == TxMode::kElasticEarly && !write_buffer_.empty()) {
+      for (const auto& [stripe, value] : early_released_values_) {
+        if (env_.shmem().LoadWord(stripe) != value) {
+          ++stats_.validation_failures;
+          AbortSelf(ConflictKind::kReadAfterWrite);
+        }
+      }
+    }
+    for (uint64_t addr : write_order_) {
+      env_.shmem().StoreWord(addr, write_buffer_[addr]);
+    }
+    // Charge the persist time after the fact (idempotence-free: no re-store).
+    env_.Compute(env_.platform().mem_latency_cycles * write_order_.size());
+  } else {
+    // Algorithm 3 line 14: persist the write-set to shared memory.
+    for (uint64_t addr : write_order_) {
+      env_.ShmemWrite(addr, write_buffer_[addr]);
+    }
+  }
+
+  // Algorithm 3 lines 16-17: release all locks.
+  ReleaseAllLocks();
+}
+
+void TxRuntime::ReleaseAllLocks() {
+  std::map<uint32_t, std::vector<uint64_t>> reads_by_node;
+  for (uint64_t stripe : read_locks_) {
+    reads_by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
+  }
+  std::map<uint32_t, std::vector<uint64_t>> writes_by_node;
+  for (uint64_t stripe : write_locks_) {
+    writes_by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
+  }
+  for (auto& [node, stripes] : writes_by_node) {
+    std::sort(stripes.begin(), stripes.end());  // determinism across runs
+    Message msg;
+    msg.type = MsgType::kReleaseAllWrites;
+    msg.w1 = current_epoch_;
+    msg.extra = std::move(stripes);
+    FireAndForget(node, std::move(msg));
+  }
+  for (auto& [node, stripes] : reads_by_node) {
+    std::sort(stripes.begin(), stripes.end());
+    Message msg;
+    msg.type = MsgType::kReleaseAllReads;
+    msg.w1 = current_epoch_;
+    msg.extra = std::move(stripes);
+    FireAndForget(node, std::move(msg));
+  }
+  read_locks_.clear();
+  write_locks_.clear();
+}
+
+void TxRuntime::AbortSelf(ConflictKind reason) {
+  switch (reason) {
+    case ConflictKind::kReadAfterWrite:
+      ++stats_.raw_conflicts;
+      break;
+    case ConflictKind::kWriteAfterWrite:
+      ++stats_.waw_conflicts;
+      break;
+    case ConflictKind::kWriteAfterRead:
+      ++stats_.war_conflicts;
+      break;
+    case ConflictKind::kNone:
+      break;
+  }
+  ReleaseAllLocks();
+  stats_.busy_time += env_.LocalNow() - attempt_start_local_;
+  throw TxAbortException{reason};
+}
+
+}  // namespace tm2c

@@ -1,0 +1,173 @@
+// Application-side transactional runtime (Section 3.3).
+//
+// One TxRuntime per application core. Transactions are written as lambdas
+// over a Tx handle:
+//
+//   TxRuntime rt(env, config, address_map);
+//   rt.Execute([&](Tx& tx) {
+//     uint64_t v = tx.Read(account_a);
+//     tx.Write(account_a, v - 10);
+//     tx.Write(account_b, tx.Read(account_b) + 10);
+//   });
+//
+// Reads are visible: the read lock is acquired from the responsible DTM
+// node before the shared-memory read (Algorithm 4). Writes are deferred:
+// buffered locally and persisted at commit after (lazily) acquiring the
+// write locks (Algorithm 3); an eager write-lock mode exists as an
+// ablation. Aborts restart the body; the body must therefore be free of
+// side effects other than tx.Read/tx.Write (the paper's model).
+//
+// Elastic transactions (Section 6) are selected by TmConfig::tx_mode:
+// kElasticEarly keeps only a sliding window of read locks, sending an early
+// release for older ones; kElasticRead takes no read locks at all and
+// value-validates the window instead.
+#ifndef TM2C_SRC_TM_TX_RUNTIME_H_
+#define TM2C_SRC_TM_TX_RUNTIME_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/core_env.h"
+#include "src/tm/address_map.h"
+#include "src/tm/config.h"
+#include "src/tm/dtm_service.h"
+#include "src/tm/stats.h"
+
+namespace tm2c {
+
+// Internal control-flow signal for aborts. Thrown only by the runtime and
+// caught by Execute's retry loop; application code must not catch it.
+struct TxAbortException {
+  ConflictKind reason = ConflictKind::kNone;
+};
+
+class TxRuntime;
+
+// Handle passed to transaction bodies.
+class Tx {
+ public:
+  uint64_t Read(uint64_t addr);
+  void Write(uint64_t addr, uint64_t value);
+
+ private:
+  friend class TxRuntime;
+  explicit Tx(TxRuntime* rt) : rt_(rt) {}
+  TxRuntime* rt_;
+};
+
+class TxRuntime {
+ public:
+  // `local_service` must be non-null in the multitasked deployment: it is
+  // used to serve incoming DTM requests while this core waits for its own
+  // responses and to process self-addressed requests synchronously.
+  TxRuntime(CoreEnv& env, const TmConfig& config, const AddressMap& map,
+            DtmService* local_service = nullptr);
+
+  // Runs `body` as one transaction, retrying on aborts until it commits.
+  void Execute(const std::function<void(Tx&)>& body);
+
+  // Like Execute but gives up after `max_attempts` attempts. Returns true
+  // on commit. Used by the livelock/starvation property tests.
+  bool TryExecute(const std::function<void(Tx&)>& body, uint64_t max_attempts);
+
+  // Drains pending inbox messages: records abort notifications for the
+  // running attempt and (in the multitasked deployment) serves incoming DTM
+  // requests. Called automatically at every transaction start; long-running
+  // non-transactional phases may call it explicitly to model a coroutine
+  // yield point.
+  void ServePending();
+
+  // Privatization barrier (Section 8): blocks until every application core
+  // has reached its matching barrier call, implemented with the message
+  // paths among the application cores — after it returns, all transactions
+  // started before the barrier have completed on every core, so data can
+  // safely be accessed non-transactionally. Must be called outside a
+  // transaction, the same number of times on every application core.
+  void PrivatizationBarrier();
+
+  TxStats& stats() { return stats_; }
+  const TmConfig& config() const { return config_; }
+  CoreEnv& env() { return env_; }
+
+  // CM bookkeeping, exposed for tests.
+  uint64_t commits_count() const { return commits_count_; }
+  SimTime effective_tx_time() const { return effective_tx_time_; }
+
+ private:
+  friend class Tx;
+
+  // Transactional wrappers (Algorithms 3-4).
+  uint64_t TxRead(uint64_t addr);
+  void TxWrite(uint64_t addr, uint64_t value);
+  void TxCommit();
+
+  uint64_t ReadNormal(uint64_t addr, bool elastic_early);
+  uint64_t ReadElasticValidated(uint64_t addr);
+  void ValidateWindowOrAbort();
+
+  void BeginAttempt();
+  [[noreturn]] void AbortSelf(ConflictKind reason);
+  void ReleaseAllLocks();
+  void CheckPendingAbort();
+
+  // Sends a lock request and waits for the matching response, serving the
+  // local DTM partition (multitasked) and recording abort notifications in
+  // the meantime. Returns the response message.
+  Message Rpc(uint32_t dst, Message request);
+  void FireAndForget(uint32_t dst, Message msg);
+  uint64_t WireMetric();
+  void AcquireWriteLockOrAbort(uint64_t stripe, bool committing = false);
+
+  CoreEnv& env_;
+  TmConfig config_;
+  AddressMap map_;
+  DtmService* local_service_;
+  Rng backoff_rng_;
+
+  // Per-attempt state.
+  uint64_t current_epoch_ = 0;
+  bool in_tx_ = false;
+  bool pending_abort_ = false;
+  ConflictKind pending_abort_kind_ = ConflictKind::kNone;
+  SimTime attempt_start_local_ = 0;
+  SimTime tx_start_local_ = 0;  // fixed across retries (Offset-Greedy rule a)
+  std::unordered_map<uint64_t, uint64_t> write_buffer_;  // addr -> value
+  std::vector<uint64_t> write_order_;                    // insertion order
+  std::unordered_set<uint64_t> read_locks_;              // stripes held
+  std::vector<uint64_t> read_lock_order_;                // for early release
+  std::unordered_map<uint64_t, uint64_t> read_cache_;    // addr -> value
+  std::unordered_set<uint64_t> write_locks_;             // stripes held
+  std::deque<std::pair<uint64_t, uint64_t>> validation_window_;  // elastic-read
+  // elastic-early: stripes whose read lock was early-released, with the
+  // value read under the lock. A later write to one of these re-acquires
+  // the lock and validates the value (the write depends on that read).
+  std::unordered_map<uint64_t, uint64_t> early_released_values_;
+  // elastic-read: last value read per address, for commit-time validation
+  // of written locations.
+  std::unordered_map<uint64_t, uint64_t> elastic_read_values_;
+
+  // Privatization barrier state: generation counter and early arrivals
+  // from cores already in a later generation.
+  uint64_t barrier_generation_ = 0;
+  std::unordered_map<uint64_t, uint32_t> barrier_arrivals_;
+
+  // Per-core CM metrics.
+  uint64_t attempt_counter_ = 0;
+  uint64_t commits_count_ = 0;        // Wholly priority
+  SimTime effective_tx_time_ = 0;     // FairCM priority
+  uint64_t consecutive_aborts_ = 0;   // Back-off-Retry state
+
+  TxStats stats_;
+};
+
+inline uint64_t Tx::Read(uint64_t addr) { return rt_->TxRead(addr); }
+inline void Tx::Write(uint64_t addr, uint64_t value) { rt_->TxWrite(addr, value); }
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_TM_TX_RUNTIME_H_

@@ -1,0 +1,405 @@
+// Tests of the benchmark applications on the simulated many-core.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/apps/bank.h"
+#include "src/apps/hash_table.h"
+#include "src/apps/linked_list.h"
+#include "src/apps/mapreduce.h"
+#include "src/tm/tm_system.h"
+
+namespace tm2c {
+namespace {
+
+constexpr SimTime kTestHorizon = MillisToSim(4000);
+
+TmSystemConfig BaseConfig(uint32_t cores = 8, uint32_t service = 4,
+                          CmKind cm = CmKind::kFairCm) {
+  TmSystemConfig cfg;
+  cfg.sim.platform = MakeSccPlatform(0);
+  cfg.sim.num_cores = cores;
+  cfg.sim.num_service = service;
+  cfg.sim.shmem_bytes = 8 << 20;
+  cfg.sim.seed = 7;
+  cfg.tm.cm = cm;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- Bank --
+
+TEST(BankApp, TransfersConserveTotalUnderContention) {
+  TmSystem sys(BaseConfig());
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 128, 1000);
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&bank, i](CoreEnv&, TxRuntime& rt) {
+      Rng rng(100 + i);
+      for (int k = 0; k < 60; ++k) {
+        const auto from = static_cast<uint32_t>(rng.NextBelow(bank.num_accounts()));
+        const auto to = static_cast<uint32_t>(rng.NextBelow(bank.num_accounts()));
+        if (from == to) {
+          continue;
+        }
+        rt.Execute([&](Tx& tx) { bank.TxTransfer(tx, from, to, 3); });
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  EXPECT_EQ(bank.HostTotal(), 128u * 1000);
+}
+
+TEST(BankApp, TxBalanceSeesConstantTotal) {
+  TmSystem sys(BaseConfig());
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 64, 500);
+  bool bad_balance = false;
+  sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
+    for (int k = 0; k < 15; ++k) {
+      uint64_t total = 0;
+      rt.Execute([&](Tx& tx) { total = bank.TxBalance(tx); });
+      if (total != 64u * 500) {
+        bad_balance = true;
+      }
+    }
+  });
+  for (uint32_t i = 1; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&bank, i](CoreEnv&, TxRuntime& rt) {
+      Rng rng(i);
+      for (int k = 0; k < 40; ++k) {
+        const auto from = static_cast<uint32_t>(rng.NextBelow(64));
+        const auto to = static_cast<uint32_t>((from + 1 + rng.NextBelow(62)) % 64);
+        rt.Execute([&](Tx& tx) { bank.TxTransfer(tx, from, to, 1); });
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  EXPECT_FALSE(bad_balance);
+  EXPECT_EQ(bank.HostTotal(), 64u * 500);
+}
+
+TEST(BankApp, GlobalLockVersionConservesTotal) {
+  TmSystem sys(BaseConfig());
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 64, 100);
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&bank, i](CoreEnv& env, TxRuntime&) {
+      Rng rng(200 + i);
+      for (int k = 0; k < 50; ++k) {
+        const auto from = static_cast<uint32_t>(rng.NextBelow(64));
+        const auto to = static_cast<uint32_t>((from + 1) % 64);
+        bank.LockTransfer(env, from, to, 2);
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  EXPECT_EQ(bank.HostTotal(), 64u * 100);
+}
+
+TEST(BankApp, LockBalanceConsistentWithConcurrentLockTransfers) {
+  TmSystem sys(BaseConfig(4, 1));
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 32, 100);
+  bool bad = false;
+  sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime&) {
+    for (int k = 0; k < 20; ++k) {
+      if (bank.LockBalance(env) != 32u * 100) {
+        bad = true;
+      }
+    }
+  });
+  for (uint32_t i = 1; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&bank, i](CoreEnv& env, TxRuntime&) {
+      Rng rng(i);
+      for (int k = 0; k < 40; ++k) {
+        const auto from = static_cast<uint32_t>(rng.NextBelow(32));
+        bank.LockTransfer(env, from, (from + 3) % 32, 1);
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  EXPECT_FALSE(bad);
+}
+
+// ---------------------------------------------------------- Hash table --
+
+TEST(HashTableApp, HostSetupAndLookup) {
+  TmSystem sys(BaseConfig());
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 16);
+  EXPECT_TRUE(table.HostAdd(sys.sim().allocator(), 5));
+  EXPECT_TRUE(table.HostAdd(sys.sim().allocator(), 21));  // same bucket likely
+  EXPECT_FALSE(table.HostAdd(sys.sim().allocator(), 5));
+  EXPECT_TRUE(table.HostContains(5));
+  EXPECT_TRUE(table.HostContains(21));
+  EXPECT_FALSE(table.HostContains(6));
+  EXPECT_EQ(table.HostSize(), 2u);
+}
+
+TEST(HashTableApp, TransactionalOpsMatchReferenceSet) {
+  TmSystem sys(BaseConfig(4, 2));
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 8);
+  // Deterministic single-core op stream checked against std::set.
+  sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime& rt) {
+    std::set<uint64_t> reference;
+    Rng rng(99);
+    for (int k = 0; k < 300; ++k) {
+      const uint64_t key = 1 + rng.NextBelow(50);
+      const uint64_t op = rng.NextBelow(3);
+      if (op == 0) {
+        EXPECT_EQ(table.Add(rt, env.allocator(), key), reference.insert(key).second);
+      } else if (op == 1) {
+        EXPECT_EQ(table.Remove(rt, key), reference.erase(key) == 1);
+      } else {
+        EXPECT_EQ(table.Contains(rt, key), reference.count(key) == 1);
+      }
+    }
+    EXPECT_EQ(table.HostSize(), reference.size());
+  });
+  sys.Run(kTestHorizon);
+}
+
+TEST(HashTableApp, ConcurrentMixedOpsKeepStructureSane) {
+  TmSystem sys(BaseConfig());
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 32);
+  for (uint64_t key = 1; key <= 64; ++key) {
+    table.HostAdd(sys.sim().allocator(), key);
+  }
+  std::vector<int64_t> net_adds(sys.num_app_cores(), 0);
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&, i](CoreEnv& env, TxRuntime& rt) {
+      Rng rng(31 * (i + 1));
+      for (int k = 0; k < 60; ++k) {
+        const uint64_t key = 1 + rng.NextBelow(128);
+        if (rng.NextPercent(50)) {
+          if (table.Add(rt, env.allocator(), key)) {
+            ++net_adds[i];
+          }
+        } else {
+          if (table.Remove(rt, key)) {
+            --net_adds[i];
+          }
+        }
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  int64_t net = 64;
+  for (int64_t d : net_adds) {
+    net += d;
+  }
+  EXPECT_EQ(static_cast<int64_t>(table.HostSize()), net);
+}
+
+TEST(HashTableApp, MoveIsAtomic) {
+  TmSystem sys(BaseConfig());
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 16);
+  // Start with even keys present; movers shuffle between even and odd,
+  // scanners verify the element count never changes.
+  for (uint64_t key = 2; key <= 128; key += 2) {
+    table.HostAdd(sys.sim().allocator(), key);
+  }
+  const uint64_t initial = table.HostSize();
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&, i](CoreEnv& env, TxRuntime& rt) {
+      Rng rng(17 * (i + 1));
+      for (int k = 0; k < 40; ++k) {
+        const uint64_t from = 1 + rng.NextBelow(128);
+        const uint64_t to = 1 + rng.NextBelow(128);
+        if (from != to) {
+          table.Move(rt, env.allocator(), from, to);
+        }
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  EXPECT_EQ(table.HostSize(), initial);  // moves never create or destroy
+}
+
+TEST(HashTableApp, SequentialBaselineWorks) {
+  TmSystem sys(BaseConfig(2, 1));
+  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 8);
+  sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime&) {
+    EXPECT_TRUE(table.SeqAdd(env, env.allocator(), 10));
+    EXPECT_TRUE(table.SeqAdd(env, env.allocator(), 3));
+    EXPECT_FALSE(table.SeqAdd(env, env.allocator(), 10));
+    EXPECT_TRUE(table.SeqContains(env, 3));
+    EXPECT_TRUE(table.SeqRemove(env, 10));
+    EXPECT_FALSE(table.SeqContains(env, 10));
+  });
+  sys.Run(kTestHorizon);
+  EXPECT_EQ(table.HostSize(), 1u);
+}
+
+// --------------------------------------------------------- Linked list --
+
+TEST(LinkedListApp, SortedSetSemantics) {
+  TmSystem sys(BaseConfig(4, 2));
+  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime& rt) {
+    std::set<uint64_t> reference;
+    Rng rng(5);
+    for (int k = 0; k < 200; ++k) {
+      const uint64_t key = 1 + rng.NextBelow(40);
+      const uint64_t op = rng.NextBelow(3);
+      if (op == 0) {
+        EXPECT_EQ(list.Add(rt, env.allocator(), key), reference.insert(key).second);
+      } else if (op == 1) {
+        EXPECT_EQ(list.Remove(rt, key), reference.erase(key) == 1);
+      } else {
+        EXPECT_EQ(list.Contains(rt, key), reference.count(key) == 1);
+      }
+    }
+    EXPECT_EQ(list.HostSize(), reference.size());
+  });
+  sys.Run(kTestHorizon);
+}
+
+void RunListConcurrencyTest(TxMode mode) {
+  TmSystemConfig cfg = BaseConfig(6, 3);
+  cfg.tm.tx_mode = mode;
+  TmSystem sys(std::move(cfg));
+  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  for (uint64_t key = 2; key <= 64; key += 2) {
+    list.HostAdd(sys.sim().allocator(), key);
+  }
+  std::vector<int64_t> net(sys.num_app_cores(), 0);
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&, i](CoreEnv& env, TxRuntime& rt) {
+      Rng rng(7 * (i + 1));
+      for (int k = 0; k < 50; ++k) {
+        const uint64_t key = 1 + rng.NextBelow(96);
+        const uint64_t op = rng.NextBelow(10);
+        if (op < 1) {
+          if (list.Add(rt, env.allocator(), key)) {
+            ++net[i];
+          }
+        } else if (op < 2) {
+          if (list.Remove(rt, key)) {
+            --net[i];
+          }
+        } else {
+          (void)list.Contains(rt, key);
+        }
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  int64_t expected = 32;
+  for (int64_t d : net) {
+    expected += d;
+  }
+  EXPECT_EQ(static_cast<int64_t>(list.HostSize()), expected)
+      << "mode=" << static_cast<int>(mode);
+}
+
+TEST(LinkedListApp, ConcurrentOpsNormalMode) { RunListConcurrencyTest(TxMode::kNormal); }
+TEST(LinkedListApp, ConcurrentOpsElasticEarly) { RunListConcurrencyTest(TxMode::kElasticEarly); }
+TEST(LinkedListApp, ConcurrentOpsElasticRead) { RunListConcurrencyTest(TxMode::kElasticRead); }
+
+TEST(LinkedListApp, ElasticModesReduceAborts) {
+  // The headline claim of Section 6: elastic transactions diminish the
+  // abort rate of list traversals under concurrent updates.
+  auto run = [](TxMode mode) {
+    TmSystemConfig cfg = BaseConfig(6, 3);
+    cfg.tm.tx_mode = mode;
+    cfg.sim.seed = 11;
+    TmSystem sys(std::move(cfg));
+    ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+    for (uint64_t key = 1; key <= 128; ++key) {
+      list.HostAdd(sys.sim().allocator(), key);
+    }
+    for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+      sys.SetAppBody(i, [&list, i](CoreEnv& env, TxRuntime& rt) {
+        Rng rng(13 * (i + 1));
+        for (int k = 0; k < 40; ++k) {
+          const uint64_t key = 1 + rng.NextBelow(128);
+          if (rng.NextPercent(20)) {
+            if (rng.NextPercent(50)) {
+              list.Add(rt, env.allocator(), key);
+            } else {
+              list.Remove(rt, key);
+            }
+          } else {
+            (void)list.Contains(rt, key);
+          }
+        }
+      });
+    }
+    sys.Run(kTestHorizon);
+    return sys.MergedStats();
+  };
+  const TxStats normal = run(TxMode::kNormal);
+  const TxStats elastic = run(TxMode::kElasticRead);
+  EXPECT_LT(elastic.aborts, normal.aborts);
+}
+
+// ----------------------------------------------------------- MapReduce --
+
+TEST(MapReduceApp, ParallelCountMatchesGroundTruth) {
+  TmSystemConfig cfg = BaseConfig(8, 1);
+  cfg.sim.shmem_bytes = 4 << 20;
+  TmSystem sys(std::move(cfg));
+  MapReduceConfig mr_cfg;
+  mr_cfg.input_bytes = 256 << 10;
+  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&app](CoreEnv& env, TxRuntime& rt) { app.RunWorker(env, rt, 8 << 10); });
+  }
+  sys.Run(kTestHorizon);
+  EXPECT_EQ(app.HostResultCounts(), app.HostExpectedCounts());
+}
+
+TEST(MapReduceApp, SequentialCountMatchesGroundTruth) {
+  TmSystemConfig cfg = BaseConfig(2, 1);
+  cfg.sim.shmem_bytes = 4 << 20;
+  TmSystem sys(std::move(cfg));
+  MapReduceConfig mr_cfg;
+  mr_cfg.input_bytes = 128 << 10;
+  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+  sys.SetAppBody(0, [&app](CoreEnv& env, TxRuntime&) { app.RunSequential(env); });
+  sys.Run(kTestHorizon);
+  EXPECT_EQ(app.HostResultCounts(), app.HostExpectedCounts());
+}
+
+TEST(MapReduceApp, ParallelIsFasterThanSequential) {
+  MapReduceConfig mr_cfg;
+  // Large enough that per-chunk compute dominates the chunk-claim
+  // transactions (the paper's inputs are 256MB+; Section 5.4 notes the
+  // transactional load is low).
+  mr_cfg.input_bytes = 512 << 10;
+
+  auto run = [&mr_cfg](bool parallel) {
+    TmSystemConfig cfg = BaseConfig(parallel ? 8 : 2, 1);
+    cfg.sim.shmem_bytes = 16 << 20;
+    TmSystem sys(std::move(cfg));
+    MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+    SimTime duration = 0;
+    if (parallel) {
+      for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+        sys.SetAppBody(i, [&app](CoreEnv& env, TxRuntime& rt) { app.RunWorker(env, rt, 8 << 10); });
+      }
+    } else {
+      sys.SetAppBody(0, [&app](CoreEnv& env, TxRuntime&) { app.RunSequential(env); });
+    }
+    duration = sys.Run(kTestHorizon);
+    EXPECT_EQ(app.HostResultCounts(), app.HostExpectedCounts());
+    return duration;
+  };
+  const SimTime seq = run(false);
+  const SimTime par = run(true);
+  EXPECT_LT(par, seq);
+}
+
+TEST(MapReduceApp, ResetRunClearsState) {
+  TmSystemConfig cfg = BaseConfig(2, 1);
+  cfg.sim.shmem_bytes = 2 << 20;
+  TmSystem sys(std::move(cfg));
+  MapReduceConfig mr_cfg;
+  mr_cfg.input_bytes = 64 << 10;
+  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+  sys.SetAppBody(0, [&app](CoreEnv& env, TxRuntime&) { app.RunSequential(env); });
+  sys.Run(kTestHorizon);
+  EXPECT_EQ(app.HostResultCounts(), app.HostExpectedCounts());
+  app.ResetRun();
+  std::array<uint64_t, MapReduceApp::kLetters> zeros{};
+  EXPECT_EQ(app.HostResultCounts(), zeros);
+}
+
+}  // namespace
+}  // namespace tm2c

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "src/cm/contention_manager.h"
+
+namespace tm2c {
+namespace {
+
+TxInfo Info(uint32_t core, uint64_t metric) {
+  TxInfo info;
+  info.core = core;
+  info.epoch = (static_cast<uint64_t>(core) << 32) | 1;
+  info.metric = metric;
+  return info;
+}
+
+TEST(CmNames, RoundTrip) {
+  for (CmKind kind : {CmKind::kNone, CmKind::kBackoffRetry, CmKind::kOffsetGreedy,
+                      CmKind::kWholly, CmKind::kFairCm}) {
+    EXPECT_EQ(CmKindByName(CmKindName(kind)), kind);
+  }
+}
+
+TEST(CmNames, UnknownNameDies) { EXPECT_DEATH(CmKindByName("bogus"), "unknown"); }
+
+TEST(PriorityWins, LowerMetricWins) {
+  EXPECT_TRUE(PriorityWins(Info(5, 10), Info(1, 20)));
+  EXPECT_FALSE(PriorityWins(Info(1, 20), Info(5, 10)));
+}
+
+TEST(PriorityWins, TieBrokenByCoreId) {
+  EXPECT_TRUE(PriorityWins(Info(1, 10), Info(2, 10)));
+  EXPECT_FALSE(PriorityWins(Info(2, 10), Info(1, 10)));
+}
+
+TEST(PriorityWins, TotalOrder) {
+  // Antisymmetric for distinct transactions: exactly one side wins.
+  const TxInfo a = Info(3, 7);
+  const TxInfo b = Info(4, 7);
+  const TxInfo c = Info(5, 3);
+  for (const TxInfo& x : {a, b, c}) {
+    for (const TxInfo& y : {a, b, c}) {
+      if (x.core == y.core) {
+        continue;
+      }
+      EXPECT_NE(PriorityWins(x, y), PriorityWins(y, x));
+    }
+  }
+  // Transitive on this sample: c < a < b.
+  EXPECT_TRUE(PriorityWins(c, a));
+  EXPECT_TRUE(PriorityWins(a, b));
+  EXPECT_TRUE(PriorityWins(c, b));
+}
+
+TEST(SelfAbortCms, RequesterAlwaysLoses) {
+  for (CmKind kind : {CmKind::kNone, CmKind::kBackoffRetry}) {
+    const auto cm = MakeContentionManager(kind);
+    EXPECT_EQ(cm->kind(), kind);
+    // Even a requester with a much better metric loses: these policies
+    // never arbitrate.
+    EXPECT_EQ(cm->Decide(Info(1, 0), {Info(2, 1000)}, ConflictKind::kReadAfterWrite),
+              CmDecision::kAbortRequester);
+    EXPECT_EQ(cm->Decide(Info(1, 0), {Info(2, 1000)}, ConflictKind::kWriteAfterRead),
+              CmDecision::kAbortRequester);
+  }
+}
+
+TEST(PriorityCms, RequesterWinsWithStrictlyBetterMetric) {
+  for (CmKind kind : {CmKind::kWholly, CmKind::kFairCm}) {
+    const auto cm = MakeContentionManager(kind);
+    EXPECT_EQ(cm->Decide(Info(1, 5), {Info(2, 9)}, ConflictKind::kWriteAfterWrite),
+              CmDecision::kAbortEnemies);
+    EXPECT_EQ(cm->Decide(Info(1, 9), {Info(2, 5)}, ConflictKind::kWriteAfterWrite),
+              CmDecision::kAbortRequester);
+  }
+}
+
+TEST(PriorityCms, MustBeatEveryHolder) {
+  const auto cm = MakeContentionManager(CmKind::kFairCm);
+  // Beats holder 2 but not holder 3: requester aborts (all-but-one rule).
+  EXPECT_EQ(cm->Decide(Info(5, 10), {Info(2, 20), Info(3, 5)}, ConflictKind::kWriteAfterRead),
+            CmDecision::kAbortRequester);
+  // Beats both.
+  EXPECT_EQ(cm->Decide(Info(5, 1), {Info(2, 20), Info(3, 5)}, ConflictKind::kWriteAfterRead),
+            CmDecision::kAbortEnemies);
+}
+
+TEST(PriorityCms, WireMetricPassesThrough) {
+  const auto cm = MakeContentionManager(CmKind::kWholly);
+  EXPECT_EQ(cm->MetricFromWire(1234, /*service_local_now=*/99999), 1234u);
+}
+
+TEST(OffsetGreedy, EstimatesStartFromOffset) {
+  const auto cm = MakeContentionManager(CmKind::kOffsetGreedy);
+  // Local clock reads 1000; the requester reports having started 300 time
+  // units before sending: estimated start is 700 (the message delay is
+  // silently absorbed into the estimate — the policy's known flaw).
+  EXPECT_EQ(cm->MetricFromWire(300, 1000), 700u);
+  // Saturates instead of wrapping when the offset exceeds the clock.
+  EXPECT_EQ(cm->MetricFromWire(5000, 1000), 0u);
+}
+
+TEST(OffsetGreedy, OlderTransactionWins) {
+  const auto cm = MakeContentionManager(CmKind::kOffsetGreedy);
+  // Metrics are estimated start timestamps: lower (older) wins.
+  EXPECT_EQ(cm->Decide(Info(1, 100), {Info(2, 200)}, ConflictKind::kReadAfterWrite),
+            CmDecision::kAbortEnemies);
+  EXPECT_EQ(cm->Decide(Info(1, 200), {Info(2, 100)}, ConflictKind::kReadAfterWrite),
+            CmDecision::kAbortRequester);
+}
+
+}  // namespace
+}  // namespace tm2c

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/core_set.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace tm2c {
+namespace {
+
+TEST(Rng, DeterministicUnderSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, PercentRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextPercent(20)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.20, 0.01);
+}
+
+TEST(StatAccumulator, BasicMoments) {
+  StatAccumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    acc.Add(v);
+  }
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatAccumulator, MergeMatchesSequential) {
+  StatAccumulator all;
+  StatAccumulator left;
+  StatAccumulator right;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 100.0;
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+}
+
+TEST(Histogram, QuantileOrdering) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i));
+  }
+  EXPECT_LT(h.Quantile(0.1), h.Quantile(0.9));
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+}
+
+TEST(Histogram, OverflowBucketCatchesLargeSamples) {
+  Histogram h(1.0, 4);
+  h.Add(1000.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+TEST(CoreSet, InsertEraseContains) {
+  CoreSet s;
+  EXPECT_TRUE(s.Empty());
+  s.Insert(3);
+  s.Insert(47);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(47));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2u);
+  s.Erase(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(s.Empty());
+  s.Erase(47);
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(CoreSet, HandlesCoresAbove64) {
+  CoreSet s;
+  s.Insert(63);
+  s.Insert(64);
+  s.Insert(200);
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(200));
+  EXPECT_EQ(s.Count(), 3u);
+  const auto v = s.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 63u);
+  EXPECT_EQ(v[1], 64u);
+  EXPECT_EQ(v[2], 200u);
+}
+
+TEST(CoreSet, IsExactly) {
+  CoreSet s;
+  s.Insert(5);
+  EXPECT_TRUE(s.IsExactly(5));
+  s.Insert(6);
+  EXPECT_FALSE(s.IsExactly(5));
+}
+
+TEST(CoreSet, ForEachVisitsAscending) {
+  CoreSet s;
+  for (uint32_t c : {40u, 1u, 99u, 64u}) {
+    s.Insert(c);
+  }
+  std::vector<uint32_t> visited;
+  s.ForEach([&visited](uint32_t c) { visited.push_back(c); });
+  EXPECT_EQ(visited, (std::vector<uint32_t>{1, 40, 64, 99}));
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace tm2c

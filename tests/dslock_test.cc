@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "src/dslock/lock_table.h"
+
+namespace tm2c {
+namespace {
+
+TxInfo Tx1(uint32_t core, uint64_t metric = 0) {
+  TxInfo info;
+  info.core = core;
+  info.epoch = (static_cast<uint64_t>(core) << 32) | 1;
+  info.metric = metric;
+  return info;
+}
+
+class LockTableTest : public ::testing::Test {
+ protected:
+  LockTableTest() : faircm_(MakeContentionManager(CmKind::kFairCm)),
+                    nocm_(MakeContentionManager(CmKind::kNone)) {}
+
+  LockTable table_;
+  std::unique_ptr<ContentionManager> faircm_;
+  std::unique_ptr<ContentionManager> nocm_;
+};
+
+TEST_F(LockTableTest, ReadLockGrantedOnFreeObject) {
+  const auto r = table_.ReadLock(Tx1(1), 0x100, *faircm_);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  EXPECT_TRUE(r.victims.empty());
+  EXPECT_TRUE(table_.HasReader(0x100, 1));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, MultipleReadersShareTheLock) {
+  for (uint32_t core = 1; core <= 5; ++core) {
+    EXPECT_EQ(table_.ReadLock(Tx1(core), 0x100, *faircm_).refused, ConflictKind::kNone);
+  }
+  for (uint32_t core = 1; core <= 5; ++core) {
+    EXPECT_TRUE(table_.HasReader(0x100, core));
+  }
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, WriteLockGrantedOnFreeObject) {
+  const auto r = table_.WriteLock(Tx1(2), 0x200, *faircm_);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  uint32_t writer = 0;
+  EXPECT_TRUE(table_.HasWriter(0x200, &writer));
+  EXPECT_EQ(writer, 2u);
+}
+
+TEST_F(LockTableTest, RawConflictRequesterLoses) {
+  // Writer core 1 has metric 5; reader core 2 with worse metric 9 loses.
+  ASSERT_EQ(table_.WriteLock(Tx1(1, 5), 0x300, *faircm_).refused, ConflictKind::kNone);
+  const auto r = table_.ReadLock(Tx1(2, 9), 0x300, *faircm_);
+  EXPECT_EQ(r.refused, ConflictKind::kReadAfterWrite);
+  EXPECT_TRUE(r.victims.empty());
+  EXPECT_TRUE(table_.HasWriter(0x300, nullptr));  // writer keeps the lock
+}
+
+TEST_F(LockTableTest, RawConflictRequesterWinsRevokesWriter) {
+  ASSERT_EQ(table_.WriteLock(Tx1(1, 9), 0x300, *faircm_).refused, ConflictKind::kNone);
+  const auto r = table_.ReadLock(Tx1(2, 5), 0x300, *faircm_);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  ASSERT_EQ(r.victims.size(), 1u);
+  EXPECT_EQ(r.victims[0].info.core, 1u);
+  EXPECT_EQ(r.victims[0].kind, ConflictKind::kReadAfterWrite);
+  EXPECT_FALSE(table_.HasWriter(0x300, nullptr));
+  EXPECT_TRUE(table_.HasReader(0x300, 2));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, WawConflictResolvedByPriority) {
+  ASSERT_EQ(table_.WriteLock(Tx1(1, 5), 0x400, *faircm_).refused, ConflictKind::kNone);
+  // Worse requester loses.
+  EXPECT_EQ(table_.WriteLock(Tx1(2, 9), 0x400, *faircm_).refused,
+            ConflictKind::kWriteAfterWrite);
+  // Better requester revokes.
+  const auto r = table_.WriteLock(Tx1(3, 1), 0x400, *faircm_);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  ASSERT_EQ(r.victims.size(), 1u);
+  EXPECT_EQ(r.victims[0].info.core, 1u);
+  EXPECT_EQ(r.victims[0].kind, ConflictKind::kWriteAfterWrite);
+  uint32_t writer = 0;
+  ASSERT_TRUE(table_.HasWriter(0x400, &writer));
+  EXPECT_EQ(writer, 3u);
+}
+
+TEST_F(LockTableTest, WarConflictMustBeatAllReaders) {
+  ASSERT_EQ(table_.ReadLock(Tx1(1, 3), 0x500, *faircm_).refused, ConflictKind::kNone);
+  ASSERT_EQ(table_.ReadLock(Tx1(2, 7), 0x500, *faircm_).refused, ConflictKind::kNone);
+  // Beats reader 2 but not reader 1: refused with WAR.
+  EXPECT_EQ(table_.WriteLock(Tx1(3, 5), 0x500, *faircm_).refused,
+            ConflictKind::kWriteAfterRead);
+  EXPECT_TRUE(table_.HasReader(0x500, 1));
+  EXPECT_TRUE(table_.HasReader(0x500, 2));
+  // Beats both: all readers revoked, each reported as a WAR victim.
+  const auto r = table_.WriteLock(Tx1(4, 1), 0x500, *faircm_);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  EXPECT_EQ(r.victims.size(), 2u);
+  for (const auto& v : r.victims) {
+    EXPECT_EQ(v.kind, ConflictKind::kWriteAfterRead);
+  }
+  EXPECT_FALSE(table_.HasReader(0x500, 1));
+  EXPECT_FALSE(table_.HasReader(0x500, 2));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, OwnReadLockDoesNotBlockUpgrade) {
+  ASSERT_EQ(table_.ReadLock(Tx1(1), 0x600, *nocm_).refused, ConflictKind::kNone);
+  // Under no-CM any conflict aborts the requester — but upgrading one's own
+  // read lock is not a conflict.
+  const auto r = table_.WriteLock(Tx1(1), 0x600, *nocm_);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  EXPECT_TRUE(r.victims.empty());
+  EXPECT_TRUE(table_.HasReader(0x600, 1));
+  EXPECT_TRUE(table_.HasWriter(0x600, nullptr));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, OwnWriteLockAllowsReacquire) {
+  ASSERT_EQ(table_.WriteLock(Tx1(1), 0x700, *nocm_).refused, ConflictKind::kNone);
+  EXPECT_EQ(table_.WriteLock(Tx1(1), 0x700, *nocm_).refused, ConflictKind::kNone);
+  EXPECT_EQ(table_.ReadLock(Tx1(1), 0x700, *nocm_).refused, ConflictKind::kNone);
+}
+
+TEST_F(LockTableTest, NoCmRefusesForeignConflicts) {
+  ASSERT_EQ(table_.WriteLock(Tx1(1), 0x800, *nocm_).refused, ConflictKind::kNone);
+  EXPECT_EQ(table_.ReadLock(Tx1(2), 0x800, *nocm_).refused, ConflictKind::kReadAfterWrite);
+  EXPECT_EQ(table_.WriteLock(Tx1(2), 0x800, *nocm_).refused, ConflictKind::kWriteAfterWrite);
+}
+
+TEST_F(LockTableTest, ReleaseReadIsIdempotent) {
+  ASSERT_EQ(table_.ReadLock(Tx1(1), 0x900, *faircm_).refused, ConflictKind::kNone);
+  table_.ReleaseRead(1, 0x900);
+  EXPECT_FALSE(table_.HasReader(0x900, 1));
+  table_.ReleaseRead(1, 0x900);  // no-op
+  table_.ReleaseRead(2, 0xAAA);  // never held: no-op
+  EXPECT_EQ(table_.NumEntries(), 0u);  // empty entries erased
+}
+
+TEST_F(LockTableTest, StaleWriteReleaseCannotClobberNewOwner) {
+  ASSERT_EQ(table_.WriteLock(Tx1(1, 9), 0xB00, *faircm_).refused, ConflictKind::kNone);
+  // Core 2 revokes core 1 and takes the lock.
+  ASSERT_EQ(table_.WriteLock(Tx1(2, 1), 0xB00, *faircm_).refused, ConflictKind::kNone);
+  // Core 1's release (sent before it learned of the revocation) arrives.
+  table_.ReleaseWrite(1, 0xB00);
+  uint32_t writer = 0;
+  ASSERT_TRUE(table_.HasWriter(0xB00, &writer));
+  EXPECT_EQ(writer, 2u);  // unaffected
+}
+
+TEST_F(LockTableTest, ReleaseAllOfClearsEverything) {
+  table_.ReadLock(Tx1(1), 0x10, *faircm_);
+  table_.ReadLock(Tx1(1), 0x20, *faircm_);
+  table_.WriteLock(Tx1(1), 0x30, *faircm_);
+  table_.ReadLock(Tx1(2), 0x20, *faircm_);
+  table_.ReleaseAllOf(1);
+  EXPECT_FALSE(table_.HasReader(0x10, 1));
+  EXPECT_FALSE(table_.HasReader(0x20, 1));
+  EXPECT_FALSE(table_.HasWriter(0x30, nullptr));
+  EXPECT_TRUE(table_.HasReader(0x20, 2));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, EntriesErasedWhenFullyReleased) {
+  table_.ReadLock(Tx1(1), 0x10, *faircm_);
+  table_.WriteLock(Tx1(1), 0x10, *faircm_);
+  EXPECT_EQ(table_.NumEntries(), 1u);
+  table_.ReleaseWrite(1, 0x10);
+  table_.ReleaseRead(1, 0x10);
+  EXPECT_EQ(table_.NumEntries(), 0u);
+}
+
+TEST_F(LockTableTest, StatsCountAcquiresRefusalsRevocations) {
+  table_.ReadLock(Tx1(1, 1), 0x10, *faircm_);
+  table_.WriteLock(Tx1(2, 0), 0x10, *faircm_);  // revokes reader 1
+  table_.ReadLock(Tx1(3, 9), 0x10, *faircm_);   // refused (RAW vs writer 2)
+  const LockTableStats& s = table_.stats();
+  EXPECT_EQ(s.read_acquires, 1u);
+  EXPECT_EQ(s.write_acquires, 1u);
+  EXPECT_EQ(s.read_refused, 1u);
+  EXPECT_EQ(s.revocations, 1u);
+}
+
+}  // namespace
+}  // namespace tm2c

@@ -1,0 +1,280 @@
+// Wire-protocol-level tests of the DTM service: one service core driven by
+// a raw-message client core on the simulator.
+#include <gtest/gtest.h>
+
+#include "src/tm/dtm_service.h"
+#include "src/runtime/sim_system.h"
+
+namespace tm2c {
+namespace {
+
+// Harness: core 0 runs the service loop; core 1 runs `client` and can send
+// raw protocol messages and await responses.
+class ServiceHarness {
+ public:
+  explicit ServiceHarness(TmConfig tm = TmConfig{}) {
+    SimSystemConfig cfg;
+    cfg.platform = MakeSccPlatform(0);
+    cfg.num_cores = 4;
+    cfg.num_service = 1;  // core 0
+    cfg.shmem_bytes = 1 << 20;
+    cfg.seed = 3;
+    sys_ = std::make_unique<SimSystem>(cfg);
+    service_ = std::make_unique<DtmService>(sys_->env(0), tm);
+    sys_->SetCoreMain(0, [this](CoreEnv&) { service_->RunLoop(); });
+  }
+
+  void RunClient(std::function<void(CoreEnv&)> client) {
+    sys_->SetCoreMain(1, std::move(client));
+    sys_->Run(MillisToSim(1000));
+  }
+
+  DtmService& service() { return *service_; }
+  SimSystem& sys() { return *sys_; }
+
+  static Message ReadReq(uint64_t addr, uint64_t epoch, uint64_t metric = 0) {
+    Message m;
+    m.type = MsgType::kReadLockReq;
+    m.w0 = addr;
+    m.w1 = epoch;
+    m.w2 = metric;
+    return m;
+  }
+  static Message WriteReq(uint64_t addr, uint64_t epoch, uint64_t metric = 0) {
+    Message m = ReadReq(addr, epoch, metric);
+    m.type = MsgType::kWriteLockReq;
+    return m;
+  }
+
+ private:
+  std::unique_ptr<SimSystem> sys_;
+  std::unique_ptr<DtmService> service_;
+};
+
+TEST(DtmService, EchoRespondsImmediately) {
+  ServiceHarness h;
+  bool ok = false;
+  h.RunClient([&ok](CoreEnv& env) {
+    Message m;
+    m.type = MsgType::kEcho;
+    m.w0 = 77;
+    env.Send(0, std::move(m));
+    const Message rsp = env.Recv();
+    ok = rsp.type == MsgType::kEchoRsp && rsp.w0 == 77;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(DtmService, GrantsFreeLocksAndEchoesEpoch) {
+  ServiceHarness h;
+  h.RunClient([](CoreEnv& env) {
+    env.Send(0, ServiceHarness::ReadReq(0x100, 11));
+    Message rsp = env.Recv();
+    ASSERT_EQ(rsp.type, MsgType::kLockGranted);
+    EXPECT_EQ(rsp.w0, 0x100u);
+    EXPECT_EQ(rsp.w1, 11u);
+    env.Send(0, ServiceHarness::WriteReq(0x100, 11));
+    rsp = env.Recv();
+    ASSERT_EQ(rsp.type, MsgType::kLockGranted);  // own-lock upgrade
+  });
+  EXPECT_TRUE(h.service().lock_table().HasReader(0x100, 1));
+  EXPECT_TRUE(h.service().lock_table().HasWriter(0x100, nullptr));
+}
+
+TEST(DtmService, ConflictResponseCarriesKind) {
+  TmConfig tm;
+  tm.cm = CmKind::kNone;  // requester always loses
+  ServiceHarness h(tm);
+  ConflictKind kind = ConflictKind::kNone;
+  h.RunClient([&kind](CoreEnv& env) {
+    env.Send(0, ServiceHarness::WriteReq(0x200, 1));
+    (void)env.Recv();  // granted
+    // Second client (core 2) not used; reuse core 1 with a different
+    // epoch — but the same core never conflicts with itself, so drive the
+    // conflict through a direct HandleLocal-style message from core 2.
+    env.Send(0, ServiceHarness::ReadReq(0x200, 2));
+    const Message rsp = env.Recv();
+    kind = static_cast<ConflictKind>(rsp.w2);
+  });
+  // Same core: no conflict. This asserts the OWN-lock path instead.
+  EXPECT_EQ(kind, ConflictKind::kNone);
+}
+
+TEST(DtmService, ForeignConflictRefusedWithKind) {
+  TmConfig tm;
+  tm.cm = CmKind::kNone;
+  ServiceHarness h(tm);
+  ConflictKind kind = ConflictKind::kNone;
+  // Core 2 takes the write lock; core 1's read is refused RAW.
+  h.sys().SetCoreMain(2, [](CoreEnv& env) {
+    env.Send(0, ServiceHarness::WriteReq(0x300, 21));
+    (void)env.Recv();
+  });
+  h.RunClient([&kind](CoreEnv& env) {
+    env.Compute(1000000);  // let core 2 acquire first
+    env.Send(0, ServiceHarness::ReadReq(0x300, 11));
+    const Message rsp = env.Recv();
+    ASSERT_EQ(rsp.type, MsgType::kLockConflict);
+    kind = static_cast<ConflictKind>(rsp.w2);
+  });
+  EXPECT_EQ(kind, ConflictKind::kReadAfterWrite);
+}
+
+TEST(DtmService, RevocationNotifiesVictimOnce) {
+  TmConfig tm;
+  tm.cm = CmKind::kFairCm;
+  ServiceHarness h(tm);
+  int notifies = 0;
+  // Core 2 (victim, worse metric) read-locks two addresses; core 1 write-
+  // locks both with a better metric, revoking core 2 twice — but only one
+  // notification per transaction attempt may be sent.
+  h.sys().SetCoreMain(2, [&notifies](CoreEnv& env) {
+    env.Send(0, ServiceHarness::ReadReq(0x400, 42, /*metric=*/100));
+    (void)env.Recv();
+    env.Send(0, ServiceHarness::ReadReq(0x408, 42, /*metric=*/100));
+    (void)env.Recv();
+    for (;;) {
+      const Message m = env.Recv();
+      if (m.type == MsgType::kAbortNotify) {
+        EXPECT_EQ(m.w1, 42u);
+        ++notifies;
+      }
+    }
+  });
+  h.RunClient([](CoreEnv& env) {
+    env.Compute(2000000);  // let the victim acquire first
+    env.Send(0, ServiceHarness::WriteReq(0x400, 7, /*metric=*/1));
+    ASSERT_EQ(env.Recv().type, MsgType::kLockGranted);
+    env.Send(0, ServiceHarness::WriteReq(0x408, 7, /*metric=*/1));
+    ASSERT_EQ(env.Recv().type, MsgType::kLockGranted);
+  });
+  EXPECT_EQ(notifies, 1);
+}
+
+TEST(DtmService, StaleEpochRequestsRefused) {
+  TmConfig tm;
+  tm.cm = CmKind::kFairCm;
+  ServiceHarness h(tm);
+  bool second_refused = false;
+  // Victim core 2 is revoked under epoch 42, then (not having processed
+  // the notification) sends another request with the same epoch: the node
+  // must refuse it outright.
+  h.sys().SetCoreMain(2, [&second_refused](CoreEnv& env) {
+    env.Send(0, ServiceHarness::ReadReq(0x500, 42, 100));
+    (void)env.Recv();
+    env.Compute(4000000);  // revoked meanwhile; notification ignored here
+    env.Send(0, ServiceHarness::ReadReq(0x508, 42, 100));
+    for (;;) {
+      const Message m = env.Recv();
+      if (m.type == MsgType::kLockConflict) {
+        second_refused = true;
+        return;
+      }
+      if (m.type == MsgType::kLockGranted) {
+        return;
+      }
+    }
+  });
+  h.RunClient([](CoreEnv& env) {
+    env.Compute(2000000);
+    env.Send(0, ServiceHarness::WriteReq(0x500, 7, 1));  // revokes core 2
+    ASSERT_EQ(env.Recv().type, MsgType::kLockGranted);
+  });
+  EXPECT_TRUE(second_refused);
+  EXPECT_GT(h.service().stats().stale_requests_refused, 0u);
+}
+
+TEST(DtmService, BatchAllOrNothingRollsBack) {
+  TmConfig tm;
+  tm.cm = CmKind::kNone;
+  ServiceHarness h(tm);
+  // Core 2 holds 0x610; core 1's batch {0x600, 0x608, 0x610} must fail and
+  // leave 0x600/0x608 unlocked.
+  h.sys().SetCoreMain(2, [](CoreEnv& env) {
+    env.Send(0, ServiceHarness::WriteReq(0x610, 21));
+    (void)env.Recv();
+  });
+  bool conflicted = false;
+  h.RunClient([&conflicted](CoreEnv& env) {
+    env.Compute(1000000);
+    Message batch;
+    batch.type = MsgType::kWriteLockBatchReq;
+    batch.w1 = 11;
+    batch.extra = {0x600, 0x608, 0x610};
+    env.Send(0, std::move(batch));
+    const Message rsp = env.Recv();
+    conflicted = rsp.type == MsgType::kLockConflict;
+    EXPECT_EQ(rsp.w0, 0x610u);  // the address that failed
+  });
+  EXPECT_TRUE(conflicted);
+  EXPECT_FALSE(h.service().lock_table().HasWriter(0x600, nullptr));
+  EXPECT_FALSE(h.service().lock_table().HasWriter(0x608, nullptr));
+  EXPECT_TRUE(h.service().lock_table().HasWriter(0x610, nullptr));
+}
+
+TEST(DtmService, BatchGrantReportsCount) {
+  ServiceHarness h;
+  uint64_t granted_count = 0;
+  h.RunClient([&granted_count](CoreEnv& env) {
+    Message batch;
+    batch.type = MsgType::kWriteLockBatchReq;
+    batch.w1 = 11;
+    batch.extra = {0x700, 0x708, 0x710};
+    env.Send(0, std::move(batch));
+    const Message rsp = env.Recv();
+    ASSERT_EQ(rsp.type, MsgType::kLockGranted);
+    granted_count = rsp.w0;
+  });
+  EXPECT_EQ(granted_count, 3u);
+  EXPECT_TRUE(h.service().lock_table().HasWriter(0x700, nullptr));
+  EXPECT_TRUE(h.service().lock_table().HasWriter(0x710, nullptr));
+}
+
+TEST(DtmService, ReleaseAllDrainsLocks) {
+  ServiceHarness h;
+  h.RunClient([](CoreEnv& env) {
+    env.Send(0, ServiceHarness::ReadReq(0x800, 5));
+    (void)env.Recv();
+    env.Send(0, ServiceHarness::ReadReq(0x808, 5));
+    (void)env.Recv();
+    Message wb;
+    wb.type = MsgType::kWriteLockBatchReq;
+    wb.w1 = 5;
+    wb.extra = {0x810};
+    env.Send(0, std::move(wb));
+    (void)env.Recv();
+
+    Message rel_reads;
+    rel_reads.type = MsgType::kReleaseAllReads;
+    rel_reads.w1 = 5;
+    rel_reads.extra = {0x800, 0x808};
+    env.Send(0, std::move(rel_reads));
+    Message rel_writes;
+    rel_writes.type = MsgType::kReleaseAllWrites;
+    rel_writes.w1 = 5;
+    rel_writes.extra = {0x810};
+    env.Send(0, std::move(rel_writes));
+  });
+  EXPECT_EQ(h.service().lock_table().NumEntries(), 0u);
+  EXPECT_EQ(h.service().stats().releases, 2u);
+}
+
+TEST(DtmService, EarlyReadReleaseDropsSingleLock) {
+  ServiceHarness h;
+  h.RunClient([](CoreEnv& env) {
+    env.Send(0, ServiceHarness::ReadReq(0x900, 5));
+    (void)env.Recv();
+    env.Send(0, ServiceHarness::ReadReq(0x908, 5));
+    (void)env.Recv();
+    Message rel;
+    rel.type = MsgType::kEarlyReadRelease;
+    rel.w0 = 0x900;
+    rel.w1 = 5;
+    env.Send(0, std::move(rel));
+  });
+  EXPECT_FALSE(h.service().lock_table().HasReader(0x900, 1));
+  EXPECT_TRUE(h.service().lock_table().HasReader(0x908, 1));
+}
+
+}  // namespace
+}  // namespace tm2c

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace tm2c {
+namespace {
+
+TEST(FlagSet, ParsesEqualsForm) {
+  int cores = 4;
+  double ratio = 0.5;
+  std::string name = "default";
+  FlagSet flags;
+  flags.Register("cores", &cores, "core count");
+  flags.Register("ratio", &ratio, "a ratio");
+  flags.Register("name", &name, "a name");
+  const char* argv[] = {"prog", "--cores=48", "--ratio=0.25", "--name=scc800"};
+  flags.Parse(4, const_cast<char**>(argv));
+  EXPECT_EQ(cores, 48);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "scc800");
+}
+
+TEST(FlagSet, ParsesSpaceSeparatedForm) {
+  int cores = 4;
+  FlagSet flags;
+  flags.Register("cores", &cores, "core count");
+  const char* argv[] = {"prog", "--cores", "24"};
+  flags.Parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(cores, 24);
+}
+
+TEST(FlagSet, BoolFlagsDefaultTrueWhenBare) {
+  bool verbose = false;
+  FlagSet flags;
+  flags.Register("verbose", &verbose, "chatty");
+  const char* argv[] = {"prog", "--verbose"};
+  flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagSet, BoolFlagsAcceptExplicitValues) {
+  bool verbose = true;
+  FlagSet flags;
+  flags.Register("verbose", &verbose, "chatty");
+  const char* argv[] = {"prog", "--verbose=false"};
+  flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(verbose);
+}
+
+TEST(FlagSet, CollectsPositionalArguments) {
+  int n = 0;
+  FlagSet flags;
+  flags.Register("n", &n, "count");
+  const char* argv[] = {"prog", "input.txt", "--n=3", "output.txt"};
+  const auto positional = flags.Parse(4, const_cast<char**>(argv));
+  ASSERT_EQ(positional.size(), 2u);
+  EXPECT_EQ(positional[0], "input.txt");
+  EXPECT_EQ(positional[1], "output.txt");
+  EXPECT_EQ(n, 3);
+}
+
+TEST(FlagSet, Uint64RejectsNegative) {
+  uint64_t v = 1;
+  FlagSet flags;
+  flags.Register("v", &v, "a value");
+  const char* argv[] = {"prog", "--v=-5"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)), ::testing::ExitedWithCode(2),
+              "bad value");
+}
+
+TEST(FlagSet, UnknownFlagExits) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)), ::testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+TEST(FlagSet, IllFormedIntExits) {
+  int v = 0;
+  FlagSet flags;
+  flags.Register("v", &v, "a value");
+  const char* argv[] = {"prog", "--v=12abc"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)), ::testing::ExitedWithCode(2),
+              "bad value");
+}
+
+TEST(FlagSet, MissingValueExits) {
+  int v = 0;
+  FlagSet flags;
+  flags.Register("v", &v, "a value");
+  const char* argv[] = {"prog", "--v"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)), ::testing::ExitedWithCode(2),
+              "needs a value");
+}
+
+}  // namespace
+}  // namespace tm2c

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/noc/latency.h"
+#include "src/noc/platform.h"
+#include "src/noc/topology.h"
+
+namespace tm2c {
+namespace {
+
+TEST(Platform, SccSettingTable) {
+  // Section 5.1's settings table (tile/mesh/DRAM MHz).
+  const PlatformDesc s0 = MakeSccPlatform(0);
+  EXPECT_EQ(s0.core_mhz, 533u);
+  EXPECT_EQ(s0.mesh_mhz, 800u);
+  EXPECT_EQ(s0.dram_mhz, 800u);
+  const PlatformDesc s1 = MakeSccPlatform(1);
+  EXPECT_EQ(s1.core_mhz, 800u);
+  EXPECT_EQ(s1.mesh_mhz, 1600u);
+  EXPECT_EQ(s1.dram_mhz, 1066u);
+  const PlatformDesc s4 = MakeSccPlatform(4);
+  EXPECT_EQ(s4.core_mhz, 800u);
+  EXPECT_EQ(s4.mesh_mhz, 800u);
+  EXPECT_EQ(s4.dram_mhz, 800u);
+}
+
+TEST(Platform, ByNameLookup) {
+  EXPECT_EQ(PlatformByName("scc").name, "scc");
+  EXPECT_EQ(PlatformByName("scc800").core_mhz, 800u);
+  EXPECT_EQ(PlatformByName("opteron").kind, PlatformKind::kOpteron);
+  EXPECT_EQ(PlatformByName("scc-setting-3").mesh_mhz, 800u);
+}
+
+TEST(Platform, SccShape) {
+  const PlatformDesc p = MakeSccPlatform(0);
+  EXPECT_EQ(p.mesh_cols * p.mesh_rows * p.cores_per_tile, 48u);
+  EXPECT_EQ(p.num_mem_controllers, 4u);
+}
+
+TEST(Topology, TileCoordinates) {
+  const Topology topo(MakeSccPlatform(0));
+  // Cores 0 and 1 share tile (0,0); cores 2,3 are tile (1,0).
+  EXPECT_EQ(topo.TileOf(0).x, 0u);
+  EXPECT_EQ(topo.TileOf(1).x, 0u);
+  EXPECT_EQ(topo.TileOf(2).x, 1u);
+  // Core 12 starts the second row (6 tiles * 2 cores per row).
+  EXPECT_EQ(topo.TileOf(12).y, 1u);
+  EXPECT_EQ(topo.TileOf(12).x, 0u);
+  // Last core is on tile (5,3).
+  EXPECT_EQ(topo.TileOf(47).x, 5u);
+  EXPECT_EQ(topo.TileOf(47).y, 3u);
+}
+
+TEST(Topology, HopsIsManhattanDistance) {
+  const Topology topo(MakeSccPlatform(0));
+  EXPECT_EQ(topo.Hops(0, 1), 0u);    // same tile
+  EXPECT_EQ(topo.Hops(0, 2), 1u);    // adjacent tile
+  EXPECT_EQ(topo.Hops(0, 47), 8u);   // opposite corners: 5 + 3
+  EXPECT_EQ(topo.Hops(47, 0), 8u);   // symmetric
+}
+
+TEST(Topology, OpteronSocketHops) {
+  const Topology topo(MakeOpteronPlatform());
+  EXPECT_EQ(topo.Hops(0, 11), 0u);   // same socket
+  EXPECT_EQ(topo.Hops(0, 12), 1u);   // cross socket
+  EXPECT_EQ(topo.Hops(13, 14), 0u);
+}
+
+TEST(Topology, MemControllerStriping) {
+  const Topology topo(MakeSccPlatform(0));
+  const uint64_t bytes = 4096;
+  EXPECT_EQ(topo.MemControllerOf(0, bytes), 0u);
+  EXPECT_EQ(topo.MemControllerOf(1024, bytes), 1u);
+  EXPECT_EQ(topo.MemControllerOf(2048, bytes), 2u);
+  EXPECT_EQ(topo.MemControllerOf(4095, bytes), 3u);
+}
+
+TEST(Latency, RoundTripMatchesPaperCalibration) {
+  // Figure 8(a): ~5.1 us round trip with 2 cores, ~12.4 us with 48 cores
+  // (24 app + 24 service) on SCC setting 0.
+  const PlatformDesc p = MakeSccPlatform(0);
+  const LatencyModel lat(p);
+
+  // 2 cores: each side polls a single peer.
+  const double rt2 = SimToMicros(lat.OneWayPs(0, 1, 1) + lat.OneWayPs(1, 0, 1));
+  EXPECT_NEAR(rt2, 5.1, 0.8);
+
+  // 48 cores: a service core polls 24 app cores; an app core polls 24
+  // service cores; average hop distance on the mesh is about 3.6.
+  const double rt48 = SimToMicros(lat.OneWayPs(0, 40, 24) + lat.OneWayPs(40, 0, 24));
+  EXPECT_NEAR(rt48, 12.4, 2.0);
+}
+
+TEST(Latency, GrowsWithPolledPeers) {
+  const LatencyModel lat(MakeSccPlatform(0));
+  EXPECT_LT(lat.RecvOverheadPs(2), lat.RecvOverheadPs(24));
+  EXPECT_LT(lat.OneWayPs(0, 2, 1), lat.OneWayPs(0, 2, 48));
+}
+
+TEST(Latency, Scc800FasterThanDefault) {
+  const LatencyModel slow(MakeSccPlatform(0));
+  const LatencyModel fast(MakeSccPlatform(1));
+  EXPECT_LT(fast.OneWayPs(0, 40, 24), slow.OneWayPs(0, 40, 24));
+}
+
+TEST(Latency, OpteronBetweenSccSettingsAtScale) {
+  // Figure 8(a) at 48 cores: scc800 < opteron < scc.
+  const LatencyModel scc(MakeSccPlatform(0));
+  const LatencyModel scc800(MakeSccPlatform(1));
+  const LatencyModel opt(MakeOpteronPlatform());
+  const SimTime scc_rt = scc.OneWayPs(0, 40, 24) + scc.OneWayPs(40, 0, 24);
+  const SimTime scc800_rt = scc800.OneWayPs(0, 40, 24) + scc800.OneWayPs(40, 0, 24);
+  const SimTime opt_rt = opt.OneWayPs(0, 40, 24) + opt.OneWayPs(40, 0, 24);
+  EXPECT_LT(scc800_rt, opt_rt);
+  EXPECT_LT(opt_rt, scc_rt);
+}
+
+TEST(Latency, MemAccessChargesMeshDistance) {
+  const PlatformDesc p = MakeSccPlatform(0);
+  const LatencyModel lat(p);
+  const uint64_t bytes = 1 << 20;
+  // Core 0 sits at tile (0,0) next to controller 0's corner; address 0 is
+  // in controller 0's region, the last address in controller 3's region.
+  const SimTime near = lat.MemAccessPs(0, 0, bytes);
+  const SimTime far = lat.MemAccessPs(0, bytes - 8, bytes);
+  EXPECT_LT(near, far);
+}
+
+}  // namespace
+}  // namespace tm2c

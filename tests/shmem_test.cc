@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/shmem/allocator.h"
+#include "src/shmem/shared_memory.h"
+
+namespace tm2c {
+namespace {
+
+TEST(SharedMemory, LoadStoreRoundTrip) {
+  SharedMemory mem(4096);
+  mem.StoreWord(0, 42);
+  mem.StoreWord(4088, 7);
+  EXPECT_EQ(mem.LoadWord(0), 42u);
+  EXPECT_EQ(mem.LoadWord(4088), 7u);
+  EXPECT_EQ(mem.LoadWord(8), 0u);  // zero-initialized
+}
+
+TEST(SharedMemory, RoundsSizeUpToWords) {
+  SharedMemory mem(13);
+  EXPECT_EQ(mem.size_bytes(), 16u);
+}
+
+TEST(MemController, QueueingDelaysBackToBackAccesses) {
+  const PlatformDesc p = MakeSccPlatform(0);
+  const LatencyModel lat(p);
+  MemControllerModel mc(p, 1 << 20);
+  // Two accesses to the same controller at the same instant: the second
+  // completes later because the controller is occupied.
+  const SimTime t1 = mc.Access(0, 0, 0, lat);
+  const SimTime t2 = mc.Access(0, 1, 8, lat);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(MemController, DistinctControllersDoNotInterfere) {
+  const PlatformDesc p = MakeSccPlatform(0);
+  const LatencyModel lat(p);
+  const uint64_t bytes = 1 << 20;
+  MemControllerModel mc(p, bytes);
+  const SimTime t1 = mc.Access(0, 0, 0, lat);
+  MemControllerModel fresh(p, bytes);
+  // Same-time access to a different controller's region is not queued
+  // behind the first.
+  const SimTime t2 = mc.Access(0, 0, bytes / 2, lat);
+  const SimTime t2_fresh = fresh.Access(0, 0, bytes / 2, lat);
+  EXPECT_EQ(t2, t2_fresh);
+  (void)t1;
+}
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest()
+      : mem_(1 << 20), topo_(MakeSccPlatform(0)), alloc_(&mem_, topo_) {}
+
+  SharedMemory mem_;
+  Topology topo_;
+  ShmAllocator alloc_;
+};
+
+TEST_F(AllocatorTest, AllocReturnsAlignedDistinctBlocks) {
+  std::set<uint64_t> addrs;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t a = alloc_.Alloc(24, /*core=*/0);
+    EXPECT_EQ(a % kWordBytes, 0u);
+    EXPECT_TRUE(addrs.insert(a).second) << "duplicate address";
+  }
+  EXPECT_EQ(alloc_.bytes_in_use(), 100u * 24);
+}
+
+TEST_F(AllocatorTest, FreeMakesMemoryReusable) {
+  const uint64_t a = alloc_.Alloc(64, 0);
+  alloc_.Free(a);
+  EXPECT_EQ(alloc_.bytes_in_use(), 0u);
+  const uint64_t b = alloc_.Alloc(64, 0);
+  EXPECT_EQ(a, b);  // first-fit reuses the freed block
+}
+
+TEST_F(AllocatorTest, CoalescingAllowsLargeRealloc) {
+  const uint64_t a = alloc_.Alloc(64, 0);
+  const uint64_t b = alloc_.Alloc(64, 0);
+  const uint64_t c = alloc_.Alloc(64, 0);
+  alloc_.Free(a);
+  alloc_.Free(c);
+  alloc_.Free(b);  // middle free coalesces with both neighbours
+  const uint64_t big = alloc_.Alloc(192, 0);
+  EXPECT_EQ(big, a);
+}
+
+TEST_F(AllocatorTest, GlobalAllocStartsInRegionZero) {
+  const uint64_t a = alloc_.AllocGlobal(128);
+  EXPECT_EQ(topo_.MemControllerOf(a, mem_.size_bytes()), 0u);
+}
+
+TEST_F(AllocatorTest, CoreLocalAllocPrefersClosestController) {
+  // Core 47 sits at tile (5,3) next to controller 3's corner.
+  const uint64_t a = alloc_.Alloc(128, /*core=*/47);
+  EXPECT_EQ(topo_.MemControllerOf(a, mem_.size_bytes()), 3u);
+  // Core 0 sits at tile (0,0) next to controller 0.
+  const uint64_t b = alloc_.Alloc(128, /*core=*/0);
+  EXPECT_EQ(topo_.MemControllerOf(b, mem_.size_bytes()), 0u);
+}
+
+TEST_F(AllocatorTest, FallsBackWhenPreferredRegionFull) {
+  // Exhaust region 3 (core 47's preferred region).
+  const uint64_t region_bytes = mem_.size_bytes() / 4;
+  uint64_t allocated = 0;
+  while (allocated + 4096 <= region_bytes) {
+    alloc_.Alloc(4096, 47);
+    allocated += 4096;
+  }
+  // The next allocation must succeed from another region.
+  const uint64_t a = alloc_.Alloc(4096, 47);
+  EXPECT_NE(topo_.MemControllerOf(a, mem_.size_bytes()), 3u);
+}
+
+TEST(AllocatorDeath, DoubleFreeIsChecked) {
+  SharedMemory mem(1 << 16);
+  Topology topo(MakeSccPlatform(0));
+  ShmAllocator alloc(&mem, topo);
+  const uint64_t a = alloc.Alloc(32, 0);
+  alloc.Free(a);
+  EXPECT_DEATH(alloc.Free(a), "unknown or already-freed");
+}
+
+}  // namespace
+}  // namespace tm2c

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/fiber.h"
+#include "src/sim/time.h"
+
+namespace tm2c {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  int state = 0;
+  Fiber f([&state]() { state = 1; });
+  EXPECT_FALSE(f.finished());
+  f.Resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(state, 1);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> trace;
+  Fiber* handle = nullptr;
+  Fiber f([&trace, &handle]() {
+    trace.push_back(1);
+    handle->Yield();
+    trace.push_back(3);
+  });
+  handle = &f;
+  f.Resume();
+  trace.push_back(2);
+  f.Resume();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksRunningFiber) {
+  EXPECT_EQ(Fiber::Current(), nullptr);
+  Fiber* observed = nullptr;
+  Fiber f([&observed]() { observed = Fiber::Current(); });
+  f.Resume();
+  EXPECT_EQ(observed, &f);
+  EXPECT_EQ(Fiber::Current(), nullptr);
+}
+
+TEST(SimEngine, EventsRunInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(30, [&order]() { order.push_back(3); });
+  engine.ScheduleAt(10, [&order]() { order.push_back(1); });
+  engine.ScheduleAt(20, [&order]() { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(SimEngine, EqualTimestampsRunFifo) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.ScheduleAt(5, [&order, i]() { order.push_back(i); });
+  }
+  engine.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimEngine, SleepAdvancesTime) {
+  SimEngine engine;
+  SimTime woke_at = 0;
+  engine.AddActor([&engine, &woke_at]() {
+    engine.Sleep(100);
+    woke_at = engine.now();
+    engine.Sleep(50);
+  });
+  engine.Run();
+  EXPECT_EQ(woke_at, 100u);
+  EXPECT_EQ(engine.now(), 150u);
+}
+
+TEST(SimEngine, RunUntilStopsEarly) {
+  SimEngine engine;
+  int steps = 0;
+  engine.AddActor([&engine, &steps]() {
+    for (int i = 0; i < 100; ++i) {
+      engine.Sleep(10);
+      ++steps;
+    }
+  });
+  engine.Run(55);
+  EXPECT_EQ(steps, 5);
+  // now() reflects the last executed event, not the horizon.
+  EXPECT_EQ(engine.now(), 50u);
+}
+
+TEST(SimEngine, BlockAndWake) {
+  SimEngine engine;
+  SimTime woke_at = 0;
+  const size_t sleeper = engine.AddActor([&engine, &woke_at]() {
+    woke_at = engine.BlockCurrent();
+  });
+  engine.AddActor([&engine, sleeper]() {
+    engine.Sleep(200);
+    engine.WakeActor(sleeper, 25);
+  });
+  engine.Run();
+  EXPECT_EQ(woke_at, 225u);
+}
+
+TEST(SimEngine, ActorBlockedReflectsState) {
+  SimEngine engine;
+  const size_t sleeper = engine.AddActor([&engine]() { engine.BlockCurrent(); });
+  bool blocked_seen = false;
+  engine.AddActor([&engine, sleeper, &blocked_seen]() {
+    engine.Sleep(10);
+    blocked_seen = engine.ActorBlocked(sleeper);
+    engine.WakeActor(sleeper);
+  });
+  engine.Run();
+  EXPECT_TRUE(blocked_seen);
+  EXPECT_FALSE(engine.ActorBlocked(sleeper));
+}
+
+TEST(SimEngine, CurrentActorIdentifiesCaller) {
+  SimEngine engine;
+  std::vector<size_t> seen;
+  for (int i = 0; i < 3; ++i) {
+    engine.AddActor([&engine, &seen]() { seen.push_back(engine.CurrentActor()); });
+  }
+  engine.Run();
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(SimEngine, RequestStopHaltsLoop) {
+  SimEngine engine;
+  int ticks = 0;
+  engine.AddActor([&engine, &ticks]() {
+    for (int i = 0; i < 1000; ++i) {
+      engine.Sleep(1);
+      if (++ticks == 10) {
+        engine.RequestStop();
+        // The actor keeps running after the stop request until it yields.
+      }
+    }
+  });
+  engine.Run();
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(SimEngine, ManyActorsInterleaveDeterministically) {
+  // Two identical engines must produce identical interleavings.
+  auto run_once = []() {
+    SimEngine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      engine.AddActor([&engine, &order, i]() {
+        for (int k = 0; k < 5; ++k) {
+          engine.Sleep(static_cast<SimTime>(7 * (i + 1)));
+          order.push_back(i);
+        }
+      });
+    }
+    engine.Run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(MicrosToSim(5), 5u * kPicosPerMicro);
+  EXPECT_DOUBLE_EQ(SimToMicros(MicrosToSim(5)), 5.0);
+  // 533 MHz -> ~1876 ps period.
+  const SimTime period = PeriodPsFromMhz(533);
+  EXPECT_NEAR(static_cast<double>(period), 1876.0, 1.0);
+  EXPECT_EQ(CyclesToSim(10, period), 10 * period);
+}
+
+}  // namespace
+}  // namespace tm2c

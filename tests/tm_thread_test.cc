@@ -1,0 +1,148 @@
+// TM2C protocol on the std::thread backend: the same DtmService/TxRuntime
+// code under real OS concurrency (the Section 7 port). These tests are
+// nondeterministic by nature and assert only safety and completion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/runtime/thread_system.h"
+#include "src/tm/dtm_service.h"
+#include "src/tm/tx_runtime.h"
+
+namespace tm2c {
+namespace {
+
+struct ThreadTmHarness {
+  explicit ThreadTmHarness(uint32_t cores, uint32_t service, TmConfig tm_config)
+      : tm(tm_config) {
+    ThreadSystemConfig cfg;
+    cfg.platform = MakeOpteronPlatform();
+    cfg.num_cores = cores;
+    cfg.num_service = service;
+    cfg.shmem_bytes = 1 << 20;
+    sys = std::make_unique<ThreadSystem>(cfg);
+    map = std::make_unique<AddressMap>(sys->deployment(), tm.stripe_bytes);
+    for (uint32_t core : sys->deployment().service_cores()) {
+      sys->SetCoreMain(core, [this](CoreEnv& env) {
+        DtmService service_loop(env, tm);
+        service_loop.RunLoop();
+      });
+    }
+    running.store(sys->deployment().num_app());
+  }
+
+  // Installs `body` on every app thread; the last to finish shuts the
+  // services down.
+  void SetAppBodies(const std::function<void(CoreEnv&, TxRuntime&)>& body) {
+    const auto& plan = sys->deployment();
+    for (uint32_t i = 0; i < plan.num_app(); ++i) {
+      const uint32_t core = plan.app_cores()[i];
+      sys->SetCoreMain(core, [this, body](CoreEnv& env) {
+        TxRuntime rt(env, tm, *map);
+        body(env, rt);
+        if (running.fetch_sub(1) == 1) {
+          for (uint32_t sc : sys->deployment().service_cores()) {
+            sys->SendShutdown(sc);
+          }
+        }
+      });
+    }
+  }
+
+  TmConfig tm;
+  std::unique_ptr<ThreadSystem> sys;
+  std::unique_ptr<AddressMap> map;
+  std::atomic<uint32_t> running{0};
+};
+
+TEST(ThreadTm, ConcurrentIncrementsExact) {
+  for (CmKind cm : {CmKind::kBackoffRetry, CmKind::kFairCm}) {
+    TmConfig tm;
+    tm.cm = cm;
+    ThreadTmHarness h(4, 2, tm);
+    const uint64_t counter = h.sys->allocator().AllocGlobal(8);
+    constexpr int kIncs = 500;
+    h.SetAppBodies([counter](CoreEnv&, TxRuntime& rt) {
+      for (int k = 0; k < kIncs; ++k) {
+        rt.Execute([counter](Tx& tx) { tx.Write(counter, tx.Read(counter) + 1); });
+      }
+    });
+    h.sys->RunToCompletion();
+    EXPECT_EQ(h.sys->shmem().LoadWord(counter),
+              static_cast<uint64_t>(h.sys->deployment().num_app()) * kIncs)
+        << "cm=" << CmKindName(cm);
+  }
+}
+
+TEST(ThreadTm, BankTransfersConserveTotal) {
+  TmConfig tm;
+  tm.cm = CmKind::kFairCm;
+  ThreadTmHarness h(4, 1, tm);
+  constexpr uint32_t kAccounts = 32;
+  const uint64_t base = h.sys->allocator().AllocGlobal(kAccounts * 8);
+  for (uint32_t a = 0; a < kAccounts; ++a) {
+    h.sys->shmem().StoreWord(base + a * 8, 100);
+  }
+  std::atomic<uint32_t> next_seed{1};
+  h.SetAppBodies([base, &next_seed](CoreEnv&, TxRuntime& rt) {
+    Rng rng(next_seed.fetch_add(1));
+    for (int k = 0; k < 300; ++k) {
+      const uint64_t from = base + rng.NextBelow(kAccounts) * 8;
+      uint64_t to = base + rng.NextBelow(kAccounts) * 8;
+      if (to == from) {
+        to = base + ((to - base) / 8 + 1) % kAccounts * 8;
+      }
+      rt.Execute([from, to](Tx& tx) {
+        tx.Write(from, tx.Read(from) - 1);
+        tx.Write(to, tx.Read(to) + 1);
+      });
+    }
+  });
+  h.sys->RunToCompletion();
+  uint64_t total = 0;
+  for (uint32_t a = 0; a < kAccounts; ++a) {
+    total += h.sys->shmem().LoadWord(base + a * 8);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kAccounts) * 100);
+}
+
+TEST(ThreadTm, ScansSeeConsistentPairs) {
+  TmConfig tm;
+  tm.cm = CmKind::kFairCm;
+  ThreadTmHarness h(4, 2, tm);
+  const uint64_t base = h.sys->allocator().AllocGlobal(16);
+  h.sys->shmem().StoreWord(base, 500);
+  h.sys->shmem().StoreWord(base + 8, 500);
+  std::atomic<bool> violation{false};
+  std::atomic<uint32_t> role{0};
+  h.SetAppBodies([base, &violation, &role](CoreEnv&, TxRuntime& rt) {
+    const uint32_t my_role = role.fetch_add(1);
+    if (my_role % 2 == 0) {
+      Rng rng(my_role + 10);
+      for (int k = 0; k < 200; ++k) {
+        const uint64_t d = rng.NextBelow(5);
+        rt.Execute([base, d](Tx& tx) {
+          tx.Write(base, tx.Read(base) - d);
+          tx.Write(base + 8, tx.Read(base + 8) + d);
+        });
+      }
+    } else {
+      for (int k = 0; k < 200; ++k) {
+        uint64_t a = 0;
+        uint64_t b = 0;
+        rt.Execute([&](Tx& tx) {
+          a = tx.Read(base);
+          b = tx.Read(base + 8);
+        });
+        if (a + b != 1000) {
+          violation.store(true);
+        }
+      }
+    }
+  });
+  h.sys->RunToCompletion();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace tm2c
