@@ -3,43 +3,51 @@
 //
 // The bank transfer writes two accounts; when both hash to the same DTM
 // partition, batching turns two lock requests into one message. The
-// MapReduce-style histogram merge (26 writes) shows the effect much more
-// strongly. We report throughput and total messages with batching on/off.
+// 16-word writer (a MapReduce-style histogram merge) shows the effect much
+// more strongly. Each row reports throughput plus messages per committed
+// operation as an extra.
 #include "bench/workloads.h"
 
 namespace tm2c {
 namespace {
 
-struct Point {
-  double throughput;
-  uint64_t messages;
-};
-
-Point RunBank(bool batching, uint32_t cores) {
-  RunSpec spec;
-  spec.total_cores = cores;
-  spec.batch_write_locks = batching;
-  spec.duration = MillisToSim(30);
-  spec.seed = 17;
-  TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
-  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 0));
-  sys.Run(spec.duration);
-  const ThroughputResult r = Summarize(sys, spec.duration);
-  return Point{r.ops_per_ms, r.stats.messages_sent};
+BenchRow FinishRow(BenchRow row, const TmSystem& sys, SimTime duration,
+                   const LatencySampler& lat) {
+  const ThroughputResult r = Summarize(sys, duration);
+  row.TxMerged(r.stats, r.ops_per_ms, lat);
+  if (r.stats.commits > 0) {
+    row.Extra("msgs_per_op", static_cast<double>(r.stats.messages_sent) /
+                                 static_cast<double>(r.stats.commits));
+  }
+  return row;
 }
 
-Point RunWideWrites(bool batching, uint32_t cores) {
-  // Each transaction writes 16 consecutive words — a wide write set, the
-  // best case for batching.
-  RunSpec spec;
+BenchRow RunBank(BenchContext& ctx, bool batching, uint32_t cores) {
+  RunSpec spec = ctx.Spec(30, 17);
   spec.total_cores = cores;
   spec.batch_write_locks = batching;
-  spec.duration = MillisToSim(30);
-  spec.seed = 19;
+  TmSystem sys(MakeConfig(spec));
+  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+  LatencySampler lat;
+  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 0), &lat);
+  sys.Run(spec.duration);
+  BenchRow row;
+  row.Param("workload", "bank-transfers")
+      .Param("batching", batching ? "on" : "off")
+      .Param("cores", uint64_t{cores});
+  return FinishRow(std::move(row), sys, spec.duration, lat);
+}
+
+BenchRow RunWideWrites(BenchContext& ctx, bool batching, uint32_t cores) {
+  // Each transaction writes 16 consecutive words — a wide write set, the
+  // best case for batching.
+  RunSpec spec = ctx.Spec(30, 19);
+  spec.total_cores = cores;
+  spec.batch_write_locks = batching;
   TmSystem sys(MakeConfig(spec));
   const uint64_t base = sys.sim().allocator().AllocGlobal(64 << 10);
   const uint64_t slots = (64 << 10) / kWordBytes;
+  LatencySampler lat;
   InstallLoopBodies(sys, spec.duration, spec.seed,
                     [base, slots](CoreEnv&, TxRuntime& rt, Rng& rng) {
                       const uint64_t start = rng.NextBelow(slots - 16);
@@ -48,40 +56,27 @@ Point RunWideWrites(bool batching, uint32_t cores) {
                           tx.Write(base + (start + w) * kWordBytes, w);
                         }
                       });
-                    });
+                    },
+                    &lat);
   sys.Run(spec.duration);
-  const ThroughputResult r = Summarize(sys, spec.duration);
-  return Point{r.ops_per_ms, r.stats.messages_sent};
+  BenchRow row;
+  row.Param("workload", "16-word-writes")
+      .Param("batching", batching ? "on" : "off")
+      .Param("cores", uint64_t{cores});
+  return FinishRow(std::move(row), sys, spec.duration, lat);
 }
 
-void Main() {
-  TextTable table({"workload", "#cores", "batched ops/ms", "unbatched ops/ms", "batched msgs/op",
-                   "unbatched msgs/op"});
-  for (uint32_t cores : {8u, 24u, 48u}) {
-    const Point on = RunBank(true, cores);
-    const Point off = RunBank(false, cores);
-    table.AddRow({"bank transfers", std::to_string(cores), TextTable::Num(on.throughput, 1),
-                  TextTable::Num(off.throughput, 1),
-                  TextTable::Num(static_cast<double>(on.messages) /
-                                     (on.throughput * SimToMillis(MillisToSim(30))), 1),
-                  TextTable::Num(static_cast<double>(off.messages) /
-                                     (off.throughput * SimToMillis(MillisToSim(30))), 1)});
-    const Point won = RunWideWrites(true, cores);
-    const Point woff = RunWideWrites(false, cores);
-    table.AddRow({"16-word writes", std::to_string(cores), TextTable::Num(won.throughput, 1),
-                  TextTable::Num(woff.throughput, 1),
-                  TextTable::Num(static_cast<double>(won.messages) /
-                                     (won.throughput * SimToMillis(MillisToSim(30))), 1),
-                  TextTable::Num(static_cast<double>(woff.messages) /
-                                     (woff.throughput * SimToMillis(MillisToSim(30))), 1)});
+void Run(BenchContext& ctx) {
+  for (const uint32_t cores : ctx.CoreSweep({8, 24, 48})) {
+    for (const bool batching : {true, false}) {
+      ctx.Report(RunBank(ctx, batching, cores));
+      ctx.Report(RunWideWrites(ctx, batching, cores));
+    }
   }
-  table.Print("Ablation: write-lock batching");
 }
+
+TM2C_REGISTER_BENCH("ablation_batching", "ablation",
+                    "write-lock batching on/off: throughput and messages per operation", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -12,46 +12,40 @@
 namespace tm2c {
 namespace {
 
-struct Point {
-  double commit_rate;
-  uint64_t max_attempts;
-  double throughput;
-};
-
-Point RunOne(CmKind cm, double drift_ppm) {
-  RunSpec spec;
-  spec.total_cores = 32;
+BenchRow RunOne(BenchContext& ctx, CmKind cm, double drift_ppm, const std::string& label) {
+  RunSpec spec = ctx.Spec(30, 29);
+  spec.total_cores = ctx.Cores(32);
   spec.cm = cm;
-  spec.duration = MillisToSim(30);
-  spec.seed = 29;
   TmSystemConfig cfg = MakeConfig(spec);
   cfg.sim.clock_drift_ppm = drift_ppm;
   cfg.sim.clock_skew_max_us = 200.0;
   TmSystem sys(std::move(cfg));
   Bank bank(sys.sim().allocator(), sys.sim().shmem(), 256, 100);
-  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 10));
+  LatencySampler lat;
+  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 10), &lat);
   sys.Run(spec.duration);
-  const ThroughputResult r = Summarize(sys, spec.duration);
-  return Point{100.0 * r.commit_rate, r.stats.max_attempts_per_tx, r.ops_per_ms};
+  BenchRow row;
+  row.Param("cm", label).Param("drift_ppm", static_cast<uint64_t>(drift_ppm));
+  row.Tx(sys, spec.duration, lat);
+  row.Extra("max_attempts", static_cast<double>(sys.MergedStats().max_attempts_per_tx));
+  return row;
 }
 
-void Main() {
-  TextTable table({"CM", "drift (ppm)", "commit rate (%)", "max attempts", "ops/ms"});
-  for (double drift : {0.0, 1000.0, 100000.0}) {
-    const Point og = RunOne(CmKind::kOffsetGreedy, drift);
-    table.AddRow({"offset-greedy", TextTable::Num(drift, 0), TextTable::Num(og.commit_rate, 1),
-                  std::to_string(og.max_attempts), TextTable::Num(og.throughput, 2)});
+void Run(BenchContext& ctx) {
+  // --cm swaps the CM under test; the clock-free FairCM control row only
+  // makes sense against the default subject, so it is skipped on override.
+  for (const CmKind cm : ctx.CmSweep({CmKind::kOffsetGreedy})) {
+    for (const double drift : ctx.Sweep<double>({0.0, 1000.0, 100000.0})) {
+      ctx.Report(RunOne(ctx, cm, drift, CmKindName(cm)));
+    }
   }
-  const Point fair = RunOne(CmKind::kFairCm, 100000.0);
-  table.AddRow({"faircm (control)", "100000", TextTable::Num(fair.commit_rate, 1),
-                std::to_string(fair.max_attempts), TextTable::Num(fair.throughput, 2)});
-  table.Print("Ablation: Offset-Greedy sensitivity to clock drift (bank, 32 cores)");
+  if (ctx.opts().cm.empty()) {
+    ctx.Report(RunOne(ctx, CmKind::kFairCm, 100000.0, "faircm-control"));
+  }
 }
+
+TM2C_REGISTER_BENCH("ablation_skew", "ablation",
+                    "Offset-Greedy sensitivity to clock drift (bank, 32 cores)", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -11,50 +11,55 @@ namespace {
 constexpr uint32_t kBuckets = 64;
 constexpr uint32_t kUpdatePct = 20;
 
-double RunSeed(DeployStrategy strategy, uint32_t cores, uint32_t load_factor, uint64_t seed) {
-  RunSpec spec;
-  spec.total_cores = cores;
-  spec.strategy = strategy;
-  spec.duration = MillisToSim(25);
-  spec.seed = seed;
-  TmSystem sys(MakeConfig(spec));
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), kBuckets);
-  Rng fill_rng(11);
-  const uint64_t key_range =
-      FillHashTable(table, sys.sim().allocator(), fill_rng, uint64_t{kBuckets} * load_factor);
-  InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, kUpdatePct, key_range));
-  sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
-}
-
 // Averaged over seeds: the multitasked deployment is prone to metastable
 // congestion collapse (a committing core serves requests while holding its
 // write locks, stretching hold times and triggering retry storms); single
 // snapshots are bimodal, see EXPERIMENTS.md.
-double RunOne(DeployStrategy strategy, uint32_t cores, uint32_t load_factor) {
-  double total = 0.0;
-  for (uint64_t seed : {5u, 6u, 7u}) {
-    total += RunSeed(strategy, cores, load_factor, seed);
+BenchRow RunOne(BenchContext& ctx, DeployStrategy strategy, uint32_t cores,
+                uint32_t load_factor) {
+  const std::vector<uint64_t> seeds = ctx.SeedSweep({5, 6, 7});
+  TxStats stats;
+  LatencySampler lat;
+  double total_tput = 0.0;
+  for (const uint64_t seed : seeds) {
+    RunSpec spec = ctx.Spec(25, seed);
+    spec.total_cores = cores;
+    spec.strategy = strategy;
+    TmSystem sys(MakeConfig(spec));
+    ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), kBuckets);
+    Rng fill_rng(11);
+    const uint64_t key_range =
+        FillHashTable(table, sys.sim().allocator(), fill_rng, uint64_t{kBuckets} * load_factor);
+    LatencySampler run_lat;
+    InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, kUpdatePct, key_range),
+                      &run_lat);
+    sys.Run(spec.duration);
+    const ThroughputResult r = Summarize(sys, spec.duration);
+    total_tput += r.ops_per_ms;
+    stats.Merge(r.stats);
+    lat.Merge(run_lat);
   }
-  return total / 3.0;
+  BenchRow row;
+  row.Param("strategy", strategy == DeployStrategy::kMultitasked ? "multitasked" : "dedicated")
+      .Param("load", uint64_t{load_factor})
+      .Param("cores", uint64_t{cores})
+      .TxMerged(stats, total_tput / static_cast<double>(seeds.size()), lat);
+  return row;
 }
 
-void Main() {
-  TextTable table({"#cores", "Multi, 2", "Multi, 8", "Ded, 2", "Ded, 8"});
-  for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
-    table.AddRow({std::to_string(cores),
-                  TextTable::Num(RunOne(DeployStrategy::kMultitasked, cores, 2), 1),
-                  TextTable::Num(RunOne(DeployStrategy::kMultitasked, cores, 8), 1),
-                  TextTable::Num(RunOne(DeployStrategy::kDedicated, cores, 2), 1),
-                  TextTable::Num(RunOne(DeployStrategy::kDedicated, cores, 8), 1)});
+void Run(BenchContext& ctx) {
+  for (const uint32_t cores : ctx.CoreSweep({2, 4, 8, 16, 32, 48})) {
+    for (const DeployStrategy strategy :
+         {DeployStrategy::kMultitasked, DeployStrategy::kDedicated}) {
+      for (const uint32_t load : ctx.Sweep<uint32_t>({2, 8})) {
+        ctx.Report(RunOne(ctx, strategy, cores, load));
+      }
+    }
   }
-  table.Print("Figure 4(a): hash table throughput (ops/ms), multitasked vs dedicated");
 }
+
+TM2C_REGISTER_BENCH("fig4a_deployment", "4(a)",
+                    "hash table throughput (ops/ms), multitasked vs dedicated deployment", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -12,27 +12,31 @@ namespace {
 
 constexpr uint32_t kBuckets = 64;
 
-double RunTransactional(uint32_t load_factor, uint32_t update_pct) {
-  RunSpec spec;
-  spec.total_cores = 48;
-  spec.duration = MillisToSim(25);
-  spec.seed = 9;
+struct TxRun {
+  ThroughputResult result;
+  LatencySampler lat;
+};
+
+TxRun RunTransactional(BenchContext& ctx, uint32_t load_factor, uint32_t update_pct) {
+  RunSpec spec = ctx.Spec(25, 9);
+  spec.total_cores = ctx.Cores(48);
   TmSystem sys(MakeConfig(spec));
   ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), kBuckets);
   Rng fill_rng(13);
   const uint64_t key_range =
       FillHashTable(table, sys.sim().allocator(), fill_rng, uint64_t{kBuckets} * load_factor);
-  InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, update_pct, key_range));
+  TxRun run;
+  InstallLoopBodies(sys, spec.duration, spec.seed,
+                    HashTableMix(&table, update_pct, key_range), &run.lat);
   sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
+  run.result = Summarize(sys, spec.duration);
+  return run;
 }
 
-double RunSequential(uint32_t load_factor, uint32_t update_pct) {
-  RunSpec spec;
+double RunSequential(BenchContext& ctx, uint32_t load_factor, uint32_t update_pct) {
+  RunSpec spec = ctx.Spec(25, 9);
   spec.total_cores = 2;  // one app core, one (idle) service core
-  spec.service_cores = 1;
-  spec.duration = MillisToSim(25);
-  spec.seed = 9;
+  spec.service_cores = 1;  // the sequential baseline is one-core by design
   TmSystem sys(MakeConfig(spec));
   ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), kBuckets);
   Rng fill_rng(13);
@@ -61,23 +65,24 @@ double RunSequential(uint32_t load_factor, uint32_t update_pct) {
   return OpsPerMs(ops, spec.duration);
 }
 
-void Main() {
-  TextTable table({"load factor", "20% updates", "30% updates", "40% updates", "50% updates"});
-  for (uint32_t load : {2u, 4u, 6u, 8u}) {
-    std::vector<std::string> row{std::to_string(load)};
-    for (uint32_t upd : {20u, 30u, 40u, 50u}) {
-      const double speedup = RunTransactional(load, upd) / RunSequential(load, upd);
-      row.push_back(TextTable::Num(speedup, 1));
+void Run(BenchContext& ctx) {
+  for (const uint32_t load : ctx.Sweep<uint32_t>({2, 4, 6, 8})) {
+    for (const uint32_t upd : ctx.Sweep<uint32_t>({20, 30, 40, 50})) {
+      const TxRun tx = RunTransactional(ctx, load, upd);
+      const double seq = RunSequential(ctx, load, upd);
+      BenchRow row;
+      row.Param("load", uint64_t{load})
+          .Param("updates_pct", uint64_t{upd})
+          .TxMerged(tx.result.stats, tx.result.ops_per_ms, tx.lat)
+          .Extra("sequential_ops_per_ms", seq)
+          .Extra("speedup", seq > 0.0 ? tx.result.ops_per_ms / seq : 0.0);
+      ctx.Report(row);
     }
-    table.AddRow(std::move(row));
   }
-  table.Print("Figure 4(b): hash table speedup over bare sequential (24 app + 24 DTM cores)");
 }
+
+TM2C_REGISTER_BENCH("fig4b_speedup", "4(b)",
+                    "hash table speedup over bare sequential (24 app + 24 DTM cores)", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -3,62 +3,45 @@
 //
 // Expected shape: similar at low core counts, lazy wins under contention
 // because write locks are held for less time, giving a higher commit rate.
+//
+// The paper labels the series "64" and "128"; we read those as the initial
+// element counts over a small (8-bucket) array — the contention level that
+// reproduces the paper's 50-100% commit-rate band.
 #include "bench/workloads.h"
 
 namespace tm2c {
 namespace {
 
-struct Point {
-  double throughput;
-  double commit_rate;
-};
-
-// The paper labels the series "64" and "128"; we read those as the initial
-// element counts over a small (16-bucket) array — the contention level that
-// reproduces the paper's 50-100%% commit-rate band. 30%% of operations are
-// updates; moves (which write in the middle of the transaction and thus
-// separate eager from lazy acquisition) are 20%% of all operations.
-Point RunOne(WriteAcquire acquire, uint32_t elements, uint32_t cores) {
-  RunSpec spec;
-  spec.total_cores = cores;
-  spec.write_acquire = acquire;
-  spec.duration = MillisToSim(25);
-  spec.seed = 21;
-  TmSystem sys(MakeConfig(spec));
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), /*num_buckets=*/8);
-  Rng fill_rng(23);
-  const uint64_t key_range =
-      FillHashTable(table, sys.sim().allocator(), fill_rng, elements);
-  InstallLoopBodies(sys, spec.duration, spec.seed,
-                    HashTableMixWithMoves(&table, /*update_pct=*/30, /*move_pct=*/20, key_range));
-  sys.Run(spec.duration);
-  const ThroughputResult r = Summarize(sys, spec.duration);
-  return Point{r.ops_per_ms, 100.0 * r.commit_rate};
-}
-
-void Main() {
-  TextTable tput({"#cores", "eager, 64", "lazy, 64", "eager, 128", "lazy, 128"});
-  TextTable rate({"#cores", "eager, 64", "lazy, 64", "eager, 128", "lazy, 128"});
-  for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
-    const Point e64 = RunOne(WriteAcquire::kEager, 64, cores);
-    const Point l64 = RunOne(WriteAcquire::kLazy, 64, cores);
-    const Point e128 = RunOne(WriteAcquire::kEager, 128, cores);
-    const Point l128 = RunOne(WriteAcquire::kLazy, 128, cores);
-    tput.AddRow({std::to_string(cores), TextTable::Num(e64.throughput, 1),
-                 TextTable::Num(l64.throughput, 1), TextTable::Num(e128.throughput, 1),
-                 TextTable::Num(l128.throughput, 1)});
-    rate.AddRow({std::to_string(cores), TextTable::Num(e64.commit_rate, 1),
-                 TextTable::Num(l64.commit_rate, 1), TextTable::Num(e128.commit_rate, 1),
-                 TextTable::Num(l128.commit_rate, 1)});
+void Run(BenchContext& ctx) {
+  for (const uint32_t cores : ctx.CoreSweep({2, 4, 8, 16, 32, 48})) {
+    for (const uint32_t elements : ctx.Sweep<uint32_t>({64, 128})) {
+      for (const WriteAcquire acquire : {WriteAcquire::kEager, WriteAcquire::kLazy}) {
+        RunSpec spec = ctx.Spec(25, 21);
+        spec.total_cores = cores;
+        spec.write_acquire = acquire;
+        TmSystem sys(MakeConfig(spec));
+        ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), /*num_buckets=*/8);
+        Rng fill_rng(23);
+        const uint64_t key_range =
+            FillHashTable(table, sys.sim().allocator(), fill_rng, elements);
+        LatencySampler lat;
+        InstallLoopBodies(
+            sys, spec.duration, spec.seed,
+            HashTableMixWithMoves(&table, /*update_pct=*/30, /*move_pct=*/20, key_range), &lat);
+        sys.Run(spec.duration);
+        BenchRow row;
+        row.Param("acquire", acquire == WriteAcquire::kEager ? "eager" : "lazy")
+            .Param("elements", uint64_t{elements})
+            .Param("cores", uint64_t{cores})
+            .Tx(sys, spec.duration, lat);
+        ctx.Report(row);
+      }
+    }
   }
-  tput.Print("Figure 4(c) left: hash table with moves, throughput (ops/ms)");
-  rate.Print("Figure 4(c) right: commit rate (%)");
 }
+
+TM2C_REGISTER_BENCH("fig4c_eager_lazy", "4(c)",
+                    "hash table with moves: eager vs lazy write-lock acquisition", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

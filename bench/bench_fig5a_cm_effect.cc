@@ -8,49 +8,30 @@
 namespace tm2c {
 namespace {
 
-struct Point {
-  double throughput;
-  double commit_rate;
-};
-
-Point RunOne(CmKind cm, uint32_t cores) {
-  RunSpec spec;
-  spec.total_cores = cores;
-  spec.cm = cm;
-  spec.duration = MillisToSim(40);
-  spec.seed = 31;
-  TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
-  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, /*balance_pct=*/20));
-  sys.Run(spec.duration);
-  const ThroughputResult r = Summarize(sys, spec.duration);
-  return Point{r.ops_per_ms, 100.0 * r.commit_rate};
-}
-
-void Main() {
-  const CmKind kinds[] = {CmKind::kWholly, CmKind::kOffsetGreedy, CmKind::kFairCm,
-                          CmKind::kBackoffRetry, CmKind::kNone};
-  TextTable tput({"#cores", "Wholly", "Offset-Greedy", "FairCM", "Back-off-Retry", "No CM"});
-  TextTable rate({"#cores", "Wholly", "Offset-Greedy", "FairCM", "Back-off-Retry", "No CM"});
-  for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
-    std::vector<std::string> trow{std::to_string(cores)};
-    std::vector<std::string> rrow{std::to_string(cores)};
-    for (CmKind cm : kinds) {
-      const Point p = RunOne(cm, cores);
-      trow.push_back(TextTable::Num(p.throughput, 2));
-      rrow.push_back(TextTable::Num(p.commit_rate, 1));
+void Run(BenchContext& ctx) {
+  const std::vector<CmKind> kinds = ctx.CmSweep({CmKind::kWholly, CmKind::kOffsetGreedy,
+                                                 CmKind::kFairCm, CmKind::kBackoffRetry,
+                                                 CmKind::kNone});
+  for (const uint32_t cores : ctx.CoreSweep({2, 4, 8, 16, 32, 48})) {
+    for (const CmKind cm : kinds) {
+      RunSpec spec = ctx.Spec(40, 31);
+      spec.total_cores = cores;
+      spec.cm = cm;
+      TmSystem sys(MakeConfig(spec));
+      Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+      LatencySampler lat;
+      InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, /*balance_pct=*/20), &lat);
+      sys.Run(spec.duration);
+      BenchRow row;
+      row.Param("cm", CmKindName(cm)).Param("cores", uint64_t{cores}).Tx(sys, spec.duration, lat);
+      ctx.Report(row);
     }
-    tput.AddRow(std::move(trow));
-    rate.AddRow(std::move(rrow));
   }
-  tput.Print("Figure 5(a) left: bank 20% balance / 80% transfer, throughput (ops/ms)");
-  rate.Print("Figure 5(a) right: commit rate (%)");
 }
+
+TM2C_REGISTER_BENCH("fig5a_cm_effect", "5(a)",
+                    "bank 20% balance / 80% transfer, with and without contention management",
+                    &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

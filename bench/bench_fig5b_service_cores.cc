@@ -1,6 +1,6 @@
 // Figure 5(b): throughput as a function of the number of DTM service cores
-// (out of 48 total), for the bank with 20%/80% balance/transfer (left) and
-// 100% transfers (right).
+// (out of 48 total), for the bank with 20%/80% balance/transfer and with
+// 100% transfers.
 //
 // Expected shape: throughput grows with service cores but sub-linearly —
 // the SCC's message passing does not scale (receive cost grows with the
@@ -11,32 +11,32 @@
 namespace tm2c {
 namespace {
 
-double RunOne(uint32_t service_cores, uint32_t balance_pct) {
-  RunSpec spec;
-  spec.total_cores = 48;
-  spec.service_cores = service_cores;
-  spec.duration = MillisToSim(40);
-  spec.seed = 41;
-  TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
-  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct));
-  sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
+void Run(BenchContext& ctx) {
+  const uint32_t total = ctx.Cores(48);
+  for (const uint32_t service : ctx.ServiceCoreSweep({1, 2, 4, 8, 16, 24})) {
+    if (service >= total) {
+      continue;  // the deployment needs at least one application core
+    }
+    for (const uint32_t balance_pct : {20u, 0u}) {
+      RunSpec spec = ctx.Spec(40, 41);
+      spec.total_cores = total;
+      spec.service_cores = service;
+      TmSystem sys(MakeConfig(spec));
+      Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+      LatencySampler lat;
+      InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct), &lat);
+      sys.Run(spec.duration);
+      BenchRow row;
+      row.Param("service_cores", uint64_t{spec.service_cores})
+          .Param("balance_pct", uint64_t{balance_pct})
+          .Tx(sys, spec.duration, lat);
+      ctx.Report(row);
+    }
+  }
 }
 
-void Main() {
-  TextTable table({"#service cores", "20% balance / 80% transfer", "100% transfer"});
-  for (uint32_t s : {1u, 2u, 4u, 8u, 16u, 24u}) {
-    table.AddRow({std::to_string(s), TextTable::Num(RunOne(s, 20), 2),
-                  TextTable::Num(RunOne(s, 0), 1)});
-  }
-  table.Print("Figure 5(b): bank throughput (ops/ms) vs number of service cores (48 total)");
-}
+TM2C_REGISTER_BENCH("fig5b_service_cores", "5(b)",
+                    "bank throughput vs number of DTM service cores (48 total)", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -7,63 +7,39 @@
 // they consume, so the expensive balances lose priority and the system
 // scales (the paper: up to 12x better than Wholly, 9x better than
 // Offset-Greedy, abort rate under 10%). Back-off-Retry starves the balance
-// core instead.
+// core instead; the balance_commits extra column shows the trade.
 #include "bench/workloads.h"
 
 namespace tm2c {
 namespace {
 
-struct Point {
-  double throughput;
-  double commit_rate;
-  uint64_t balance_commits;
-};
-
-Point RunOne(CmKind cm, uint32_t cores) {
-  RunSpec spec;
-  spec.total_cores = cores;
-  spec.cm = cm;
-  spec.duration = MillisToSim(40);
-  spec.seed = 51;
-  TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
-  InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed,
-                                   /*special=*/BankMix(&bank, /*balance_pct=*/100),
-                                   /*op=*/BankMix(&bank, /*balance_pct=*/0));
-  sys.Run(spec.duration);
-  const ThroughputResult r = Summarize(sys, spec.duration);
-  return Point{r.ops_per_ms, 100.0 * r.commit_rate, sys.AppStats(0).commits};
-}
-
-void Main() {
-  const CmKind kinds[] = {CmKind::kBackoffRetry, CmKind::kOffsetGreedy, CmKind::kWholly,
-                          CmKind::kFairCm};
-  TextTable tput({"#cores", "Back-off-Retry", "Offset-Greedy", "Wholly", "FairCM"});
-  TextTable rate({"#cores", "Back-off-Retry", "Offset-Greedy", "Wholly", "FairCM"});
-  TextTable balances({"#cores", "Back-off-Retry", "Offset-Greedy", "Wholly", "FairCM"});
-  for (uint32_t cores : {4u, 8u, 16u, 32u, 48u}) {
-    std::vector<std::string> trow{std::to_string(cores)};
-    std::vector<std::string> rrow{std::to_string(cores)};
-    std::vector<std::string> brow{std::to_string(cores)};
-    for (CmKind cm : kinds) {
-      const Point p = RunOne(cm, cores);
-      trow.push_back(TextTable::Num(p.throughput, 2));
-      rrow.push_back(TextTable::Num(p.commit_rate, 1));
-      brow.push_back(std::to_string(p.balance_commits));
+void Run(BenchContext& ctx) {
+  const std::vector<CmKind> kinds = ctx.CmSweep(
+      {CmKind::kBackoffRetry, CmKind::kOffsetGreedy, CmKind::kWholly, CmKind::kFairCm});
+  for (const uint32_t cores : ctx.CoreSweep({4, 8, 16, 32, 48})) {
+    for (const CmKind cm : kinds) {
+      RunSpec spec = ctx.Spec(40, 51);
+      spec.total_cores = cores;
+      spec.cm = cm;
+      TmSystem sys(MakeConfig(spec));
+      Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+      LatencySampler lat;
+      InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed,
+                                       /*special=*/BankMix(&bank, /*balance_pct=*/100),
+                                       /*op=*/BankMix(&bank, /*balance_pct=*/0), &lat);
+      sys.Run(spec.duration);
+      BenchRow row;
+      row.Param("cm", CmKindName(cm))
+          .Param("cores", uint64_t{cores})
+          .Tx(sys, spec.duration, lat)
+          .Extra("balance_commits", static_cast<double>(sys.AppStats(0).commits));
+      ctx.Report(row);
     }
-    tput.AddRow(std::move(trow));
-    rate.AddRow(std::move(rrow));
-    balances.AddRow(std::move(brow));
   }
-  tput.Print("Figure 5(c) left: bank, transfers + 1 balance core, throughput (ops/ms)");
-  rate.Print("Figure 5(c) right: commit rate (%)");
-  balances.Print("Balance-core commits during the run (FairCM trades them for throughput)");
 }
+
+TM2C_REGISTER_BENCH("fig5c_cm_compare", "5(c)",
+                    "bank, transfers + one balance core: CM comparison", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -6,7 +6,10 @@
 // contention on the one lock, while the transactional version keeps
 // scaling. Workload 2 (one core runs balances, the rest transfer): the
 // balance holder blocks every transfer under the global lock, so TM wins
-// at every core count.
+// at every core count. The reader_commits extra reports how many balance
+// scans the reader core completed — under FairCM the reader commits rarely
+// by design (the paper's 44-vs-81 balances/s trade, Section 5.3); under the
+// global lock it takes its turn whenever it wins the test-and-set race.
 #include "bench/workloads.h"
 
 namespace tm2c {
@@ -14,111 +17,72 @@ namespace {
 
 constexpr uint32_t kAccounts = 2048;
 
-struct OneReaderDetail {
-  double ops_per_ms = 0.0;
-  uint64_t reader_commits = 0;  // balances the reader core completed
-};
-
-double RunTx(uint32_t cores, bool one_reader) {
-  RunSpec spec;
+BenchRow RunTx(BenchContext& ctx, uint32_t cores, bool one_reader) {
+  RunSpec spec = ctx.Spec(40, 61);
   spec.total_cores = cores;
-  spec.duration = MillisToSim(40);
-  spec.seed = 61;
   TmSystem sys(MakeConfig(spec));
   Bank bank(sys.sim().allocator(), sys.sim().shmem(), kAccounts, 100);
+  LatencySampler lat;
   if (one_reader) {
     InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed, BankMix(&bank, 100),
-                                     BankMix(&bank, 0));
+                                     BankMix(&bank, 0), &lat);
   } else {
-    InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 0));
+    InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 0), &lat);
   }
   sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
+  BenchRow row;
+  row.Param("impl", "tx")
+      .Param("workload", one_reader ? "one-reader" : "transfers")
+      .Param("cores", uint64_t{cores})
+      .Tx(sys, spec.duration, lat);
+  if (one_reader) {
+    row.Extra("reader_commits", static_cast<double>(sys.AppStats(0).commits));
+  }
+  return row;
 }
 
-// Like RunTx/RunLock with one_reader=true, but also reports how many
-// balance operations the reader core completed. Under FairCM the reader
-// commits rarely by design — the CM deprioritizes the expensive scans in
-// favour of system throughput, the paper's 44-vs-81 balances/s trade
-// (Section 5.3); under the global lock the reader takes its turn whenever
-// it wins the test-and-set race.
-OneReaderDetail RunTxDetail(uint32_t cores) {
-  RunSpec spec;
-  spec.total_cores = cores;
-  spec.duration = MillisToSim(40);
-  spec.seed = 61;
-  TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), kAccounts, 100);
-  InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed, BankMix(&bank, 100),
-                                   BankMix(&bank, 0));
-  sys.Run(spec.duration);
-  return OneReaderDetail{Summarize(sys, spec.duration).ops_per_ms, sys.AppStats(0).commits};
-}
-
-OneReaderDetail RunLockDetail(uint32_t cores) {
-  RunSpec spec;
-  spec.total_cores = cores;
-  spec.service_cores = 1;
-  spec.duration = MillisToSim(40);
-  spec.seed = 61;
-  TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), kAccounts, 100);
-  uint64_t ops = 0;
-  uint64_t reader_ops = 0;
-  OpFn transfers = BankLockMix(&bank, 0, &ops);
-  OpFn balances = BankLockMix(&bank, 100, &reader_ops);
-  InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed, balances, transfers);
-  sys.Run(spec.duration);
-  return OneReaderDetail{OpsPerMs(ops + reader_ops, spec.duration), reader_ops};
-}
-
-double RunLock(uint32_t cores, bool one_reader) {
-  RunSpec spec;
+BenchRow RunLock(BenchContext& ctx, uint32_t cores, bool one_reader) {
+  RunSpec spec = ctx.Spec(40, 61);
   spec.total_cores = cores;
   // The lock-based version needs no DTM service: all but one core (the
   // deployment requires at least one service core, which stays idle) run
   // the application, as on the real SCC.
   spec.service_cores = 1;
-  spec.duration = MillisToSim(40);
-  spec.seed = 61;
   TmSystem sys(MakeConfig(spec));
   Bank bank(sys.sim().allocator(), sys.sim().shmem(), kAccounts, 100);
   uint64_t ops = 0;
+  uint64_t reader_ops = 0;
+  LatencySampler lat;
   if (one_reader) {
     InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed,
-                                     BankLockMix(&bank, 100, &ops), BankLockMix(&bank, 0, &ops));
+                                     BankLockMix(&bank, 100, &reader_ops),
+                                     BankLockMix(&bank, 0, &ops), &lat);
   } else {
-    InstallLoopBodies(sys, spec.duration, spec.seed, BankLockMix(&bank, 0, &ops));
+    InstallLoopBodies(sys, spec.duration, spec.seed, BankLockMix(&bank, 0, &ops), &lat);
   }
   sys.Run(spec.duration);
-  return OpsPerMs(ops, spec.duration);
+  BenchRow row;
+  row.Param("impl", "lock")
+      .Param("workload", one_reader ? "one-reader" : "transfers")
+      .Param("cores", uint64_t{cores})
+      .Ops(ops + reader_ops, spec.duration, lat);
+  if (one_reader) {
+    row.Extra("reader_commits", static_cast<double>(reader_ops));
+  }
+  return row;
 }
 
-void Main() {
-  TextTable table({"#cores", "lock, transfers", "tx, transfers", "lock, 1 reader", "tx, 1 reader"});
-  for (uint32_t cores : {28u, 32u, 36u, 40u, 44u, 48u}) {
-    table.AddRow({std::to_string(cores), TextTable::Num(RunLock(cores, false), 1),
-                  TextTable::Num(RunTx(cores, false), 1),
-                  TextTable::Num(RunLock(cores, true), 1),
-                  TextTable::Num(RunTx(cores, true), 1)});
+void Run(BenchContext& ctx) {
+  for (const uint32_t cores : ctx.CoreSweep({28, 32, 36, 40, 44, 48})) {
+    for (const bool one_reader : {false, true}) {
+      ctx.Report(RunLock(ctx, cores, one_reader));
+      ctx.Report(RunTx(ctx, cores, one_reader));
+    }
   }
-  table.Print("Figure 5(d): bank, global lock vs transactions (ops/ms), 2048 accounts");
-
-  TextTable reader({"#cores", "lock reader balances", "tx reader balances"});
-  for (uint32_t cores : {28u, 48u}) {
-    const OneReaderDetail lockd = RunLockDetail(cores);
-    const OneReaderDetail txd = RunTxDetail(cores);
-    reader.AddRow({std::to_string(cores), std::to_string(lockd.reader_commits),
-                   std::to_string(txd.reader_commits)});
-  }
-  reader.Print("Figure 5(d) detail: balances completed by the reader core in 40 ms "
-               "(FairCM deliberately deprioritizes the expensive scans)");
 }
+
+TM2C_REGISTER_BENCH("fig5d_locks", "5(d)",
+                    "bank: global test-and-set lock vs transactions, 2048 accounts", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -9,6 +9,11 @@
 // (Section 5.4). Expected shapes: near-linear scaling with cores, and 8KB
 // chunks beating both 4KB (claim overhead) and 16KB (falls out of the
 // effective L1 share).
+//
+// A MapReduce "operation" is one whole job, so each row's latency is the
+// job duration (one sample) and throughput is raw jobs/ms; the processed
+// input size lives in the input_mb extra (plus duration_s and, for part
+// 6b, speedup over sequential).
 #include "bench/bench_util.h"
 #include "src/apps/mapreduce.h"
 
@@ -17,12 +22,12 @@ namespace {
 
 constexpr uint64_t kScale = 64;  // paper input bytes / our input bytes
 
-SimTime RunParallel(uint64_t input_bytes, uint32_t cores, uint64_t chunk_bytes) {
-  RunSpec spec;
+SimTime RunParallel(BenchContext& ctx, uint64_t input_bytes, uint32_t cores,
+                    uint64_t chunk_bytes) {
+  RunSpec spec = ctx.Spec(0, 71);  // runs to completion, no horizon
   spec.total_cores = cores;
-  spec.service_cores = 1;
+  spec.service_cores = ctx.ServiceCores(1);  // tx load is low (Section 5.4)
   spec.shmem_bytes = 4 * input_bytes + (8 << 20);
-  spec.seed = 71;
   TmSystem sys(MakeConfig(spec));
   MapReduceConfig mr;
   mr.input_bytes = input_bytes;
@@ -37,12 +42,11 @@ SimTime RunParallel(uint64_t input_bytes, uint32_t cores, uint64_t chunk_bytes) 
   return t;
 }
 
-SimTime RunSequentialOnce(uint64_t input_bytes) {
-  RunSpec spec;
+SimTime RunSequentialOnce(BenchContext& ctx, uint64_t input_bytes) {
+  RunSpec spec = ctx.Spec(0, 71);
   spec.total_cores = 2;
-  spec.service_cores = 1;
+  spec.service_cores = 1;  // the sequential baseline is one worker by design
   spec.shmem_bytes = 4 * input_bytes + (8 << 20);
-  spec.seed = 71;
   TmSystem sys(MakeConfig(spec));
   MapReduceConfig mr;
   mr.input_bytes = input_bytes;
@@ -59,44 +63,48 @@ std::string PaperSize(uint64_t input_bytes) {
   return std::to_string(mb) + "MB*";
 }
 
-void Main() {
+BenchRow JobRow(uint64_t input_bytes, SimTime duration) {
+  LatencySampler lat;
+  lat.Add(SimToMicros(duration));
+  BenchRow row;
+  // One committed "operation" (the whole job); throughput in jobs/ms.
+  row.Ops(1, duration, lat);
+  row.Extra("duration_s", SimToSeconds(duration))
+      .Extra("input_mb", static_cast<double>(input_bytes >> 20));
+  return row;
+}
+
+void Run(BenchContext& ctx) {
   // Figure 6(a): duration vs cores (8KB chunks).
-  {
-    const uint64_t sizes[] = {4ull << 20, 8ull << 20, 16ull << 20};
-    TextTable table({"#cores", PaperSize(sizes[0]), PaperSize(sizes[1]), PaperSize(sizes[2])});
-    for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
-      std::vector<std::string> row{std::to_string(cores)};
-      for (uint64_t size : sizes) {
-        row.push_back(TextTable::Num(SimToSeconds(RunParallel(size, cores, 8 << 10)), 2));
-      }
-      table.AddRow(std::move(row));
+  for (const uint64_t size : ctx.Sweep<uint64_t>({4ull << 20, 8ull << 20, 16ull << 20})) {
+    for (const uint32_t cores : ctx.CoreSweep({2, 4, 8, 16, 32, 48})) {
+      const SimTime t = RunParallel(ctx, size, cores, 8 << 10);
+      BenchRow row = JobRow(size, t);
+      row.Param("part", "6a").Param("input", PaperSize(size)).Param("cores", uint64_t{cores});
+      ctx.Report(row);
     }
-    table.Print(
-        "Figure 6(a): MapReduce duration (simulated s) vs cores; * = paper-scale name, "
-        "inputs scaled 1/64");
   }
 
   // Figure 6(b): speedup over sequential vs input size per chunk size, on
   // 48 cores (1 DTM + 47 workers).
-  {
-    TextTable table({"input size", "4KB", "8KB", "16KB"});
-    for (uint64_t size : {4ull << 20, 8ull << 20, 16ull << 20, 32ull << 20}) {
-      std::vector<std::string> row{PaperSize(size)};
-      const SimTime seq = RunSequentialOnce(size);
-      for (uint64_t chunk : {4u << 10, 8u << 10, 16u << 10}) {
-        const SimTime par = RunParallel(size, 48, chunk);
-        row.push_back(TextTable::Num(static_cast<double>(seq) / static_cast<double>(par), 1));
-      }
-      table.AddRow(std::move(row));
+  const uint32_t cores_b = ctx.Cores(48);
+  for (const uint64_t size :
+       ctx.Sweep<uint64_t>({4ull << 20, 8ull << 20, 16ull << 20, 32ull << 20})) {
+    const SimTime seq = RunSequentialOnce(ctx, size);
+    for (const uint64_t chunk : ctx.Sweep<uint64_t>({4u << 10, 8u << 10, 16u << 10})) {
+      const SimTime par = RunParallel(ctx, size, cores_b, chunk);
+      BenchRow row = JobRow(size, par);
+      row.Param("part", "6b")
+          .Param("input", PaperSize(size))
+          .Param("chunk_kb", chunk >> 10);
+      row.Extra("speedup", static_cast<double>(seq) / static_cast<double>(par));
+      ctx.Report(row);
     }
-    table.Print("Figure 6(b): MapReduce speedup over sequential, by chunk size (48 cores)");
   }
 }
 
+TM2C_REGISTER_BENCH("fig6_mapreduce", "6",
+                    "MapReduce letter-count: duration vs cores, speedup vs chunk size", &Run);
+
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -18,37 +18,58 @@ namespace {
 constexpr uint64_t kElements = 512;
 constexpr uint32_t kUpdatePct = 20;
 
-double RunOne(TxMode mode, uint32_t cores) {
-  RunSpec spec;
+struct TxRun {
+  ThroughputResult result;
+  LatencySampler lat;
+};
+
+TxRun RunOne(BenchContext& ctx, TxMode mode, uint32_t cores) {
+  RunSpec spec = ctx.Spec(60, 81);
   spec.total_cores = cores;
   spec.tx_mode = mode;
-  spec.duration = MillisToSim(60);
-  spec.seed = 81;
   TmSystem sys(MakeConfig(spec));
   ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
   Rng fill_rng(83);
   const uint64_t key_range = FillList(list, sys.sim().allocator(), fill_rng, kElements);
-  InstallLoopBodies(sys, spec.duration, spec.seed, ListMix(&list, kUpdatePct, key_range));
+  TxRun run;
+  InstallLoopBodies(sys, spec.duration, spec.seed, ListMix(&list, kUpdatePct, key_range),
+                    &run.lat);
   sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
+  run.result = Summarize(sys, spec.duration);
+  return run;
 }
 
-void Main() {
-  TextTable table({"#cores", "normal (ops/ms)", "elastic-early/normal", "elastic-read/normal"});
-  for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
-    const double normal = RunOne(TxMode::kNormal, cores);
-    const double early = RunOne(TxMode::kElasticEarly, cores);
-    const double readv = RunOne(TxMode::kElasticRead, cores);
-    table.AddRow({std::to_string(cores), TextTable::Num(normal, 2),
-                  TextTable::Num(early / normal, 2), TextTable::Num(readv / normal, 1)});
+const char* ModeName(TxMode mode) {
+  switch (mode) {
+    case TxMode::kNormal:
+      return "normal";
+    case TxMode::kElasticEarly:
+      return "elastic-early";
+    case TxMode::kElasticRead:
+      return "elastic-read";
   }
-  table.Print("Figure 7: linked list, elastic transaction speedups over normal (512 elements)");
+  return "?";
 }
+
+void Run(BenchContext& ctx) {
+  for (const uint32_t cores : ctx.CoreSweep({2, 4, 8, 16, 32, 48})) {
+    const TxRun normal = RunOne(ctx, TxMode::kNormal, cores);
+    for (const TxMode mode : {TxMode::kNormal, TxMode::kElasticEarly, TxMode::kElasticRead}) {
+      const TxRun run = mode == TxMode::kNormal ? normal : RunOne(ctx, mode, cores);
+      BenchRow row;
+      row.Param("mode", ModeName(mode))
+          .Param("cores", uint64_t{cores})
+          .TxMerged(run.result.stats, run.result.ops_per_ms, run.lat);
+      if (mode != TxMode::kNormal && normal.result.ops_per_ms > 0.0) {
+        row.Extra("speedup_vs_normal", run.result.ops_per_ms / normal.result.ops_per_ms);
+      }
+      ctx.Report(row);
+    }
+  }
+}
+
+TM2C_REGISTER_BENCH("fig7_elastic", "7",
+                    "linked list: elastic transaction speedups over normal (512 elements)", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

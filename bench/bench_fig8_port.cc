@@ -14,81 +14,83 @@
 namespace tm2c {
 namespace {
 
-const char* const kPlatforms[] = {"scc", "scc800", "opteron"};
-
-RunSpec PortSpec(const std::string& platform, uint32_t cores) {
-  RunSpec spec;
+RunSpec PortSpec(BenchContext& ctx, const std::string& platform, uint32_t cores) {
+  // The CM ported in Section 7.1 is Back-off-Retry; --cm still overrides.
+  RunSpec spec = ctx.Spec(30, 91, CmKind::kBackoffRetry);
   spec.platform_name = platform;
   spec.total_cores = cores;
-  spec.cm = CmKind::kBackoffRetry;  // the CM ported in Section 7.1
-  spec.duration = MillisToSim(30);
-  spec.seed = 91;
   return spec;
 }
 
-double RunBank(const std::string& platform, uint32_t cores, uint32_t balance_pct) {
-  RunSpec spec = PortSpec(platform, cores);
+BenchRow RunBank(BenchContext& ctx, const std::string& platform, uint32_t cores,
+                 uint32_t balance_pct) {
+  RunSpec spec = PortSpec(ctx, platform, cores);
   TmSystem sys(MakeConfig(spec));
   Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
-  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct));
+  LatencySampler lat;
+  InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct), &lat);
   sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
+  BenchRow row;
+  row.Param("part", balance_pct > 0 ? "8b-mixed" : "8b-transfers")
+      .Param("platform", platform)
+      .Param("cores", uint64_t{cores})
+      .Tx(sys, spec.duration, lat);
+  return row;
 }
 
-double RunList(const std::string& platform, uint32_t cores) {
-  RunSpec spec = PortSpec(platform, cores);
-  spec.duration = MillisToSim(50);
+BenchRow RunList(BenchContext& ctx, const std::string& platform, uint32_t cores) {
+  RunSpec spec = PortSpec(ctx, platform, cores);
+  spec.duration = ctx.Duration(50);
   TmSystem sys(MakeConfig(spec));
   ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
   Rng fill_rng(93);
   const uint64_t key_range = FillList(list, sys.sim().allocator(), fill_rng, 512);
-  InstallLoopBodies(sys, spec.duration, spec.seed, ListMix(&list, 10, key_range));
+  LatencySampler lat;
+  InstallLoopBodies(sys, spec.duration, spec.seed, ListMix(&list, 10, key_range), &lat);
   sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
+  BenchRow row;
+  row.Param("part", "8c-list").Param("platform", platform).Param("cores", uint64_t{cores});
+  row.Tx(sys, spec.duration, lat);
+  return row;
 }
 
-double RunHash(const std::string& platform, uint32_t cores, uint32_t load_factor) {
-  RunSpec spec = PortSpec(platform, cores);
+BenchRow RunHash(BenchContext& ctx, const std::string& platform, uint32_t cores,
+                 uint32_t load_factor) {
+  RunSpec spec = PortSpec(ctx, platform, cores);
   TmSystem sys(MakeConfig(spec));
   const uint64_t elements = 512;
   const uint32_t buckets = static_cast<uint32_t>(elements / load_factor);
   ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), buckets);
   Rng fill_rng(97);
   const uint64_t key_range = FillHashTable(table, sys.sim().allocator(), fill_rng, elements);
-  InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, 10, key_range));
+  LatencySampler lat;
+  InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, 10, key_range), &lat);
   sys.Run(spec.duration);
-  return Summarize(sys, spec.duration).ops_per_ms;
+  BenchRow row;
+  row.Param("part", "8d-hash")
+      .Param("load", uint64_t{load_factor})
+      .Param("platform", platform)
+      .Param("cores", uint64_t{cores})
+      .Tx(sys, spec.duration, lat);
+  return row;
 }
 
-void PrintSweep(const std::string& title, const std::function<double(const std::string&, uint32_t)>& run) {
-  TextTable table({"#cores", "SCC", "SCC800", "Opteron"});
-  for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
-    std::vector<std::string> row{std::to_string(cores)};
-    for (const char* platform : kPlatforms) {
-      row.push_back(TextTable::Num(run(platform, cores), 2));
+void Run(BenchContext& ctx) {
+  const std::vector<std::string> platforms = ctx.PlatformSweep({"scc", "scc800", "opteron"});
+  for (const uint32_t cores : ctx.CoreSweep({2, 4, 8, 16, 32, 48})) {
+    for (const std::string& platform : platforms) {
+      ctx.Report(RunBank(ctx, platform, cores, 20));
+      ctx.Report(RunBank(ctx, platform, cores, 0));
+      ctx.Report(RunList(ctx, platform, cores));
+      for (const uint32_t load : ctx.Sweep<uint32_t>({4, 16})) {
+        ctx.Report(RunHash(ctx, platform, cores, load));
+      }
     }
-    table.AddRow(std::move(row));
   }
-  table.Print(title);
 }
 
-void Main() {
-  PrintSweep("Figure 8(b) left: bank 20% balance / 80% transfer (ops/ms)",
-             [](const std::string& p, uint32_t c) { return RunBank(p, c, 20); });
-  PrintSweep("Figure 8(b) right: bank 100% transfers (ops/ms)",
-             [](const std::string& p, uint32_t c) { return RunBank(p, c, 0); });
-  PrintSweep("Figure 8(c): linked list, 512 elements, 10% updates (ops/ms)",
-             [](const std::string& p, uint32_t c) { return RunList(p, c); });
-  PrintSweep("Figure 8(d) left: hash table, load factor 4, 10% updates (ops/ms)",
-             [](const std::string& p, uint32_t c) { return RunHash(p, c, 4); });
-  PrintSweep("Figure 8(d) right: hash table, load factor 16, 10% updates (ops/ms)",
-             [](const std::string& p, uint32_t c) { return RunHash(p, c, 16); });
-}
+TM2C_REGISTER_BENCH("fig8_port", "8(b-d)",
+                    "bank/list/hash table across SCC, SCC800 and Opteron platform models", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -5,71 +5,37 @@
 // cores, each application core sends echo messages evenly across all
 // service cores, a service core responds immediately. Expected: ~5.1 us at
 // 2 cores and ~12.4 us at 48 on the SCC, scc800 fastest at scale, the
-// Opteron in between.
+// Opteron in between. One echo round trip is the "operation", so the
+// latency percentiles are RTTs and throughput is echoes/ms.
 #include "bench/bench_util.h"
-#include "src/common/stats.h"
-#include "src/runtime/sim_system.h"
 
 namespace tm2c {
 namespace {
 
 constexpr int kEchoesPerCore = 300;
 
-double MeanRttMicros(const std::string& platform, uint32_t cores) {
-  SimSystemConfig cfg;
-  cfg.platform = PlatformByName(platform);
-  cfg.num_cores = cores;
-  cfg.num_service = cores / 2;
-  cfg.shmem_bytes = 1 << 20;
-  cfg.seed = 3;
-  SimSystem sys(cfg);
-  const auto& plan = sys.deployment();
-  auto total_rtt = std::make_shared<StatAccumulator>();
-  for (uint32_t core : plan.service_cores()) {
-    // Serve until the run drains; a service core blocked in Recv with no
-    // events left simply ends the simulation.
-    sys.SetCoreMain(core, [](CoreEnv& env) {
-      for (;;) {
-        Message m = env.Recv();
-        Message rsp;
-        rsp.type = MsgType::kEchoRsp;
-        rsp.w0 = m.w0;
-        env.Send(m.src, std::move(rsp));
-      }
-    });
-  }
-  for (uint32_t core : plan.app_cores()) {
-    sys.SetCoreMain(core, [&plan, total_rtt](CoreEnv& env) {
-      for (int i = 0; i < kEchoesPerCore; ++i) {
-        const uint32_t dst = plan.ServiceCore(static_cast<uint32_t>(i) % plan.num_service());
-        const SimTime start = env.GlobalNow();
-        Message m;
-        m.type = MsgType::kEcho;
-        env.Send(dst, std::move(m));
-        Message rsp = env.Recv();
-        TM2C_CHECK(rsp.type == MsgType::kEchoRsp);
-        total_rtt->Add(SimToMicros(env.GlobalNow() - start));
-      }
-    });
-  }
-  sys.Run();
-  return total_rtt->mean();
+BenchRow RunOne(BenchContext& ctx, const std::string& platform, uint32_t cores) {
+  const int echoes = ctx.smoke() ? kEchoesPerCore / 10 : kEchoesPerCore;
+  const EchoResult echo = RunEchoWorkload(PlatformByName(platform), cores,
+                                          ctx.ServiceCores(cores / 2), echoes, ctx.Seed(3));
+  BenchRow row;
+  row.Param("platform", platform).Param("cores", uint64_t{cores});
+  row.Ops(echo.rtt.count(), echo.end, echo.rtt);
+  row.Extra("mean_rtt_us", echo.rtt.mean());
+  return row;
 }
 
-void Main() {
-  TextTable table({"#cores", "SCC", "SCC800", "Opteron"});
-  for (uint32_t cores : {2u, 4u, 8u, 16u, 32u, 48u}) {
-    table.AddRow({std::to_string(cores), TextTable::Num(MeanRttMicros("scc", cores), 2),
-                  TextTable::Num(MeanRttMicros("scc800", cores), 2),
-                  TextTable::Num(MeanRttMicros("opteron", cores), 2)});
+void Run(BenchContext& ctx) {
+  const std::vector<std::string> platforms = ctx.PlatformSweep({"scc", "scc800", "opteron"});
+  for (const uint32_t cores : ctx.CoreSweep({2, 4, 8, 16, 32, 48})) {
+    for (const std::string& platform : platforms) {
+      ctx.Report(RunOne(ctx, platform, cores));
+    }
   }
-  table.Print("Figure 8(a): round-trip message latency (us)");
 }
+
+TM2C_REGISTER_BENCH("fig8a_latency", "8(a)",
+                    "round-trip message latency vs core count, per platform model", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -1,10 +1,16 @@
-// Micro-benchmarks (google-benchmark) of the host-side building blocks:
-// lock-table operations, the contention managers' decision path, the
-// CoreSet, the allocator and the event engine. These measure real CPU
-// cost, not simulated time — they bound how fast the simulator itself can
-// run experiments.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the host-side building blocks: lock-table
+// operations, the contention managers' decision path, the CoreSet, the
+// allocator, the event engine and the RNG. These measure real CPU cost,
+// not simulated time — they bound how fast the simulator itself can run
+// experiments.
+//
+// Each micro-op runs in timed batches on the host clock; a sample is the
+// per-op time of one batch, so the reported percentiles are host-side
+// latencies in microseconds and throughput is host ops/ms. Nothing can
+// abort here, so commit_rate is 1 by construction.
+#include <chrono>
 
+#include "bench/bench_util.h"
 #include "src/cm/contention_manager.h"
 #include "src/common/core_set.h"
 #include "src/common/rng.h"
@@ -24,95 +30,125 @@ TxInfo Info(uint32_t core, uint64_t metric) {
   return info;
 }
 
-void BM_LockTableReadAcquireRelease(benchmark::State& state) {
-  LockTable table;
-  const auto cm = MakeContentionManager(CmKind::kFairCm);
-  uint64_t addr = 0;
-  for (auto _ : state) {
-    table.ReadLock(Info(1, 0), addr, *cm);
-    table.ReleaseRead(1, addr);
-    addr = (addr + 8) & 0xffff;
-  }
+double HostNowUs() {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  return static_cast<double>(ns) / 1000.0;
 }
-BENCHMARK(BM_LockTableReadAcquireRelease);
 
-void BM_LockTableWriteConflictPath(benchmark::State& state) {
-  LockTable table;
-  const auto cm = MakeContentionManager(CmKind::kFairCm);
-  // Ten readers on the contested word; the writer must beat all of them.
-  for (uint32_t r = 2; r < 12; ++r) {
-    table.ReadLock(Info(r, 100), 0x100, *cm);
+// Runs `op` in `batches` timed batches of `batch` calls and reports one
+// standard row: each latency sample is one batch's mean per-op time.
+template <typename Op>
+void Measure(BenchContext& ctx, const char* name, uint64_t batch, uint64_t batches, Op op) {
+  // Warm up caches and branch predictors outside the timed region.
+  for (uint64_t i = 0; i < batch; ++i) {
+    op();
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table.WriteLock(Info(1, 1000), 0x100, *cm));  // refused
-  }
-}
-BENCHMARK(BM_LockTableWriteConflictPath);
-
-void BM_CmDecideTenHolders(benchmark::State& state) {
-  const auto cm = MakeContentionManager(CmKind::kFairCm);
-  std::vector<TxInfo> holders;
-  for (uint32_t r = 0; r < 10; ++r) {
-    holders.push_back(Info(r + 2, 50 + r));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cm->Decide(Info(1, 10), holders, ConflictKind::kWriteAfterRead));
-  }
-}
-BENCHMARK(BM_CmDecideTenHolders);
-
-void BM_CoreSetInsertEraseForEach(benchmark::State& state) {
-  CoreSet set;
-  for (auto _ : state) {
-    for (uint32_t c = 0; c < 48; c += 3) {
-      set.Insert(c);
+  LatencySampler lat;
+  const uint64_t rounds = ctx.Iterations(batches);
+  const double start_us = HostNowUs();
+  for (uint64_t b = 0; b < rounds; ++b) {
+    const double t0 = HostNowUs();
+    for (uint64_t i = 0; i < batch; ++i) {
+      op();
     }
-    uint64_t sum = 0;
-    set.ForEach([&sum](uint32_t c) { sum += c; });
-    benchmark::DoNotOptimize(sum);
-    set.Clear();
+    lat.Add((HostNowUs() - t0) / static_cast<double>(batch));
   }
+  const double elapsed_ms = (HostNowUs() - start_us) / 1000.0;
+  BenchRow row;
+  row.Param("micro", name);
+  row.ops_per_ms =
+      elapsed_ms > 0.0 ? static_cast<double>(rounds * batch) / elapsed_ms : 0.0;
+  row.commits = rounds * batch;
+  row.latency = SummarizeLatency(lat);
+  ctx.Report(row);
 }
-BENCHMARK(BM_CoreSetInsertEraseForEach);
 
-void BM_AllocatorAllocFree(benchmark::State& state) {
-  SharedMemory mem(8 << 20);
-  Topology topo(MakeSccPlatform(0));
-  ShmAllocator alloc(&mem, topo);
-  for (auto _ : state) {
-    const uint64_t a = alloc.Alloc(64, 7);
-    const uint64_t b = alloc.Alloc(128, 23);
-    alloc.Free(a);
-    alloc.Free(b);
+void Run(BenchContext& ctx) {
+  {
+    LockTable table;
+    const auto cm = MakeContentionManager(CmKind::kFairCm);
+    uint64_t addr = 0;
+    Measure(ctx, "lock_table_read_acquire_release", 64, 2000, [&]() {
+      table.ReadLock(Info(1, 0), addr, *cm);
+      table.ReleaseRead(1, addr);
+      addr = (addr + 8) & 0xffff;
+    });
   }
-}
-BENCHMARK(BM_AllocatorAllocFree);
-
-void BM_EngineEventThroughput(benchmark::State& state) {
-  for (auto _ : state) {
-    SimEngine engine;
-    int remaining = 1000;
-    std::function<void()> tick = [&engine, &remaining, &tick]() {
-      if (--remaining > 0) {
-        engine.ScheduleAfter(10, tick);
+  {
+    LockTable table;
+    const auto cm = MakeContentionManager(CmKind::kFairCm);
+    // Ten readers on the contested word; the writer must beat all of them.
+    for (uint32_t r = 2; r < 12; ++r) {
+      table.ReadLock(Info(r, 100), 0x100, *cm);
+    }
+    volatile int refused = 0;
+    Measure(ctx, "lock_table_write_conflict", 64, 2000, [&]() {
+      refused = static_cast<int>(table.WriteLock(Info(1, 1000), 0x100, *cm).refused);
+    });
+  }
+  {
+    const auto cm = MakeContentionManager(CmKind::kFairCm);
+    std::vector<TxInfo> holders;
+    for (uint32_t r = 0; r < 10; ++r) {
+      holders.push_back(Info(r + 2, 50 + r));
+    }
+    volatile int decision = 0;
+    Measure(ctx, "cm_decide_ten_holders", 64, 2000, [&]() {
+      decision = static_cast<int>(cm->Decide(Info(1, 10), holders, ConflictKind::kWriteAfterRead));
+    });
+  }
+  {
+    CoreSet set;
+    volatile uint64_t sink = 0;
+    Measure(ctx, "core_set_insert_foreach_clear", 8, 2000, [&]() {
+      for (uint32_t c = 0; c < 48; c += 3) {
+        set.Insert(c);
       }
-    };
-    engine.ScheduleAfter(10, tick);
-    engine.Run();
-    benchmark::DoNotOptimize(engine.events_executed());
+      uint64_t sum = 0;
+      set.ForEach([&sum](uint32_t c) { sum += c; });
+      sink = sink + sum;
+      set.Clear();
+    });
+  }
+  {
+    SharedMemory mem(8 << 20);
+    Topology topo(MakeSccPlatform(0));
+    ShmAllocator alloc(&mem, topo);
+    Measure(ctx, "allocator_alloc_free", 64, 2000, [&]() {
+      const uint64_t a = alloc.Alloc(64, 7);
+      const uint64_t b = alloc.Alloc(128, 23);
+      alloc.Free(a);
+      alloc.Free(b);
+    });
+  }
+  {
+    volatile uint64_t sink = 0;
+    // One op = a 1000-event cascade through a fresh engine.
+    Measure(ctx, "engine_1000_event_cascade", 1, 300, [&]() {
+      SimEngine engine;
+      int remaining = 1000;
+      std::function<void()> tick = [&engine, &remaining, &tick]() {
+        if (--remaining > 0) {
+          engine.ScheduleAfter(10, tick);
+        }
+      };
+      engine.ScheduleAfter(10, tick);
+      engine.Run();
+      sink = sink + engine.events_executed();
+    });
+  }
+  {
+    Rng rng(1);
+    volatile uint64_t sink = 0;
+    Measure(ctx, "rng_next", 1024, 2000, [&]() { sink = sink + rng.Next(); });
   }
 }
-BENCHMARK(BM_EngineEventThroughput);
 
-void BM_RngNext(benchmark::State& state) {
-  Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.Next());
-  }
-}
-BENCHMARK(BM_RngNext);
+TM2C_REGISTER_BENCH("micro", "host",
+                    "host-side cost of lock table, CM decision, core set, allocator, engine, rng",
+                    &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-BENCHMARK_MAIN();

@@ -1,37 +1,55 @@
 // Section 5.1's SCC settings table plus the derived messaging/memory
 // parameters of every modelled platform.
+//
+// Each row measures a small echo workload (8 cores, half service) on the
+// platform so the standard metrics are real — throughput is echoes/ms and
+// the latency percentiles are round-trip times — and attaches the derived
+// model parameters (one-way latencies, memory access cost, MC streaming
+// bandwidth) as extras.
 #include "bench/bench_util.h"
 #include "src/noc/latency.h"
+#include "src/runtime/sim_system.h"
 
 namespace tm2c {
 namespace {
 
-void Main() {
-  TextTable settings({"setting", "tile MHz", "mesh MHz", "DRAM MHz"});
-  for (int s = 0; s < 5; ++s) {
-    const PlatformDesc p = MakeSccPlatform(s);
-    settings.AddRow({std::to_string(s), std::to_string(p.core_mhz), std::to_string(p.mesh_mhz),
-                     std::to_string(p.dram_mhz)});
-  }
-  settings.Print("Section 5.1: SCC performance settings");
+constexpr uint32_t kEchoCores = 8;
 
-  TextTable derived({"platform", "1-way 2c (us)", "1-way 48c (us)", "mem access (us)",
-                     "MC stream (MB/s)"});
-  for (const char* name : {"scc", "scc800", "opteron"}) {
-    const PlatformDesc p = PlatformByName(name);
-    const LatencyModel lat(p);
-    derived.AddRow({name, TextTable::Num(SimToMicros(lat.OneWayPs(0, 1, 1)), 2),
-                    TextTable::Num(SimToMicros(lat.OneWayPs(0, 40, 24)), 2),
-                    TextTable::Num(SimToMicros(lat.MemAccessPs(0, 0, 1 << 20)), 3),
-                    TextTable::Num(static_cast<double>(p.mc_stream_bytes_per_us), 0)});
-  }
-  derived.Print("Derived platform model parameters");
+BenchRow Measure(BenchContext& ctx, const std::string& label, const PlatformDesc& platform) {
+  const int echoes = ctx.smoke() ? 30 : 300;
+  const EchoResult echo =
+      RunEchoWorkload(platform, kEchoCores, kEchoCores / 2, echoes, ctx.Seed(3));
+  const LatencyModel lat(platform);
+  BenchRow row;
+  row.Param("platform", label);
+  row.Ops(echo.rtt.count(), echo.end, echo.rtt);
+  row.Extra("tile_mhz", static_cast<double>(platform.core_mhz))
+      .Extra("mesh_mhz", static_cast<double>(platform.mesh_mhz))
+      .Extra("dram_mhz", static_cast<double>(platform.dram_mhz))
+      .Extra("one_way_2c_us", SimToMicros(lat.OneWayPs(0, 1, 1)))
+      .Extra("one_way_48c_us", SimToMicros(lat.OneWayPs(0, 40, 24)))
+      .Extra("mem_access_us", SimToMicros(lat.MemAccessPs(0, 0, 1 << 20)))
+      .Extra("mc_stream_mb_s", static_cast<double>(platform.mc_stream_bytes_per_us));
+  return row;
 }
+
+void Run(BenchContext& ctx) {
+  // The five SCC performance settings of Section 5.1 (skipped when
+  // --platform pins the run to one named model) ...
+  if (ctx.opts().platform.empty()) {
+    for (const int setting : ctx.Sweep<int>({0, 1, 2, 3, 4})) {
+      ctx.Report(
+          Measure(ctx, "scc-setting-" + std::to_string(setting), MakeSccPlatform(setting)));
+    }
+  }
+  // ... and the named platform models the other benches use.
+  for (const std::string& name : ctx.PlatformSweep({"scc", "scc800", "opteron"})) {
+    ctx.Report(Measure(ctx, name, PlatformByName(name)));
+  }
+}
+
+TM2C_REGISTER_BENCH("platforms", "5.1",
+                    "SCC performance settings and derived platform model parameters", &Run);
 
 }  // namespace
 }  // namespace tm2c
-
-int main() {
-  tm2c::Main();
-  return 0;
-}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs every bench binary and merges their per-binary JSON documents into
+# one BENCH_results.json so the perf trajectory can be tracked PR-over-PR.
+#
+#   bench/run_all.sh [--smoke] [--build-dir DIR] [--out FILE] [extra bench flags...]
+#
+#   --smoke       forward --smoke to every bench (CI-sized sweeps)
+#   --build-dir   where the bench binaries live        (default: build)
+#   --out         merged results file                  (default: BENCH_results.json)
+#
+# Any remaining arguments are forwarded verbatim to every bench binary
+# (e.g. --cores=8 --duration-ms=2).
+set -euo pipefail
+
+BENCHES=(
+  bench_ablation_batching
+  bench_ablation_skew
+  bench_fig4a_deployment
+  bench_fig4b_speedup
+  bench_fig4c_eager_lazy
+  bench_fig5a_cm_effect
+  bench_fig5b_service_cores
+  bench_fig5c_cm_compare
+  bench_fig5d_locks
+  bench_fig6_mapreduce
+  bench_fig7_elastic
+  bench_fig8_port
+  bench_fig8a_latency
+  bench_micro
+  bench_platforms
+)
+
+build_dir=build
+out=BENCH_results.json
+smoke=""
+extra=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke="--smoke"; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    *) extra+=("$1"); shift ;;
+  esac
+done
+
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+repo_root="$(dirname "$script_dir")"
+json_dir="$(mktemp -d)"
+trap 'rm -rf "$json_dir"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  bin="$build_dir/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (run: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+  echo "=== $bench ==="
+  "$bin" $smoke --json "$json_dir/$bench.json" ${extra[@]+"${extra[@]}"}
+done
+
+python3 "$repo_root/tools/bench_json.py" merge \
+  --out "$out" $( [[ -n "$smoke" ]] && echo --smoke ) "$json_dir"/*.json
+python3 "$repo_root/tools/bench_json.py" validate "$out"
+echo "wrote $out"

@@ -29,7 +29,7 @@ int main() {
 
   // 3. Give every application core a program.
   for (uint32_t i = 0; i < system.num_app_cores(); ++i) {
-    system.SetAppBody(i, [counter](CoreEnv& env, TxRuntime& rt) {
+    system.SetAppBody(i, [counter](CoreEnv& /*env*/, TxRuntime& rt) {
       for (int k = 0; k < 1000; ++k) {
         rt.Execute([counter](Tx& tx) {
           tx.Write(counter, tx.Read(counter) + 1);  // atomic increment

@@ -36,7 +36,7 @@ CmKind CmKindByName(const std::string& name) {
   if (name == "faircm") {
     return CmKind::kFairCm;
   }
-  TM2C_CHECK_MSG(false, "unknown contention manager name");
+  TM2C_FATAL("unknown contention manager name");
 }
 
 bool PriorityWins(const TxInfo& a, const TxInfo& b) {
@@ -55,8 +55,10 @@ class SelfAbortCm : public ContentionManager {
  public:
   explicit SelfAbortCm(CmKind kind) : kind_(kind) {}
   CmKind kind() const override { return kind_; }
-  CmDecision Decide(const TxInfo& requester, const std::vector<TxInfo>& holders,
-                    ConflictKind conflict) const override {
+  // Decides against the requester unconditionally: these policies never
+  // arbitrate, so the conflict details stay unnamed by design.
+  CmDecision Decide(const TxInfo& /*requester*/, const std::vector<TxInfo>& /*holders*/,
+                    ConflictKind /*conflict*/) const override {
     return CmDecision::kAbortRequester;
   }
 
@@ -71,8 +73,10 @@ class PriorityCm : public ContentionManager {
   explicit PriorityCm(CmKind kind) : kind_(kind) {}
   CmKind kind() const override { return kind_; }
 
+  // Priority arbitration is conflict-kind-agnostic (Property 1 only needs
+  // the total order), so `conflict` stays unnamed by design.
   CmDecision Decide(const TxInfo& requester, const std::vector<TxInfo>& holders,
-                    ConflictKind conflict) const override {
+                    ConflictKind /*conflict*/) const override {
     TM2C_DCHECK(!holders.empty());
     for (const TxInfo& holder : holders) {
       if (!PriorityWins(requester, holder)) {
@@ -114,7 +118,7 @@ std::unique_ptr<ContentionManager> MakeContentionManager(CmKind kind) {
     case CmKind::kFairCm:
       return std::make_unique<PriorityCm>(kind);
   }
-  TM2C_CHECK_MSG(false, "unknown contention manager kind");
+  TM2C_FATAL("unknown contention manager kind");
 }
 
 }  // namespace tm2c

@@ -73,7 +73,10 @@ class ContentionManager {
   // time-offset since transaction start, turned into an estimated start
   // timestamp against this service core's own clock — the step that bakes
   // the (load-dependent) message delay into the priority.
-  virtual uint64_t MetricFromWire(uint64_t wire_metric, SimTime service_local_now) const {
+  // The base policies compare wire metrics directly; only clock-based CMs
+  // (Offset-Greedy) need the service core's local time, so it is unnamed
+  // here by design.
+  virtual uint64_t MetricFromWire(uint64_t wire_metric, SimTime /*service_local_now*/) const {
     return wire_metric;
   }
 };

@@ -34,6 +34,12 @@ namespace tm2c {
     }                                                   \
   } while (0)
 
+// Unconditional failure for unreachable paths (exhausted switches, "cannot
+// happen" fallthroughs). Unlike TM2C_CHECK_MSG(false, ...) the compiler
+// sees the [[noreturn]] call on every path even at -O0, so -Wreturn-type
+// stays quiet in Debug builds.
+#define TM2C_FATAL(msg) ::tm2c::CheckFailed(__FILE__, __LINE__, msg)
+
 #ifdef NDEBUG
 #define TM2C_DCHECK(cond) \
   do {                    \

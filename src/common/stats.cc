@@ -1,6 +1,55 @@
 #include "src/common/stats.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace tm2c {
+
+namespace {
+
+// Nearest rank: the k-th smallest with k = ceil(q * n), clamped to [1, n].
+size_t NearestRank(double q, size_t n) {
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  return rank;
+}
+
+}  // namespace
+
+double LatencySampler::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const size_t rank = NearestRank(q, samples_.size());
+  std::vector<double> sorted = samples_;
+  std::nth_element(sorted.begin(), sorted.begin() + (rank - 1), sorted.end());
+  return sorted[rank - 1];
+}
+
+std::vector<double> LatencySampler::Percentiles(const std::vector<double>& qs) const {
+  if (samples_.empty()) {
+    return std::vector<double>(qs.size(), 0.0);
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    out.push_back(sorted[NearestRank(q, sorted.size()) - 1]);
+  }
+  return out;
+}
 
 double Histogram::Quantile(double q) const {
   if (total_ == 0) {
@@ -12,7 +61,12 @@ double Histogram::Quantile(double q) const {
   if (q > 1.0) {
     q = 1.0;
   }
-  const auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+  // Nearest rank, at least 1: a target of 0 would otherwise report the
+  // midpoint of bucket 0 even when every sample sits in a higher bucket.
+  auto target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (target == 0) {
+    target = 1;
+  }
   uint64_t seen = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];

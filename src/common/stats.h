@@ -66,6 +66,42 @@ class StatAccumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+// Streaming moments plus exact percentiles: keeps every sample, so use it
+// for bounded runs (a bench records one sample per completed operation).
+// All queries are well-defined on an empty sampler and return 0.
+class LatencySampler {
+ public:
+  void Add(double x) {
+    acc_.Add(x);
+    samples_.push_back(x);
+  }
+
+  void Merge(const LatencySampler& other) {
+    acc_.Merge(other.acc_);
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
+  // Nearest-rank percentile, q in [0,1]: the smallest sample such that at
+  // least ceil(q * count) samples are <= it. Percentile(0) is the minimum,
+  // Percentile(1) the maximum; 0.0 when no samples were recorded.
+  double Percentile(double q) const;
+
+  // Several percentiles from one sort of one copy — what the bench
+  // reporter uses for p50/p95/p99 so large sample sets are not re-copied
+  // per quantile.
+  std::vector<double> Percentiles(const std::vector<double>& qs) const;
+
+  uint64_t count() const { return acc_.count(); }
+  double mean() const { return acc_.mean(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
+  const StatAccumulator& moments() const { return acc_; }
+
+ private:
+  StatAccumulator acc_;
+  std::vector<double> samples_;
+};
+
 // Fixed-bucket histogram over [0, bucket_width * num_buckets); out-of-range
 // samples land in the last (overflow) bucket.
 class Histogram {

@@ -98,7 +98,7 @@ PlatformDesc PlatformByName(const std::string& name) {
     const int setting = std::stoi(name.substr(std::string(kPrefix).size()));
     return MakeSccPlatform(setting);
   }
-  TM2C_CHECK_MSG(false, "unknown platform name");
+  TM2C_FATAL("unknown platform name");
 }
 
 }  // namespace tm2c

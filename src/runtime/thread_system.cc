@@ -79,9 +79,10 @@ class ThreadSystem::Core : public CoreEnv {
     return true;
   }
 
-  void ShmemBulkAccess(uint64_t addr, uint64_t bytes) override {
-    // Real memory: nothing to charge; the caller reads through shmem().
-  }
+  // The address range only matters to the simulated backend, which charges
+  // DRAM/mesh time for it; on real memory there is nothing to charge and
+  // the caller reads through shmem(), so both stay unnamed by design.
+  void ShmemBulkAccess(uint64_t /*addr*/, uint64_t /*bytes*/) override {}
 
   void Barrier() override {
     std::unique_lock<std::mutex> lock(sys_->barrier_mu_);

@@ -67,7 +67,7 @@ uint64_t ShmAllocator::Alloc(uint64_t bytes, uint32_t core) {
       return addr;
     }
   }
-  TM2C_CHECK_MSG(false, "shared memory exhausted");
+  TM2C_FATAL("shared memory exhausted");
 }
 
 uint64_t ShmAllocator::AllocGlobal(uint64_t bytes) {
@@ -82,7 +82,7 @@ uint64_t ShmAllocator::AllocGlobal(uint64_t bytes) {
       return addr;
     }
   }
-  TM2C_CHECK_MSG(false, "shared memory exhausted");
+  TM2C_FATAL("shared memory exhausted");
 }
 
 void ShmAllocator::Free(uint64_t addr) {

@@ -43,7 +43,7 @@ void Fiber::Trampoline(unsigned int hi, unsigned int lo) {
   g_current_fiber = nullptr;
   swapcontext(&self->context_, &self->return_context_);
   // Unreachable: a finished fiber is never resumed.
-  TM2C_CHECK_MSG(false, "resumed a finished fiber");
+  TM2C_FATAL("resumed a finished fiber");
 }
 
 void Fiber::Resume() {

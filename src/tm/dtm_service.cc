@@ -68,7 +68,7 @@ Message DtmService::Process(const Message& msg) {
       HandleRelease(msg);
       return Message{};
     default:
-      TM2C_CHECK_MSG(false, "unexpected message type in DtmService::Process");
+      TM2C_FATAL("unexpected message type in DtmService::Process");
   }
 }
 
@@ -215,7 +215,7 @@ void DtmService::HandleRelease(const Message& msg) {
       }
       break;
     default:
-      TM2C_CHECK_MSG(false, "not a release message");
+      TM2C_FATAL("not a release message");
   }
 }
 

@@ -120,7 +120,7 @@ void TxRuntime::ServePending() {
         continue;  // multitasked deployment: served a DTM request
       }
     }
-    TM2C_CHECK_MSG(false, "unexpected message in application inbox");
+    TM2C_FATAL("unexpected message in application inbox");
   }
 }
 
@@ -158,7 +158,7 @@ void TxRuntime::PrivatizationBarrier() {
             break;
           }
         }
-        TM2C_CHECK_MSG(false, "unexpected message while in the privatization barrier");
+        TM2C_FATAL("unexpected message while in the privatization barrier");
     }
   }
   barrier_arrivals_.erase(generation);
@@ -227,7 +227,7 @@ Message TxRuntime::Rpc(uint32_t dst, Message request) {
             continue;  // served a DTM request while waiting (Figure 2)
           }
         }
-        TM2C_CHECK_MSG(false, "unexpected message while awaiting a DTM response");
+        TM2C_FATAL("unexpected message while awaiting a DTM response");
     }
   }
 }
@@ -256,7 +256,7 @@ uint64_t TxRuntime::TxRead(uint64_t addr) {
     case TxMode::kElasticRead:
       return ReadElasticValidated(addr);
   }
-  TM2C_CHECK_MSG(false, "bad tx mode");
+  TM2C_FATAL("bad tx mode");
 }
 
 uint64_t TxRuntime::ReadNormal(uint64_t addr, bool elastic_early) {

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "src/common/core_set.h"
+#include "src/common/json.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -92,6 +93,135 @@ TEST(StatAccumulator, MergeMatchesSequential) {
   EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
 }
 
+// The empty accumulator must answer every query with a defined value, not
+// the +/-inf sentinels it tracks internally.
+TEST(StatAccumulator, EmptyIsAllZero) {
+  const StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+// A single sample has no spread: variance must be 0, not NaN (0/0).
+TEST(StatAccumulator, SingleSampleVarianceIsZero) {
+  StatAccumulator acc;
+  acc.Add(42.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MergeWithEmptySides) {
+  StatAccumulator empty1;
+  StatAccumulator empty2;
+  empty1.Merge(empty2);
+  EXPECT_EQ(empty1.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty1.variance(), 0.0);
+
+  StatAccumulator filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+  // Empty into filled: a no-op.
+  StatAccumulator lhs = filled;
+  lhs.Merge(empty2);
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(lhs.variance(), 2.0);
+  // Filled into empty: adopts the other side wholesale.
+  StatAccumulator adopter;
+  adopter.Merge(filled);
+  EXPECT_EQ(adopter.count(), 2u);
+  EXPECT_DOUBLE_EQ(adopter.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(adopter.min(), 1.0);
+  EXPECT_DOUBLE_EQ(adopter.max(), 3.0);
+  EXPECT_DOUBLE_EQ(adopter.variance(), 2.0);
+}
+
+TEST(StatAccumulator, MergeOfSingletonsMatchesSequential) {
+  StatAccumulator a;
+  StatAccumulator b;
+  a.Add(10.0);
+  b.Add(20.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 50.0);
+}
+
+TEST(LatencySampler, EmptyIsAllZero) {
+  const LatencySampler lat;
+  EXPECT_EQ(lat.count(), 0u);
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(lat.mean(), 0.0);
+}
+
+TEST(LatencySampler, SingleSampleIsEveryPercentile) {
+  LatencySampler lat;
+  lat.Add(7.5);
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(lat.Percentile(1.0), 7.5);
+}
+
+TEST(LatencySampler, NearestRankPercentiles) {
+  LatencySampler lat;
+  // 1..100 shuffled in (deterministically): percentiles are exact ranks.
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  for (size_t i = values.size() - 1; i > 0; --i) {
+    std::swap(values[i], values[rng.NextBelow(i + 1)]);
+  }
+  for (const double v : values) {
+    lat.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(lat.Percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(lat.Percentile(1.0), 100.0);
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(lat.Percentile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(lat.Percentile(2.0), 100.0);
+}
+
+TEST(LatencySampler, PercentilesMatchesPercentile) {
+  LatencySampler lat;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    lat.Add(rng.NextDouble() * 1000.0);
+  }
+  const std::vector<double> qs = {0.0, 0.5, 0.95, 0.99, 1.0};
+  const std::vector<double> batch = lat.Percentiles(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], lat.Percentile(qs[i]));
+  }
+  const LatencySampler empty;
+  EXPECT_EQ(empty.Percentiles({0.5, 0.99}), (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(LatencySampler, MergeCombinesSamplesAndMoments) {
+  LatencySampler a;
+  LatencySampler b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.Percentile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), 2.0);
+}
+
 TEST(Histogram, QuantileOrdering) {
   Histogram h(1.0, 100);
   for (int i = 0; i < 100; ++i) {
@@ -158,9 +288,72 @@ TEST(CoreSet, ForEachVisitsAscending) {
   EXPECT_EQ(visited, (std::vector<uint32_t>{1, 40, 64, 99}));
 }
 
+TEST(Histogram, EmptyQuantileIsZero) {
+  const Histogram h(1.0, 10);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
+// Regression: a low quantile used to report the midpoint of bucket 0 even
+// when every sample sat in a higher bucket (target rank of 0 was satisfied
+// by the empty prefix).
+TEST(Histogram, LowQuantileSkipsEmptyLeadingBuckets) {
+  Histogram h(1.0, 10);
+  h.Add(7.2);
+  h.Add(7.3);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.01), 7.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 7.5);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h(1.0, 10);
+  h.Add(2.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 2.5);
+}
+
 TEST(TextTable, NumFormatsPrecision) {
   EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+}
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "bench");
+  w.KV("n", uint64_t{3});
+  w.Key("rows");
+  w.BeginArray();
+  w.Number(1.5);
+  w.Bool(false);
+  w.BeginObject();
+  w.KV("ok", true);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.Take(), "{\"name\":\"bench\",\"n\":3,\"rows\":[1.5,false,{\"ok\":true}]}");
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("k\"ey", "a\\b\n\t\x01");
+  w.EndObject();
+  EXPECT_EQ(w.Take(), "{\"k\\\"ey\":\"a\\\\b\\n\\t\\u0001\"}");
+}
+
+// Degenerate runs can produce NaN/inf metrics; the document must still
+// parse, so non-finite numbers serialize as null.
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::quiet_NaN());
+  w.Number(std::numeric_limits<double>::infinity());
+  w.Number(1.0);
+  w.EndArray();
+  EXPECT_EQ(w.Take(), "[null,null,1]");
 }
 
 }  // namespace

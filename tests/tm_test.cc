@@ -69,7 +69,7 @@ TEST(TmBasic, DeferredWritesInvisibleBeforeCommit) {
       env.Compute(500000);  // hold the transaction open ~1ms
     });
   });
-  sys.SetAppBody(1, [&seen_mid_tx](CoreEnv& env, TxRuntime& rt) {
+  sys.SetAppBody(1, [&seen_mid_tx](CoreEnv& env, TxRuntime& /*rt*/) {
     env.Compute(100000);  // inside core A's window
     seen_mid_tx = env.ShmemRead(0x300);
   });
@@ -141,7 +141,7 @@ void RunBankInvariantTest(TmSystemConfig cfg, int transfers_per_core) {
     sys.sim().shmem().StoreWord(addr(a), kInitial);
   }
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
-    sys.SetAppBody(i, [i, transfers_per_core, &addr](CoreEnv& env, TxRuntime& rt) {
+    sys.SetAppBody(i, [i, transfers_per_core, &addr](CoreEnv& /*env*/, TxRuntime& rt) {
       Rng rng(1000 + i);
       for (int k = 0; k < transfers_per_core; ++k) {
         const uint32_t from = static_cast<uint32_t>(rng.NextBelow(kAccounts));

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Merge and validate the bench JSON documents.
+
+Every bench binary emits one document under the shared schema (see
+bench/bench_main.cc). `merge` combines them into BENCH_results.json;
+`validate` checks either a per-bench document or a merged file, so CI can
+gate on the schema staying intact.
+
+  tools/bench_json.py merge --out BENCH_results.json [--smoke] a.json b.json ...
+  tools/bench_json.py validate BENCH_results.json
+"""
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+RESULT_NUMBER_FIELDS = [
+    "throughput_ops_per_ms",
+    "commit_rate",
+    "abort_rate",
+    "commits",
+    "aborts",
+]
+LATENCY_FIELDS = ["p50", "p95", "p99", "mean", "samples"]
+
+
+def fail(msg):
+    print(f"bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_result(bench_name, i, result):
+    where = f"{bench_name} results[{i}]"
+    if not isinstance(result.get("scenario"), str):
+        fail(f"{where}: missing scenario string")
+    if not isinstance(result.get("params"), dict):
+        fail(f"{where}: missing params object")
+    for field in RESULT_NUMBER_FIELDS:
+        if not isinstance(result.get(field), (int, float)):
+            fail(f"{where}: missing numeric field '{field}'")
+    lat = result.get("latency_us")
+    if not isinstance(lat, dict):
+        fail(f"{where}: missing latency_us object")
+    for field in LATENCY_FIELDS:
+        if not isinstance(lat.get(field), (int, float)):
+            fail(f"{where}: latency_us missing numeric field '{field}'")
+    if not isinstance(result.get("extra"), dict):
+        fail(f"{where}: missing extra object")
+    if not 0.0 <= result["commit_rate"] <= 1.0:
+        fail(f"{where}: commit_rate {result['commit_rate']} outside [0,1]")
+    if not 0.0 <= result["abort_rate"] <= 1.0:
+        fail(f"{where}: abort_rate {result['abort_rate']} outside [0,1]")
+
+
+def check_bench(doc):
+    for field in ("bench", "figure", "description"):
+        if not isinstance(doc.get(field), str):
+            fail(f"bench document missing string field '{field}'")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{doc.get('bench')}: schema_version {doc.get('schema_version')} "
+             f"!= {SCHEMA_VERSION}")
+    if not isinstance(doc.get("smoke"), bool):
+        fail(f"{doc['bench']}: missing bool field 'smoke'")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail(f"{doc['bench']}: results must be a non-empty array")
+    for i, result in enumerate(results):
+        check_result(doc["bench"], i, result)
+
+
+def cmd_merge(args):
+    benches = []
+    for path in args.inputs:
+        with open(path) as f:
+            doc = json.load(f)
+        check_bench(doc)
+        benches.append(doc)
+    benches.sort(key=lambda d: d["bench"])
+    merged = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "bench/run_all.sh",
+        "smoke": args.smoke,
+        "benches": benches,
+    }
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+    print(f"merged {len(benches)} bench documents into {args.out}")
+
+
+def cmd_validate(args):
+    with open(args.input) as f:
+        doc = json.load(f)
+    if "benches" in doc:  # merged file
+        if doc.get("schema_version") != SCHEMA_VERSION:
+            fail(f"merged schema_version {doc.get('schema_version')} != {SCHEMA_VERSION}")
+        if not isinstance(doc["benches"], list) or not doc["benches"]:
+            fail("merged file has no bench documents")
+        for bench in doc["benches"]:
+            check_bench(bench)
+        n = len(doc["benches"])
+        rows = sum(len(b["results"]) for b in doc["benches"])
+        print(f"{args.input}: OK ({n} benches, {rows} result rows)")
+    else:  # single bench document
+        check_bench(doc)
+        print(f"{args.input}: OK ({len(doc['results'])} result rows)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    merge = sub.add_parser("merge")
+    merge.add_argument("--out", required=True)
+    merge.add_argument("--smoke", action="store_true")
+    merge.add_argument("inputs", nargs="+")
+    merge.set_defaults(fn=cmd_merge)
+    validate = sub.add_parser("validate")
+    validate.add_argument("input")
+    validate.set_defaults(fn=cmd_validate)
+    args = parser.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()
