@@ -93,6 +93,30 @@ AcquireResult LockTable::WriteLock(const TxInfo& requester, uint64_t addr,
   return result;
 }
 
+BatchAcquireResult LockTable::TryAcquireMany(const TxInfo& requester, const uint64_t* addrs,
+                                             uint32_t n, uint64_t write_bitmap,
+                                             const ContentionManager& cm, bool committing) {
+  TM2C_CHECK_MSG(n <= kMaxBatchEntries, "batch larger than the grant bitmap");
+  BatchAcquireResult result;
+  for (uint32_t i = 0; i < n; ++i) {
+    const bool is_write = (write_bitmap >> i) & 1;
+    AcquireResult one = is_write ? WriteLock(requester, addrs[i], cm, committing)
+                                 : ReadLock(requester, addrs[i], cm);
+    for (Victim& victim : one.victims) {
+      result.victims.push_back(std::move(victim));
+    }
+    if (one.refused != ConflictKind::kNone) {
+      // All-or-prefix: stop here; entries [0, i) stay acquired and the
+      // requester's release (or abort) path covers them.
+      result.refused = one.refused;
+      break;
+    }
+    result.granted_bitmap |= uint64_t{1} << i;
+    ++result.granted_count;
+  }
+  return result;
+}
+
 void LockTable::ReleaseRead(uint32_t core, uint64_t addr) {
   auto it = entries_.find(addr);
   if (it == entries_.end()) {

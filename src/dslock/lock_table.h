@@ -45,6 +45,17 @@ struct AcquireResult {
   std::vector<Victim> victims;
 };
 
+// Outcome of a batched acquire (TryAcquireMany). Grants are all-or-prefix:
+// entries are attempted in order and the pass stops at the first refusal,
+// so `granted_bitmap` is always PrefixBitmap(granted_count). Granted
+// entries stay granted — the requester owns their release (or abort) path.
+struct BatchAcquireResult {
+  uint64_t granted_bitmap = 0;
+  uint32_t granted_count = 0;                  // prefix length
+  ConflictKind refused = ConflictKind::kNone;  // why the prefix stopped
+  std::vector<Victim> victims;                 // across the whole prefix
+};
+
 // Counters for the service-side statistics the benches report.
 struct LockTableStats {
   uint64_t read_acquires = 0;
@@ -73,6 +84,18 @@ class LockTable {
   // atomically with its persist (see TxRuntime::TxCommit).
   AcquireResult WriteLock(const TxInfo& requester, uint64_t addr, const ContentionManager& cm,
                           bool committing = false);
+
+  // Vectorized acquisition for the kBatchAcquire protocol: one pass over
+  // `addrs` (bit i of `write_bitmap` selects write vs read lock for entry
+  // i), stopping at the first refusal (all-or-prefix). The requester's
+  // metric has already been decoded once for the whole batch; the CM is
+  // consulted only for the entries that actually conflict. Duplicate
+  // addresses are legal (the second acquisition is a same-core
+  // re-acquisition and always succeeds). `n` must be <= kMaxBatchEntries;
+  // an empty batch is trivially fully granted.
+  BatchAcquireResult TryAcquireMany(const TxInfo& requester, const uint64_t* addrs, uint32_t n,
+                                    uint64_t write_bitmap, const ContentionManager& cm,
+                                    bool committing = false);
 
   // Releases. Idempotent; wrong-owner write releases are ignored (see the
   // correctness note above).

@@ -31,6 +31,15 @@ class LatencyModel {
     return topo_.platform().CoreCyclesToPs(topo_.platform().msg_send_cycles);
   }
 
+  // Marginal marshalling cost of a message's variable payload, paid by the
+  // sender and again by the receiver. One fixed SendOverheadPs/
+  // RecvOverheadPs per message plus this per-entry term is what makes the
+  // batched multi-address protocol cheaper than one message per address.
+  SimTime PayloadPs(size_t payload_words) const {
+    const PlatformDesc& p = topo_.platform();
+    return p.CoreCyclesToPs(p.msg_payload_cycles_per_word * static_cast<uint64_t>(payload_words));
+  }
+
   // Wire time from src to dst after leaving the sender.
   SimTime WirePs(uint32_t src, uint32_t dst) const {
     const PlatformDesc& p = topo_.platform();

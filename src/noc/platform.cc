@@ -37,6 +37,10 @@ PlatformDesc MakeSccPlatform(int setting) {
   p.msg_send_cycles = 500;
   p.msg_recv_cycles = 860;
   p.msg_poll_cycles_per_peer = 85;
+  // Copying one extra payload word into/out of the MPB is a handful of
+  // uncached accesses — two orders of magnitude below the fixed cost a
+  // whole extra message would pay.
+  p.msg_payload_cycles_per_word = 8;
   p.mesh_cycles_per_hop = 4;
   p.num_mem_controllers = 4;
   p.mem_latency_cycles = 160;
@@ -69,6 +73,9 @@ PlatformDesc MakeOpteronPlatform() {
   p.msg_send_cycles = 2200;
   p.msg_recv_cycles = 2600;
   p.msg_poll_cycles_per_peer = 220;
+  // Extra payload words stream through already-owned cache lines; cheap
+  // relative to the coherence round trips of the fixed path.
+  p.msg_payload_cycles_per_word = 8;
   p.mesh_cycles_per_hop = 0;
   p.socket_hop_extra_cycles = 350;
   p.num_mem_controllers = 4;

@@ -51,6 +51,11 @@ struct PlatformDesc {
   uint64_t msg_send_cycles = 450;          // marshalling + MPB write
   uint64_t msg_recv_cycles = 700;          // MPB read + dispatch
   uint64_t msg_poll_cycles_per_peer = 85;  // flag scan per polled peer
+  // Marshalling cost per variable-payload word, paid on both the send and
+  // the receive side. This is the marginal cost of growing a message (the
+  // batched multi-address protocol); the fixed msg_send/msg_recv costs are
+  // what batching amortizes.
+  uint64_t msg_payload_cycles_per_word = 8;
   uint64_t mesh_cycles_per_hop = 4;        // mesh clock cycles per hop
   uint64_t socket_hop_extra_cycles = 350;  // kOpteron: cross-socket penalty
 

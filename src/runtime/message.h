@@ -1,9 +1,9 @@
 // Wire format for on-chip messages.
 //
 // The SCC exchanges small MPB-resident messages; TM2C's protocol needs only
-// a type tag, the sender, a few word-sized arguments, and (for write-lock
-// batching) a variable-length list of addresses. The same struct is used by
-// the simulator backend and the std::thread backend.
+// a type tag, the sender, a few word-sized arguments, and (for multi-address
+// batching and bulk releases) a variable-length list of addresses. The same
+// struct is used by the simulator backend and the std::thread backend.
 #ifndef TM2C_SRC_RUNTIME_MESSAGE_H_
 #define TM2C_SRC_RUNTIME_MESSAGE_H_
 
@@ -19,7 +19,7 @@ enum class MsgType : uint8_t {
   // DTM service requests (app core -> service core).
   kReadLockReq,        // w0=addr, w1=tx epoch, w2=priority metric
   kWriteLockReq,       // as kReadLockReq; w3=1 marks a commit-phase acquisition
-  kWriteLockBatchReq,  // w1/w2/w3 as above, extra=addresses
+  kBatchAcquire,       // multi-address acquisition, see "Batch protocol" below
   kReadRelease,        // w0=addr, w1=tx epoch (no response)
   kWriteRelease,       // w0=addr, w1=tx epoch, w2=new value? (persist handled by app)
   kReleaseAllReads,    // w1=tx epoch, extra=addresses (no response)
@@ -29,6 +29,7 @@ enum class MsgType : uint8_t {
   // DTM service responses (service core -> app core).
   kLockGranted,   // w0=addr (or batch id)
   kLockConflict,  // w0=addr, w1=conflict kind (RAW/WAW/WAR)
+  kBatchReply,    // response to kBatchAcquire, see "Batch protocol" below
 
   // Asynchronous abort notification (service core -> app core): the CM
   // revoked this transaction's locks in favour of a higher-priority one.
@@ -41,6 +42,30 @@ enum class MsgType : uint8_t {
   kShutdown,  // tells a service core to exit its loop
   kApp,       // application-defined payload
 };
+
+// Batch protocol (one request/response round trip per responsible node):
+//
+//   kBatchAcquire   w0 = flags (kBatchFlagCommit marks commit-phase write
+//                   acquisitions), w1 = tx epoch, w2 = priority metric
+//                   (decoded by the CM once for the whole batch), w3 = write
+//                   bitmap (bit i set: entry i wants the write lock, clear:
+//                   the read lock), extra = stripe addresses, at most
+//                   kMaxBatchEntries of them.
+//   kBatchReply     w0 = grant bitmap (bit i set: entry i acquired), w1 =
+//                   tx epoch, w2 = ConflictKind the first refused entry lost
+//                   on (kNone when fully granted), w3 = granted count.
+//
+// Grants are all-or-prefix: the service stops at the first refused entry,
+// so the grant bitmap is always a prefix mask of the batch. The requester
+// keeps the granted prefix (its release path covers it); there is no
+// service-side rollback.
+constexpr uint32_t kMaxBatchEntries = 64;  // bitmap width
+constexpr uint64_t kBatchFlagCommit = 1;
+
+// Bitmap with the low `n` bits set (n <= 64).
+constexpr uint64_t PrefixBitmap(uint32_t n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
 
 struct Message {
   MsgType type = MsgType::kInvalid;

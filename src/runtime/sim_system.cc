@@ -20,11 +20,9 @@ class SimSystem::Core : public CoreEnv {
     TM2C_CHECK(dst < sys_->plan_.num_cores());
     TM2C_CHECK(dst != id_);
     msg.src = id_;
-    const PlatformDesc& p = platform();
-    const uint64_t extra_cycles =
-        sys_->config_.msg_extra_word_cycles * static_cast<uint64_t>(msg.extra.size());
-    // Sender occupancy: marshal the payload into the MPB (or channel line).
-    sys_->engine_.Sleep(sys_->latency_.SendOverheadPs() + p.CoreCyclesToPs(extra_cycles));
+    // Sender occupancy: marshal the payload into the MPB (or channel line),
+    // one fixed cost plus a per-payload-word term.
+    sys_->engine_.Sleep(sys_->latency_.SendOverheadPs() + sys_->latency_.PayloadPs(msg.extra.size()));
     // Wire crossing, then deposit into the receiver's inbox.
     const SimTime wire = sys_->latency_.WirePs(id_, dst);
     Core* receiver = sys_->cores_[dst].get();
@@ -107,11 +105,9 @@ class SimSystem::Core : public CoreEnv {
   Message PopAndPay() {
     Message msg = std::move(inbox_.front());
     inbox_.pop_front();
-    const PlatformDesc& p = platform();
-    const uint64_t extra_cycles =
-        sys_->config_.msg_extra_word_cycles * static_cast<uint64_t>(msg.extra.size());
     const uint32_t peers = sys_->plan_.PolledPeers(id_);
-    sys_->engine_.Sleep(sys_->latency_.RecvOverheadPs(peers) + p.CoreCyclesToPs(extra_cycles));
+    sys_->engine_.Sleep(sys_->latency_.RecvOverheadPs(peers) +
+                        sys_->latency_.PayloadPs(msg.extra.size()));
     return msg;
   }
 

@@ -33,9 +33,9 @@ struct SimSystemConfig {
   // Optional per-core drift, uniform in [-ppm, +ppm]. Zero by default; the
   // Offset-Greedy skew ablation turns it up.
   double clock_drift_ppm = 0.0;
-  // Extra per-payload-word messaging cost (batching is cheaper than one
-  // message per word but not free).
-  uint64_t msg_extra_word_cycles = 8;
+  // The per-payload-word messaging cost lives in
+  // PlatformDesc::msg_payload_cycles_per_word (it is a platform property,
+  // charged by the latency model on both ends of a message).
 };
 
 class SimSystem {

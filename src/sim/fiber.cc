@@ -4,6 +4,22 @@
 
 #include "src/common/check.h"
 
+// AddressSanitizer keeps per-stack shadow state; every context switch must
+// be bracketed with __sanitizer_start_switch_fiber (in the leaving context)
+// and __sanitizer_finish_switch_fiber (first thing in the arriving one), or
+// ASan misattributes frames and reports false stack-buffer errors after
+// swapcontext.
+#if defined(__SANITIZE_ADDRESS__)
+#define TM2C_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TM2C_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef TM2C_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace tm2c {
 namespace {
 
@@ -15,7 +31,8 @@ thread_local Fiber* g_current_fiber = nullptr;
 
 Fiber* Fiber::Current() { return g_current_fiber; }
 
-Fiber::Fiber(Fn fn, size_t stack_size) : fn_(std::move(fn)), stack_(new char[stack_size]) {
+Fiber::Fiber(Fn fn, size_t stack_size)
+    : fn_(std::move(fn)), stack_(new char[stack_size]), stack_size_(stack_size) {
   TM2C_CHECK(fn_ != nullptr);
   TM2C_CHECK(getcontext(&context_) == 0);
   context_.uc_stack.ss_sp = stack_.get();
@@ -29,18 +46,39 @@ Fiber::Fiber(Fn fn, size_t stack_size) : fn_(std::move(fn)), stack_(new char[sta
   started_ = true;
 }
 
-Fiber::~Fiber() {
-  // Destroying a live suspended fiber leaks whatever is on its stack; the
-  // engine only tears fibers down after the run ends, where this is the
-  // intended way to stop a blocked core.
+Fiber::~Fiber() { Unwind(); }
+
+void Fiber::Unwind() {
+  if (!began_ || finished_) {
+    return;  // nothing of fn_ is on the stack
+  }
+  TM2C_CHECK_MSG(g_current_fiber == nullptr, "Unwind() called from inside a fiber");
+  unwinding_ = true;
+  Resume();
+  TM2C_CHECK_MSG(finished_, "fiber swallowed the unwind exception");
 }
 
 void Fiber::Trampoline(unsigned int hi, unsigned int lo) {
   const uintptr_t ptr = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
   Fiber* self = reinterpret_cast<Fiber*>(ptr);
-  self->fn_();
+#ifdef TM2C_ASAN_FIBERS
+  // First entry into this fiber: no fake stack to restore yet; learn the
+  // scheduler's stack bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->sched_stack_bottom_,
+                                  &self->sched_stack_size_);
+#endif
+  try {
+    self->fn_();
+  } catch (const Unwound&) {
+    // Unwind(): the stack below fn_ has been cleanly destructed.
+  }
   self->finished_ = true;
   g_current_fiber = nullptr;
+#ifdef TM2C_ASAN_FIBERS
+  // Terminal switch: a null save slot tells ASan this fiber's fake stack
+  // can be destroyed.
+  __sanitizer_start_switch_fiber(nullptr, self->sched_stack_bottom_, self->sched_stack_size_);
+#endif
   swapcontext(&self->context_, &self->return_context_);
   // Unreachable: a finished fiber is never resumed.
   TM2C_FATAL("resumed a finished fiber");
@@ -49,16 +87,33 @@ void Fiber::Trampoline(unsigned int hi, unsigned int lo) {
 void Fiber::Resume() {
   TM2C_CHECK_MSG(g_current_fiber == nullptr, "Resume() called from inside a fiber");
   TM2C_CHECK_MSG(!finished_, "Resume() on finished fiber");
+  began_ = true;
   g_current_fiber = this;
+#ifdef TM2C_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&sched_fake_stack_, stack_.get(), stack_size_);
+#endif
   TM2C_CHECK(swapcontext(&return_context_, &context_) == 0);
+#ifdef TM2C_ASAN_FIBERS
+  // Back in the scheduler, via Yield() or the fiber finishing.
+  __sanitizer_finish_switch_fiber(sched_fake_stack_, nullptr, nullptr);
+#endif
   g_current_fiber = nullptr;
 }
 
 void Fiber::Yield() {
   TM2C_CHECK_MSG(g_current_fiber == this, "Yield() called from outside the fiber");
   g_current_fiber = nullptr;
+#ifdef TM2C_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&fiber_fake_stack_, sched_stack_bottom_, sched_stack_size_);
+#endif
   TM2C_CHECK(swapcontext(&context_, &return_context_) == 0);
+#ifdef TM2C_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fiber_fake_stack_, &sched_stack_bottom_, &sched_stack_size_);
+#endif
   g_current_fiber = this;
+  if (unwinding_) {
+    throw Unwound{};
+  }
 }
 
 }  // namespace tm2c

@@ -22,6 +22,10 @@ class Fiber {
   // Creates a suspended fiber that will execute `fn` when first resumed.
   // `stack_size` is rounded up to page granularity.
   explicit Fiber(Fn fn, size_t stack_size = kDefaultStackSize);
+
+  // Destroying a live suspended fiber first unwinds it (see Unwind) so the
+  // objects on its stack are destructed; the engine relies on this when a
+  // run ends with cores still blocked mid-protocol.
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -39,6 +43,18 @@ class Fiber {
   // True once fn has returned; a finished fiber must not be resumed.
   bool finished() const { return finished_; }
 
+  // Thrown through a suspended fiber's stack by Unwind(); must not be
+  // swallowed by application code (catch TxAbortException and friends by
+  // concrete type, never `...`).
+  struct Unwound {};
+
+  // Unwinds a suspended fiber: resumes it one last time with the unwind
+  // flag set so the pending Yield() throws Unwound, running every
+  // destructor on the fiber's stack on the way out. No-op for fibers that
+  // never ran or already finished. Must be called from the scheduler
+  // context; the destructor calls it automatically.
+  void Unwind();
+
   // The fiber currently executing on this thread, or nullptr when running
   // in the scheduler context.
   static Fiber* Current();
@@ -50,10 +66,21 @@ class Fiber {
 
   Fn fn_;
   std::unique_ptr<char[]> stack_;
+  size_t stack_size_ = 0;
   ucontext_t context_;
   ucontext_t return_context_;
   bool started_ = false;
+  bool began_ = false;  // first Resume happened: fn_ is on the stack
   bool finished_ = false;
+  bool unwinding_ = false;
+
+  // AddressSanitizer fiber-switch bookkeeping (see fiber.cc); unused in
+  // non-sanitized builds. Each context saves its fake-stack handle when it
+  // leaves and the stack bounds of the peer it switches to.
+  void* sched_fake_stack_ = nullptr;
+  void* fiber_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;
+  size_t sched_stack_size_ = 0;
 };
 
 }  // namespace tm2c

@@ -32,9 +32,14 @@ struct TmConfig {
   // a word stripe is the simulator's natural unit.
   uint64_t stripe_bytes = 8;
 
-  // Batch write-lock requests per service node at commit (on by default;
-  // the batching ablation turns it off).
-  bool batch_write_locks = true;
+  // Maximum number of lock acquisitions travelling in one kBatchAcquire
+  // message. The runtime groups pending read/write-set acquisitions by
+  // responsible node and flushes each group in chunks of at most this many
+  // addresses. 1 (the default) disables the batch protocol entirely: every
+  // acquisition is its own kReadLockReq/kWriteLockReq round trip, the
+  // pre-batching wire behaviour. Capped at kMaxBatchEntries (the grant
+  // bitmap width).
+  uint32_t max_batch = 1;
 
   // Elastic window: how many trailing reads stay protected/validated.
   uint32_t elastic_window = 2;

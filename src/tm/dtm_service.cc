@@ -5,8 +5,8 @@
 
 namespace tm2c {
 
-DtmService::DtmService(CoreEnv& env, const TmConfig& config)
-    : env_(env), config_(config), cm_(MakeContentionManager(config.cm)) {}
+DtmService::DtmService(CoreEnv& env, const TmConfig& config, const AddressMap* map)
+    : env_(env), config_(config), map_(map), cm_(MakeContentionManager(config.cm)) {}
 
 void DtmService::RunLoop() {
   for (;;) {
@@ -30,7 +30,7 @@ bool DtmService::HandleMessage(const Message& msg) {
     }
     case MsgType::kReadLockReq:
     case MsgType::kWriteLockReq:
-    case MsgType::kWriteLockBatchReq: {
+    case MsgType::kBatchAcquire: {
       Message rsp = Process(msg);
       TM2C_DCHECK(rsp.type != MsgType::kInvalid);
       env_.Send(msg.src, std::move(rsp));
@@ -58,8 +58,8 @@ Message DtmService::Process(const Message& msg) {
       return HandleAcquire(msg, /*is_write=*/false);
     case MsgType::kWriteLockReq:
       return HandleAcquire(msg, /*is_write=*/true);
-    case MsgType::kWriteLockBatchReq:
-      return HandleWriteBatch(msg);
+    case MsgType::kBatchAcquire:
+      return HandleBatchAcquire(msg);
     case MsgType::kReadRelease:
     case MsgType::kWriteRelease:
     case MsgType::kReleaseAllReads:
@@ -150,43 +150,56 @@ Message DtmService::HandleAcquire(const Message& msg, bool is_write) {
   return rsp;
 }
 
-Message DtmService::HandleWriteBatch(const Message& msg) {
+Message DtmService::HandleBatchAcquire(const Message& msg) {
   ++stats_.requests;
+  ++stats_.batch_requests;
+  stats_.batch_entries += msg.extra.size();
   ChargeProcessing(msg.extra.size());
+  TM2C_CHECK_MSG(msg.extra.size() <= kMaxBatchEntries, "oversized batch request");
 
   Message rsp;
+  rsp.type = MsgType::kBatchReply;
   rsp.w1 = msg.w1;
 
+  // A batch from an attempt this node already revoked is refused whole (no
+  // entry granted), exactly like the scalar path.
   RemoteCoreState& state = remote_state_[msg.src];
   if (state.aborted_epoch == msg.w1) {
     ++stats_.stale_requests_refused;
-    rsp.type = MsgType::kLockConflict;
-    rsp.w0 = msg.extra.empty() ? 0 : msg.extra.front();
     rsp.w2 = static_cast<uint64_t>(state.aborted_kind);
     return rsp;
   }
 
+  // Decode the requester's CM metric once for the whole batch — with the
+  // scalar protocol this (and the message round trip around it) happened
+  // once per address.
   const TxInfo requester = DecodeRequester(msg);
-  std::vector<uint64_t> acquired;
-  acquired.reserve(msg.extra.size());
-  for (uint64_t addr : msg.extra) {
-    const AcquireResult result =
-        table_.WriteLock(requester, addr, *cm_, /*committing=*/msg.w3 != 0);
-    NotifyVictims(result.victims);
-    if (result.refused != ConflictKind::kNone) {
-      // All-or-nothing at this node: undo this batch's own acquisitions.
-      for (uint64_t undo : acquired) {
-        table_.ReleaseWrite(msg.src, undo);
+  const uint32_t n = static_cast<uint32_t>(msg.extra.size());
+
+  // Misrouted entries terminate the grant prefix: granting a stripe this
+  // node does not own would split its lock state across two tables. Only
+  // the correctly-routed leading run is attempted.
+  uint32_t routed = n;
+  if (map_ != nullptr) {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (map_->ResponsibleCore(msg.extra[i]) != env_.core_id()) {
+        routed = i;
+        ++stats_.misrouted_refused;
+        break;
       }
-      rsp.type = MsgType::kLockConflict;
-      rsp.w0 = addr;
-      rsp.w2 = static_cast<uint64_t>(result.refused);
-      return rsp;
     }
-    acquired.push_back(addr);
   }
-  rsp.type = MsgType::kLockGranted;
-  rsp.w0 = msg.extra.size();
+
+  const BatchAcquireResult result = table_.TryAcquireMany(
+      requester, msg.extra.data(), routed, msg.w3, *cm_,
+      /*committing=*/(msg.w0 & kBatchFlagCommit) != 0);
+  NotifyVictims(result.victims);
+  rsp.w0 = result.granted_bitmap;
+  rsp.w3 = result.granted_count;
+  if (result.granted_count < n) {
+    // Misrouted entries carry no conflict kind; CM refusals carry theirs.
+    rsp.w2 = static_cast<uint64_t>(result.refused);
+  }
   return rsp;
 }
 

@@ -15,6 +15,7 @@
 #include "src/cm/contention_manager.h"
 #include "src/dslock/lock_table.h"
 #include "src/runtime/core_env.h"
+#include "src/tm/address_map.h"
 #include "src/tm/config.h"
 
 namespace tm2c {
@@ -24,11 +25,18 @@ struct DtmServiceStats {
   uint64_t releases = 0;
   uint64_t notifications_sent = 0;
   uint64_t stale_requests_refused = 0;
+  uint64_t batch_requests = 0;       // kBatchAcquire messages served
+  uint64_t batch_entries = 0;        // addresses across those batches
+  uint64_t misrouted_refused = 0;    // batch entries outside this partition
 };
 
 class DtmService {
  public:
-  DtmService(CoreEnv& env, const TmConfig& config);
+  // `map`, when provided, lets the service refuse batch entries that hash
+  // to a different partition (a misrouted request would otherwise corrupt
+  // two nodes' views of the same stripe). TmSystem always passes it; bare
+  // harnesses may skip the check.
+  DtmService(CoreEnv& env, const TmConfig& config, const AddressMap* map = nullptr);
 
   // Dedicated-deployment main: serve until the engine stops the run or a
   // kShutdown message arrives.
@@ -65,7 +73,7 @@ class DtmService {
   Message Process(const Message& msg);
 
   Message HandleAcquire(const Message& msg, bool is_write);
-  Message HandleWriteBatch(const Message& msg);
+  Message HandleBatchAcquire(const Message& msg);
   void HandleRelease(const Message& msg);
   void NotifyVictims(const std::vector<Victim>& victims);
   TxInfo DecodeRequester(const Message& msg) const;
@@ -73,6 +81,7 @@ class DtmService {
 
   CoreEnv& env_;
   TmConfig config_;
+  const AddressMap* map_;
   std::unique_ptr<ContentionManager> cm_;
   LockTable table_;
   std::unordered_map<uint32_t, RemoteCoreState> remote_state_;

@@ -22,6 +22,13 @@ struct TxStats {
   uint64_t validation_failures = 0;  // elastic-read
   SimTime busy_time = 0;             // local time spent inside attempts
   uint64_t max_attempts_per_tx = 0;  // worst-case retries of a single tx
+  // Lock-acquisition cost: stripes requested from a DTM node (granted or
+  // refused), batch messages among those requests, and the local time spent
+  // waiting for acquisition responses. acquire_time / lock_acquires is the
+  // per-stripe mean acquire latency the batching ablation tracks.
+  uint64_t lock_acquires = 0;
+  uint64_t batch_messages = 0;
+  SimTime acquire_time = 0;
 
   double CommitRate() const {
     const uint64_t attempts = commits + aborts;
@@ -41,6 +48,9 @@ struct TxStats {
     early_releases += other.early_releases;
     validation_failures += other.validation_failures;
     busy_time += other.busy_time;
+    lock_acquires += other.lock_acquires;
+    batch_messages += other.batch_messages;
+    acquire_time += other.acquire_time;
     if (other.max_attempts_per_tx > max_attempts_per_tx) {
       max_attempts_per_tx = other.max_attempts_per_tx;
     }

@@ -9,6 +9,8 @@ TmSystem::TmSystem(TmSystemConfig config)
       sim_(config_.sim),
       map_(sim_.deployment(), config_.tm.stripe_bytes) {
   const DeploymentPlan& plan = sim_.deployment();
+  TM2C_CHECK_MSG(config_.tm.max_batch >= 1 && config_.tm.max_batch <= kMaxBatchEntries,
+                 "max_batch must be in [1, kMaxBatchEntries]");
   // Per-core abort status words (see TmConfig::abort_status_base).
   if (config_.tm.abort_status_base == TmConfig::kNoAbortStatus) {
     config_.tm.abort_status_base =
@@ -25,7 +27,7 @@ TmSystem::TmSystem(TmSystemConfig config)
     services_.reserve(plan.num_service());
     for (uint32_t p = 0; p < plan.num_service(); ++p) {
       const uint32_t core = plan.ServiceCore(p);
-      auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm);
+      auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm, &map_);
       DtmService* svc = service.get();
       sim_.SetCoreMain(core, [svc](CoreEnv&) { svc->RunLoop(); });
       services_.push_back(std::move(service));
@@ -49,7 +51,7 @@ TmSystem::TmSystem(TmSystemConfig config)
   services_.reserve(plan.num_cores());
   runtimes_.reserve(plan.num_cores());
   for (uint32_t core = 0; core < plan.num_cores(); ++core) {
-    auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm);
+    auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm, &map_);
     runtimes_.push_back(
         std::make_unique<TxRuntime>(sim_.env(core), config_.tm, map_, service.get()));
     services_.push_back(std::move(service));

@@ -210,6 +210,7 @@ Message TxRuntime::Rpc(uint32_t dst, Message request) {
     switch (msg.type) {
       case MsgType::kLockGranted:
       case MsgType::kLockConflict:
+      case MsgType::kBatchReply:
         return msg;
       case MsgType::kAbortNotify:
         if (in_tx_ && msg.w1 == current_epoch_) {
@@ -228,6 +229,51 @@ Message TxRuntime::Rpc(uint32_t dst, Message request) {
           }
         }
         TM2C_FATAL("unexpected message while awaiting a DTM response");
+    }
+  }
+}
+
+Message TxRuntime::AcquireRpc(uint32_t dst, Message request, uint64_t stripes) {
+  const SimTime start = env_.LocalNow();
+  Message rsp = Rpc(dst, std::move(request));
+  stats_.acquire_time += env_.LocalNow() - start;
+  stats_.lock_acquires += stripes;
+  return rsp;
+}
+
+void TxRuntime::AcquireBatchesOrAbort(uint32_t node, const std::vector<uint64_t>& stripes,
+                                      bool is_write, bool committing) {
+  for (size_t pos = 0; pos < stripes.size(); pos += config_.max_batch) {
+    const size_t len = std::min<size_t>(config_.max_batch, stripes.size() - pos);
+    Message req;
+    req.type = MsgType::kBatchAcquire;
+    req.w0 = committing ? kBatchFlagCommit : 0;
+    req.w1 = current_epoch_;
+    req.w2 = WireMetric();
+    req.w3 = is_write ? PrefixBitmap(static_cast<uint32_t>(len)) : 0;
+    req.extra = std::vector<uint64_t>(stripes.begin() + static_cast<ptrdiff_t>(pos),
+                                      stripes.begin() + static_cast<ptrdiff_t>(pos + len));
+    ++stats_.batch_messages;
+    const Message rsp = AcquireRpc(node, std::move(req), len);
+    const auto granted = static_cast<size_t>(rsp.w3);
+    TM2C_DCHECK(granted <= len);
+    for (size_t i = 0; i < granted; ++i) {
+      const uint64_t stripe = stripes[pos + i];
+      if (is_write) {
+        write_locks_.insert(stripe);
+      } else if (read_locks_.insert(stripe).second) {
+        read_lock_order_.push_back(stripe);
+      }
+    }
+    if (granted < len) {
+      const auto kind = static_cast<ConflictKind>(rsp.w2);
+      // The runtime routes with the same AddressMap the service validates
+      // against, so a refusal always carries a conflict kind; a kind-less
+      // refusal means a misrouted entry (map mismatch) and retrying the
+      // identical batch would livelock silently.
+      TM2C_CHECK_MSG(kind != ConflictKind::kNone,
+                     "batch refused without a conflict kind: runtime/service AddressMap mismatch");
+      AbortSelf(kind);
     }
   }
 }
@@ -259,6 +305,50 @@ uint64_t TxRuntime::TxRead(uint64_t addr) {
   TM2C_FATAL("bad tx mode");
 }
 
+std::vector<uint64_t> TxRuntime::TxReadMany(const std::vector<uint64_t>& addrs) {
+  TM2C_CHECK_MSG(in_tx_, "tx.ReadMany outside a transaction");
+  std::vector<uint64_t> values;
+  values.reserve(addrs.size());
+  // The elastic modes keep their per-read window semantics (batching the
+  // acquisitions would change which reads are protected when), and
+  // max_batch == 1 means the batch protocol is off: both fall back to the
+  // scalar path, read by read.
+  if (config_.tx_mode != TxMode::kNormal || config_.max_batch <= 1) {
+    for (uint64_t addr : addrs) {
+      values.push_back(TxRead(addr));
+    }
+    return values;
+  }
+  stats_.reads += addrs.size();
+  CheckPendingAbort();
+  // Group the stripes that still need a read lock by responsible node; a
+  // buffered write, a cached read, or an already-held lock covers its
+  // address, and duplicates collapse to one entry.
+  std::map<uint32_t, std::vector<uint64_t>> by_node;
+  std::unordered_set<uint64_t> requested;
+  for (uint64_t addr : addrs) {
+    TM2C_DCHECK(addr % kWordBytes == 0);
+    if (write_buffer_.find(addr) != write_buffer_.end() ||
+        read_cache_.find(addr) != read_cache_.end()) {
+      continue;
+    }
+    const uint64_t stripe = map_.StripeOf(addr);
+    if (read_locks_.find(stripe) != read_locks_.end() ||
+        write_locks_.find(stripe) != write_locks_.end() || !requested.insert(stripe).second) {
+      continue;
+    }
+    by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
+  }
+  for (const auto& [node, stripes] : by_node) {
+    AcquireBatchesOrAbort(node, stripes, /*is_write=*/false, /*committing=*/false);
+  }
+  // Every lock is held: the per-address reads below send no messages.
+  for (uint64_t addr : addrs) {
+    values.push_back(ReadNormal(addr, /*elastic_early=*/false));
+  }
+  return values;
+}
+
 uint64_t TxRuntime::ReadNormal(uint64_t addr, bool elastic_early) {
   // Algorithm 4 line 2-5: buffered values win.
   if (auto it = write_buffer_.find(addr); it != write_buffer_.end()) {
@@ -277,7 +367,7 @@ uint64_t TxRuntime::ReadNormal(uint64_t addr, bool elastic_early) {
     req.w0 = stripe;
     req.w1 = current_epoch_;
     req.w2 = WireMetric();
-    Message rsp = Rpc(map_.ResponsibleCore(stripe), std::move(req));
+    Message rsp = AcquireRpc(map_.ResponsibleCore(stripe), std::move(req), 1);
     if (rsp.type == MsgType::kLockConflict) {
       AbortSelf(static_cast<ConflictKind>(rsp.w2));
     }
@@ -365,7 +455,7 @@ void TxRuntime::TxWrite(uint64_t addr, uint64_t value) {
       req.w0 = stripe;
       req.w1 = current_epoch_;
       req.w2 = WireMetric();
-      Message rsp = Rpc(map_.ResponsibleCore(stripe), std::move(req));
+      Message rsp = AcquireRpc(map_.ResponsibleCore(stripe), std::move(req), 1);
       if (rsp.type == MsgType::kLockConflict) {
         AbortSelf(static_cast<ConflictKind>(rsp.w2));
       }
@@ -400,7 +490,7 @@ void TxRuntime::AcquireWriteLockOrAbort(uint64_t stripe, bool committing) {
   req.w1 = current_epoch_;
   req.w2 = WireMetric();
   req.w3 = committing ? 1 : 0;
-  Message rsp = Rpc(map_.ResponsibleCore(stripe), std::move(req));
+  Message rsp = AcquireRpc(map_.ResponsibleCore(stripe), std::move(req), 1);
   if (rsp.type == MsgType::kLockConflict) {
     AbortSelf(static_cast<ConflictKind>(rsp.w2));
   }
@@ -424,27 +514,16 @@ void TxRuntime::TxCommit() {
       by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
     }
     for (const auto& [node, stripes] : by_node) {
-      if (config_.batch_write_locks) {
-        // Write-lock batching (Section 3.3): all locks this node is
-        // responsible for travel in one message.
-        Message req;
-        req.type = MsgType::kWriteLockBatchReq;
-        req.w1 = current_epoch_;
-        req.w2 = WireMetric();
-        req.w3 = 1;  // commit phase
-        req.extra = stripes;
-        Message rsp = Rpc(node, std::move(req));
-        if (rsp.type == MsgType::kLockConflict) {
-          AbortSelf(static_cast<ConflictKind>(rsp.w2));
-        }
-        for (uint64_t stripe : stripes) {
-          write_locks_.insert(stripe);
-        }
-      } else {
+      if (config_.max_batch <= 1) {
+        // Unbatched wire behaviour: one round trip per stripe.
         for (uint64_t stripe : stripes) {
           AcquireWriteLockOrAbort(stripe, /*committing=*/true);
         }
+        continue;
       }
+      // Write-lock batching (Section 3.3): all locks this node is
+      // responsible for travel in chunks of at most max_batch addresses.
+      AcquireBatchesOrAbort(node, stripes, /*is_write=*/true, /*committing=*/true);
     }
   }
 

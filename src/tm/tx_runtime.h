@@ -54,6 +54,14 @@ class Tx {
   uint64_t Read(uint64_t addr);
   void Write(uint64_t addr, uint64_t value);
 
+  // Visible-read batch: acquires the read locks for every address in
+  // `addrs`, grouped by responsible node and flushed as kBatchAcquire
+  // messages of at most TmConfig::max_batch entries, then performs the
+  // shared-memory reads. Semantically identical to calling Read() per
+  // address under TxMode::kNormal; the elastic modes and max_batch == 1
+  // fall back to exactly that.
+  std::vector<uint64_t> ReadMany(const std::vector<uint64_t>& addrs);
+
  private:
   friend class TxRuntime;
   explicit Tx(TxRuntime* rt) : rt_(rt) {}
@@ -103,6 +111,7 @@ class TxRuntime {
 
   // Transactional wrappers (Algorithms 3-4).
   uint64_t TxRead(uint64_t addr);
+  std::vector<uint64_t> TxReadMany(const std::vector<uint64_t>& addrs);
   void TxWrite(uint64_t addr, uint64_t value);
   void TxCommit();
 
@@ -122,6 +131,18 @@ class TxRuntime {
   void FireAndForget(uint32_t dst, Message msg);
   uint64_t WireMetric();
   void AcquireWriteLockOrAbort(uint64_t stripe, bool committing = false);
+
+  // Like Rpc but accounts the waiting time and the `stripes` addresses the
+  // request carries into the acquire-latency statistics.
+  Message AcquireRpc(uint32_t dst, Message request, uint64_t stripes);
+
+  // Flushes one node's pending acquisitions (all write locks or all read
+  // locks) as kBatchAcquire messages of at most max_batch addresses each.
+  // Every granted prefix is recorded in the held-lock sets before the
+  // refusal check, so an abort releases it with everything else (the
+  // protocol is all-or-prefix: no service-side rollback).
+  void AcquireBatchesOrAbort(uint32_t node, const std::vector<uint64_t>& stripes, bool is_write,
+                             bool committing);
 
   CoreEnv& env_;
   TmConfig config_;
@@ -167,6 +188,9 @@ class TxRuntime {
 
 inline uint64_t Tx::Read(uint64_t addr) { return rt_->TxRead(addr); }
 inline void Tx::Write(uint64_t addr, uint64_t value) { rt_->TxWrite(addr, value); }
+inline std::vector<uint64_t> Tx::ReadMany(const std::vector<uint64_t>& addrs) {
+  return rt_->TxReadMany(addrs);
+}
 
 }  // namespace tm2c
 

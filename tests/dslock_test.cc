@@ -172,6 +172,76 @@ TEST_F(LockTableTest, EntriesErasedWhenFullyReleased) {
   EXPECT_EQ(table_.NumEntries(), 0u);
 }
 
+TEST_F(LockTableTest, TryAcquireManyEmptyBatchIsFullyGranted) {
+  const BatchAcquireResult r = table_.TryAcquireMany(Tx1(1), nullptr, 0, 0, *faircm_);
+  EXPECT_EQ(r.granted_bitmap, 0u);
+  EXPECT_EQ(r.granted_count, 0u);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  EXPECT_TRUE(r.victims.empty());
+  EXPECT_EQ(table_.NumEntries(), 0u);
+}
+
+TEST_F(LockTableTest, TryAcquireManyMixedReadWriteGrants) {
+  const uint64_t addrs[] = {0x10, 0x20, 0x30};
+  // Entries 0 and 2 want the write lock, entry 1 the read lock.
+  const BatchAcquireResult r = table_.TryAcquireMany(Tx1(1), addrs, 3, 0b101, *faircm_);
+  EXPECT_EQ(r.granted_bitmap, PrefixBitmap(3));
+  EXPECT_EQ(r.granted_count, 3u);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  EXPECT_TRUE(table_.HasWriter(0x10, nullptr));
+  EXPECT_TRUE(table_.HasReader(0x20, 1));
+  EXPECT_FALSE(table_.HasWriter(0x20, nullptr));
+  EXPECT_TRUE(table_.HasWriter(0x30, nullptr));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, TryAcquireManyDuplicateAddressesAreReacquisitions) {
+  // Read+write of the same stripe in one batch: the write upgrades the
+  // requester's own read lock, the second write re-acquires; no conflicts.
+  const uint64_t addrs[] = {0x40, 0x40, 0x40};
+  const BatchAcquireResult r = table_.TryAcquireMany(Tx1(1), addrs, 3, 0b110, *nocm_);
+  EXPECT_EQ(r.granted_bitmap, PrefixBitmap(3));
+  EXPECT_EQ(r.granted_count, 3u);
+  EXPECT_TRUE(r.victims.empty());
+  EXPECT_TRUE(table_.HasReader(0x40, 1));
+  EXPECT_TRUE(table_.HasWriter(0x40, nullptr));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, TryAcquireManyPartialGrantStopsAtFirstRefusal) {
+  // A foreign writer sits on the third of five stripes: the batch is
+  // granted as the two-entry prefix, entries after the refusal untouched.
+  ASSERT_EQ(table_.WriteLock(Tx1(9), 0x70, *nocm_).refused, ConflictKind::kNone);
+  const uint64_t addrs[] = {0x50, 0x60, 0x70, 0x80, 0x90};
+  const BatchAcquireResult r = table_.TryAcquireMany(Tx1(1), addrs, 5, PrefixBitmap(5), *nocm_);
+  EXPECT_EQ(r.granted_bitmap, PrefixBitmap(2));
+  EXPECT_EQ(r.granted_count, 2u);
+  EXPECT_EQ(r.refused, ConflictKind::kWriteAfterWrite);
+  EXPECT_TRUE(table_.HasWriter(0x50, nullptr));
+  EXPECT_TRUE(table_.HasWriter(0x60, nullptr));
+  EXPECT_FALSE(table_.HasWriter(0x80, nullptr));  // never attempted
+  EXPECT_FALSE(table_.HasWriter(0x90, nullptr));
+  uint32_t writer = 0;
+  ASSERT_TRUE(table_.HasWriter(0x70, &writer));
+  EXPECT_EQ(writer, 9u);  // the holder kept its lock
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+TEST_F(LockTableTest, TryAcquireManyCollectsVictimsAcrossThePrefix) {
+  // Two foreign readers on different stripes, both beaten by the batch's
+  // writer: every revocation across the prefix is reported.
+  ASSERT_EQ(table_.ReadLock(Tx1(7, 100), 0xA0, *faircm_).refused, ConflictKind::kNone);
+  ASSERT_EQ(table_.ReadLock(Tx1(8, 100), 0xB0, *faircm_).refused, ConflictKind::kNone);
+  const uint64_t addrs[] = {0xA0, 0xB0};
+  const BatchAcquireResult r =
+      table_.TryAcquireMany(Tx1(1, /*metric=*/1), addrs, 2, PrefixBitmap(2), *faircm_);
+  EXPECT_EQ(r.granted_count, 2u);
+  ASSERT_EQ(r.victims.size(), 2u);
+  EXPECT_EQ(r.victims[0].info.core, 7u);
+  EXPECT_EQ(r.victims[1].info.core, 8u);
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
 TEST_F(LockTableTest, StatsCountAcquiresRefusalsRevocations) {
   table_.ReadLock(Tx1(1, 1), 0x10, *faircm_);
   table_.WriteLock(Tx1(2, 0), 0x10, *faircm_);  // revokes reader 1

@@ -184,50 +184,153 @@ TEST(DtmService, StaleEpochRequestsRefused) {
   EXPECT_GT(h.service().stats().stale_requests_refused, 0u);
 }
 
-TEST(DtmService, BatchAllOrNothingRollsBack) {
+TEST(DtmService, BatchPrefixGrantStopsAtConflict) {
   TmConfig tm;
-  tm.cm = CmKind::kNone;
+  tm.cm = CmKind::kNone;  // requester always loses a foreign conflict
   ServiceHarness h(tm);
-  // Core 2 holds 0x610; core 1's batch {0x600, 0x608, 0x610} must fail and
-  // leave 0x600/0x608 unlocked.
+  // Core 2 holds 0x610; core 1's batch {0x600, 0x608, 0x610} is granted as
+  // the prefix {0x600, 0x608} — all-or-prefix, no rollback: the requester
+  // keeps (and later releases) what was granted.
   h.sys().SetCoreMain(2, [](CoreEnv& env) {
     env.Send(0, ServiceHarness::WriteReq(0x610, 21));
     (void)env.Recv();
   });
-  bool conflicted = false;
-  h.RunClient([&conflicted](CoreEnv& env) {
+  h.RunClient([](CoreEnv& env) {
     env.Compute(1000000);
     Message batch;
-    batch.type = MsgType::kWriteLockBatchReq;
+    batch.type = MsgType::kBatchAcquire;
     batch.w1 = 11;
+    batch.w3 = PrefixBitmap(3);  // all three entries want the write lock
     batch.extra = {0x600, 0x608, 0x610};
     env.Send(0, std::move(batch));
     const Message rsp = env.Recv();
-    conflicted = rsp.type == MsgType::kLockConflict;
-    EXPECT_EQ(rsp.w0, 0x610u);  // the address that failed
+    ASSERT_EQ(rsp.type, MsgType::kBatchReply);
+    EXPECT_EQ(rsp.w0, PrefixBitmap(2));  // grant bitmap: entries 0 and 1
+    EXPECT_EQ(rsp.w3, 2u);               // granted count
+    EXPECT_EQ(static_cast<ConflictKind>(rsp.w2), ConflictKind::kWriteAfterWrite);
   });
-  EXPECT_TRUE(conflicted);
-  EXPECT_FALSE(h.service().lock_table().HasWriter(0x600, nullptr));
-  EXPECT_FALSE(h.service().lock_table().HasWriter(0x608, nullptr));
-  EXPECT_TRUE(h.service().lock_table().HasWriter(0x610, nullptr));
+  uint32_t writer = 0;
+  ASSERT_TRUE(h.service().lock_table().HasWriter(0x600, &writer));
+  EXPECT_EQ(writer, 1u);
+  EXPECT_TRUE(h.service().lock_table().HasWriter(0x608, nullptr));
+  ASSERT_TRUE(h.service().lock_table().HasWriter(0x610, &writer));
+  EXPECT_EQ(writer, 2u);  // the holder was untouched
 }
 
-TEST(DtmService, BatchGrantReportsCount) {
+TEST(DtmService, BatchMixedReadWriteFullyGranted) {
   ServiceHarness h;
-  uint64_t granted_count = 0;
-  h.RunClient([&granted_count](CoreEnv& env) {
+  h.RunClient([](CoreEnv& env) {
     Message batch;
-    batch.type = MsgType::kWriteLockBatchReq;
+    batch.type = MsgType::kBatchAcquire;
     batch.w1 = 11;
+    batch.w3 = 0b101;  // entries 0 and 2 write, entry 1 read
     batch.extra = {0x700, 0x708, 0x710};
     env.Send(0, std::move(batch));
     const Message rsp = env.Recv();
-    ASSERT_EQ(rsp.type, MsgType::kLockGranted);
-    granted_count = rsp.w0;
+    ASSERT_EQ(rsp.type, MsgType::kBatchReply);
+    EXPECT_EQ(rsp.w0, PrefixBitmap(3));
+    EXPECT_EQ(rsp.w3, 3u);
+    EXPECT_EQ(static_cast<ConflictKind>(rsp.w2), ConflictKind::kNone);
   });
-  EXPECT_EQ(granted_count, 3u);
   EXPECT_TRUE(h.service().lock_table().HasWriter(0x700, nullptr));
+  EXPECT_TRUE(h.service().lock_table().HasReader(0x708, 1));
+  EXPECT_FALSE(h.service().lock_table().HasWriter(0x708, nullptr));
   EXPECT_TRUE(h.service().lock_table().HasWriter(0x710, nullptr));
+  EXPECT_EQ(h.service().stats().batch_requests, 1u);
+  EXPECT_EQ(h.service().stats().batch_entries, 3u);
+}
+
+TEST(DtmService, BatchEmptyIsTriviallyGranted) {
+  ServiceHarness h;
+  h.RunClient([](CoreEnv& env) {
+    Message batch;
+    batch.type = MsgType::kBatchAcquire;
+    batch.w1 = 11;
+    env.Send(0, std::move(batch));
+    const Message rsp = env.Recv();
+    ASSERT_EQ(rsp.type, MsgType::kBatchReply);
+    EXPECT_EQ(rsp.w0, 0u);
+    EXPECT_EQ(rsp.w3, 0u);
+    EXPECT_EQ(static_cast<ConflictKind>(rsp.w2), ConflictKind::kNone);
+  });
+  EXPECT_EQ(h.service().lock_table().NumEntries(), 0u);
+}
+
+TEST(DtmService, BatchStaleEpochRefusedWhole) {
+  TmConfig tm;
+  tm.cm = CmKind::kFairCm;
+  ServiceHarness h(tm);
+  // Core 2's read lock under epoch 42 is revoked by core 1's write; core
+  // 2's follow-up batch under the same epoch must get zero grants.
+  h.sys().SetCoreMain(2, [](CoreEnv& env) {
+    env.Send(0, ServiceHarness::ReadReq(0xA00, 42, /*metric=*/100));
+    (void)env.Recv();
+    env.Compute(4000000);  // revoked meanwhile
+    Message batch;
+    batch.type = MsgType::kBatchAcquire;
+    batch.w1 = 42;
+    batch.w3 = PrefixBitmap(2);
+    batch.extra = {0xA08, 0xA10};
+    env.Send(0, std::move(batch));
+    for (;;) {
+      const Message m = env.Recv();
+      if (m.type == MsgType::kBatchReply) {
+        EXPECT_EQ(m.w0, 0u);
+        EXPECT_EQ(m.w3, 0u);
+        EXPECT_NE(static_cast<ConflictKind>(m.w2), ConflictKind::kNone);
+        return;
+      }
+    }
+  });
+  h.RunClient([](CoreEnv& env) {
+    env.Compute(2000000);
+    env.Send(0, ServiceHarness::WriteReq(0xA00, 7, /*metric=*/1));  // revokes core 2
+    ASSERT_EQ(env.Recv().type, MsgType::kLockGranted);
+  });
+  EXPECT_GT(h.service().stats().stale_requests_refused, 0u);
+  EXPECT_FALSE(h.service().lock_table().HasWriter(0xA08, nullptr));
+  EXPECT_FALSE(h.service().lock_table().HasWriter(0xA10, nullptr));
+}
+
+TEST(DtmService, BatchMisroutedEntryTerminatesPrefix) {
+  // Two service cores (0 and 2) and an AddressMap: a batch sent to core 0
+  // containing a stripe that hashes to core 2 must stop the grant prefix at
+  // the misrouted entry instead of splitting that stripe's lock state
+  // across two tables.
+  SimSystemConfig cfg;
+  cfg.platform = MakeSccPlatform(0);
+  cfg.num_cores = 4;
+  cfg.num_service = 2;  // service cores 0 and 2
+  cfg.shmem_bytes = 1 << 20;
+  cfg.seed = 3;
+  SimSystem sys(cfg);
+  TmConfig tm;
+  AddressMap map(sys.deployment(), tm.stripe_bytes);
+  DtmService service(sys.env(0), tm, &map);
+  sys.SetCoreMain(0, [&service](CoreEnv&) { service.RunLoop(); });
+
+  // Find one stripe owned by core 0 and one owned by core 2.
+  uint64_t own = UINT64_MAX;
+  uint64_t foreign = UINT64_MAX;
+  for (uint64_t addr = 0x100; own == UINT64_MAX || foreign == UINT64_MAX; addr += 8) {
+    (map.ResponsibleCore(addr) == 0 ? own : foreign) = addr;
+  }
+  sys.SetCoreMain(1, [own, foreign](CoreEnv& env) {
+    Message batch;
+    batch.type = MsgType::kBatchAcquire;
+    batch.w1 = 5;
+    batch.w3 = PrefixBitmap(3);
+    batch.extra = {own, foreign, own};
+    env.Send(0, std::move(batch));
+    const Message rsp = env.Recv();
+    ASSERT_EQ(rsp.type, MsgType::kBatchReply);
+    EXPECT_EQ(rsp.w0, PrefixBitmap(1));  // only the leading owned entry
+    EXPECT_EQ(rsp.w3, 1u);
+  });
+  sys.Run(MillisToSim(1000));
+  EXPECT_TRUE(service.lock_table().HasWriter(own, nullptr));
+  EXPECT_FALSE(service.lock_table().HasWriter(foreign, nullptr));
+  EXPECT_EQ(service.stats().misrouted_refused, 1u);
 }
 
 TEST(DtmService, ReleaseAllDrainsLocks) {
@@ -238,8 +341,9 @@ TEST(DtmService, ReleaseAllDrainsLocks) {
     env.Send(0, ServiceHarness::ReadReq(0x808, 5));
     (void)env.Recv();
     Message wb;
-    wb.type = MsgType::kWriteLockBatchReq;
+    wb.type = MsgType::kBatchAcquire;
     wb.w1 = 5;
+    wb.w3 = PrefixBitmap(1);
     wb.extra = {0x810};
     env.Send(0, std::move(wb));
     (void)env.Recv();

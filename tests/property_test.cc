@@ -29,7 +29,7 @@ struct SweepParam {
   CmKind cm;
   TxMode mode;
   WriteAcquire acquire;
-  bool batching;
+  uint32_t max_batch;  // 1 = unbatched protocol, >1 = kBatchAcquire chunks
   DeployStrategy strategy;
   const char* platform;
 };
@@ -40,7 +40,7 @@ std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
   name += p.mode == TxMode::kNormal ? "_normal"
           : p.mode == TxMode::kElasticEarly ? "_early" : "_eread";
   name += p.acquire == WriteAcquire::kLazy ? "_lazy" : "_eager";
-  name += p.batching ? "_batch" : "_nobatch";
+  name += p.max_batch > 1 ? "_b" + std::to_string(p.max_batch) : "_nobatch";
   name += p.strategy == DeployStrategy::kDedicated ? "_ded" : "_multi";
   name += "_";
   name += p.platform;
@@ -66,7 +66,7 @@ TEST_P(TmPropertySweep, InvariantsHold) {
   cfg.tm.cm = p.cm;
   cfg.tm.tx_mode = p.mode;
   cfg.tm.write_acquire = p.acquire;
-  cfg.tm.batch_write_locks = p.batching;
+  cfg.tm.max_batch = p.max_batch;
   TmSystem sys(std::move(cfg));
 
   constexpr uint32_t kAccounts = 24;
@@ -165,20 +165,20 @@ INSTANTIATE_TEST_SUITE_P(
       for (CmKind cm : {CmKind::kWholly, CmKind::kFairCm}) {
         for (TxMode mode : {TxMode::kNormal, TxMode::kElasticEarly, TxMode::kElasticRead}) {
           for (WriteAcquire acq : {WriteAcquire::kLazy, WriteAcquire::kEager}) {
-            for (bool batching : {true, false}) {
+            for (uint32_t max_batch : {uint32_t{8}, uint32_t{1}}) {
               for (DeployStrategy strategy :
                    {DeployStrategy::kDedicated, DeployStrategy::kMultitasked}) {
                 params.push_back(
-                    SweepParam{cm, mode, acq, batching, strategy, "scc"});
+                    SweepParam{cm, mode, acq, max_batch, strategy, "scc"});
               }
             }
           }
         }
       }
       // Platform variation on the default configuration.
-      params.push_back(SweepParam{CmKind::kFairCm, TxMode::kNormal, WriteAcquire::kLazy, true,
+      params.push_back(SweepParam{CmKind::kFairCm, TxMode::kNormal, WriteAcquire::kLazy, 8,
                                   DeployStrategy::kDedicated, "scc800"});
-      params.push_back(SweepParam{CmKind::kFairCm, TxMode::kNormal, WriteAcquire::kLazy, true,
+      params.push_back(SweepParam{CmKind::kFairCm, TxMode::kNormal, WriteAcquire::kLazy, 8,
                                   DeployStrategy::kDedicated, "opteron"});
       return params;
     }()),

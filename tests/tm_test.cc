@@ -190,9 +190,15 @@ TEST(TmConcurrency, BankInvariantEagerAcquisition) {
   RunBankInvariantTest(std::move(cfg), 30);
 }
 
-TEST(TmConcurrency, BankInvariantNoBatching) {
+TEST(TmConcurrency, BankInvariantUnbatched) {
   TmSystemConfig cfg = BaseConfig(8, 4, CmKind::kFairCm);
-  cfg.tm.batch_write_locks = false;
+  cfg.tm.max_batch = 1;  // scalar lock requests only
+  RunBankInvariantTest(std::move(cfg), 30);
+}
+
+TEST(TmConcurrency, BankInvariantBatched) {
+  TmSystemConfig cfg = BaseConfig(8, 4, CmKind::kFairCm);
+  cfg.tm.max_batch = 8;  // commit write-sets travel as kBatchAcquire
   RunBankInvariantTest(std::move(cfg), 30);
 }
 
