@@ -1,0 +1,172 @@
+#include "src/check/checker.h"
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace tm2c {
+
+std::string CheckRunConfig::Name() const {
+  std::string name = platform;
+  name += "_";
+  name += CmKindName(cm);
+  name += tx_mode == TxMode::kNormal ? "_normal"
+          : tx_mode == TxMode::kElasticEarly ? "_early"
+                                             : "_eread";
+  name += write_acquire == WriteAcquire::kLazy ? "" : "_eager";
+  name += "_b" + std::to_string(max_batch);
+  if (fault != FaultMode::kNone) {
+    name += std::string("_fault-") + FaultModeName(fault);
+  }
+  if (!chaos) {
+    name += "_nochaos";
+  }
+  name += "_s" + std::to_string(seed);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+ChaosConfig DefaultChaos(uint64_t seed) {
+  ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.shuffle_ties = true;
+  chaos.msg_jitter_max_ps = MicrosToSim(2);
+  chaos.poll_stall_pct = 10;
+  chaos.poll_stall_max_ps = MicrosToSim(5);
+  chaos.poll_duplicate_pct = 10;
+  return chaos;
+}
+
+CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
+  TmSystemConfig sys_cfg;
+  sys_cfg.sim.platform = PlatformByName(cfg.platform);
+  sys_cfg.sim.num_cores = cfg.num_cores;
+  sys_cfg.sim.num_service = cfg.num_service;
+  sys_cfg.sim.shmem_bytes = 2 << 20;
+  sys_cfg.sim.seed = cfg.seed;
+  if (cfg.chaos) {
+    sys_cfg.sim.chaos = DefaultChaos(cfg.seed);
+  }
+  sys_cfg.tm.cm = cfg.cm;
+  sys_cfg.tm.tx_mode = cfg.tx_mode;
+  sys_cfg.tm.write_acquire = cfg.write_acquire;
+  sys_cfg.tm.max_batch = cfg.max_batch;
+  sys_cfg.tm.fault = cfg.fault;
+  TmSystem sys(std::move(sys_cfg));
+
+  CheckRunResult result;
+
+  // Every account word is (unique write tag << 32) | balance. The low half
+  // carries the conserved balance; the high half makes every committed
+  // write produce a globally unique value. Uniqueness matters: the oracle
+  // matches a read to its writer by value+order, and value-validated
+  // elastic reads legitimately admit ABA (a transfer pair restoring an old
+  // balance revalidates fine), which with duplicate values is
+  // value-serializable yet indistinguishable from a real stale read.
+  constexpr uint64_t kInitial = 1000;
+  constexpr uint64_t kBalanceMask = 0xffffffffull;
+  const uint64_t base = sys.sim().allocator().AllocGlobal(cfg.accounts * kWordBytes);
+  for (uint32_t a = 0; a < cfg.accounts; ++a) {
+    const uint64_t addr = base + a * kWordBytes;
+    sys.sim().shmem().StoreWord(addr, kInitial);
+    result.history.RecordInitial(addr, kInitial);
+  }
+
+  const uint32_t n = sys.num_app_cores();
+  std::vector<bool> done(n, false);
+  std::vector<uint64_t> increments(n, 0);
+  std::vector<uint64_t> scan_addrs(cfg.accounts);
+  for (uint32_t a = 0; a < cfg.accounts; ++a) {
+    scan_addrs[a] = base + a * kWordBytes;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    sys.SetAppBody(i, [&, i](CoreEnv&, TxRuntime& rt) {
+      Rng rng(cfg.seed * 77 + 13 * (i + 1));
+      for (uint32_t k = 0; k < cfg.txs_per_core; ++k) {
+        // Unique per (core, transaction, write-within-transaction); aborted
+        // attempts re-execute with the same tag but never persist, so every
+        // value that reaches memory is written exactly once.
+        const uint64_t tag =
+            (static_cast<uint64_t>(i + 1) * cfg.txs_per_core + k) * 4;
+        const uint64_t pick = rng.NextBelow(10);
+        if (pick < 4) {
+          // Counter increment: the canonical lost-update probe. Every
+          // dropped increment shows up both as a conflict-graph cycle and
+          // in the conservation total.
+          const uint64_t addr = base + rng.NextBelow(cfg.accounts) * kWordBytes;
+          rt.Execute([addr, tag](Tx& tx) {
+            tx.Write(addr, (tag << 32) | ((tx.Read(addr) & kBalanceMask) + 1));
+          });
+          ++increments[i];
+        } else if (pick < 7) {
+          // Transfer between two distinct accounts (conserves the total).
+          const uint64_t from = base + rng.NextBelow(cfg.accounts) * kWordBytes;
+          uint64_t to = base + rng.NextBelow(cfg.accounts) * kWordBytes;
+          if (to == from) {
+            to = base + ((to - base) / kWordBytes + 1) % cfg.accounts * kWordBytes;
+          }
+          rt.Execute([from, to, tag](Tx& tx) {
+            tx.Write(from, ((tag + 1) << 32) | ((tx.Read(from) & kBalanceMask) - 1));
+            tx.Write(to, ((tag + 2) << 32) | ((tx.Read(to) & kBalanceMask) + 1));
+          });
+        } else {
+          // Read-only scan of the whole array (ReadMany exercises the
+          // batched read path under TxMode::kNormal with max_batch > 1).
+          rt.Execute([&scan_addrs](Tx& tx) { (void)tx.ReadMany(scan_addrs); });
+        }
+      }
+      done[i] = true;
+    });
+  }
+
+  sys.AttachTrace(&result.history);
+  // Generous horizon: the workload is bounded, so a run that does not
+  // complete within it is itself reported as a violation (livelock or a
+  // fault-induced wedge), not silently truncated.
+  sys.Run(MillisToSim(8000));
+  result.stats = sys.MergedStats();
+
+  OracleOptions opts;
+  opts.elastic_relaxed = cfg.tx_mode != TxMode::kNormal;
+  result.report = CheckHistory(result.history, opts);
+
+  bool all_done = true;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!done[i]) {
+      all_done = false;
+      result.report.violations.push_back(OracleViolation{
+          "incomplete-run", "app core " + std::to_string(i) + " did not finish its workload"});
+    }
+  }
+
+  CheckFinalState(result.history,
+                  [&sys](uint64_t addr) { return sys.sim().shmem().LoadWord(addr); },
+                  &result.report);
+
+  if (all_done) {
+    // Transfers conserve the balance total and every increment adds exactly
+    // 1, so the final sum is fully determined. A mismatch is a lost (or
+    // duplicated) update even if the history happens to look serializable.
+    uint64_t expected = static_cast<uint64_t>(cfg.accounts) * kInitial;
+    for (uint32_t i = 0; i < n; ++i) {
+      expected += increments[i];
+    }
+    uint64_t actual = 0;
+    for (uint32_t a = 0; a < cfg.accounts; ++a) {
+      actual += sys.sim().shmem().LoadWord(base + a * kWordBytes) & kBalanceMask;
+    }
+    if (actual != expected) {
+      result.report.violations.push_back(OracleViolation{
+          "conservation", "final account total is " + std::to_string(actual) + ", expected " +
+                              std::to_string(expected) + " (lost or duplicated updates)"});
+    }
+  }
+
+  return result;
+}
+
+}  // namespace tm2c

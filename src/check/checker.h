@@ -1,0 +1,56 @@
+// One checked chaos run: an adversarial workload on a TmSystem with the
+// history recorder attached and schedule perturbation on, followed by the
+// offline oracle. Shared by tests/check_test.cc and tools/tm2c_check.cc so
+// a failing configuration reported by either can be replayed by the other
+// (same config + seed => bit-identical run).
+#ifndef TM2C_SRC_CHECK_CHECKER_H_
+#define TM2C_SRC_CHECK_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/check/history.h"
+#include "src/check/oracle.h"
+#include "src/tm/tm_system.h"
+
+namespace tm2c {
+
+struct CheckRunConfig {
+  std::string platform = "scc";
+  uint32_t num_cores = 8;
+  uint32_t num_service = 4;
+  CmKind cm = CmKind::kFairCm;
+  TxMode tx_mode = TxMode::kNormal;
+  WriteAcquire write_acquire = WriteAcquire::kLazy;
+  uint32_t max_batch = 1;
+  FaultMode fault = FaultMode::kNone;
+  uint64_t seed = 1;
+  bool chaos = true;  // apply DefaultChaos(seed); off = the one FIFO schedule
+
+  // Workload shape: each app core runs txs_per_core transactions over a
+  // deliberately small, hot array (increments + transfers + full scans).
+  uint32_t txs_per_core = 30;
+  uint32_t accounts = 12;
+
+  // "scc_faircm_normal_b8_s3" style label for logs and dump file names.
+  std::string Name() const;
+};
+
+struct CheckRunResult {
+  OracleReport report;   // oracle verdict plus harness-level violations
+  History history;       // full recorded history, for dumps and replay
+  TxStats stats;         // merged per-core statistics (determinism tests)
+};
+
+// The chaos knobs a given seed explores: same-instant tie shuffling,
+// per-message jitter, stalled and duplicated polls.
+ChaosConfig DefaultChaos(uint64_t seed);
+
+// Builds the system, runs the workload, runs the oracle. Never throws on a
+// protocol violation: everything lands in result.report.violations (kinds:
+// the oracle's, plus "incomplete-run" and "conservation" from the harness).
+CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg);
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_CHECK_CHECKER_H_

@@ -1,0 +1,125 @@
+#include "src/check/history.h"
+
+#include "src/common/check.h"
+#include "src/common/json.h"
+
+namespace tm2c {
+
+std::string History::Tx::Name() const {
+  return "c" + std::to_string(core) + "/e" + std::to_string(epoch & 0xffffffffu);
+}
+
+History::Tx* History::OpenTx(uint32_t core) {
+  auto it = open_.find(core);
+  TM2C_CHECK_MSG(it != open_.end(), "history event for a core with no open attempt");
+  return &txs_[it->second];
+}
+
+void History::OnTxBegin(uint32_t core, uint64_t epoch, SimTime now) {
+  // A new attempt may begin while the previous one is still open only if
+  // the previous outcome was never reported (should not happen: AbortSelf
+  // and TxCommit both report). Keep the check strict.
+  TM2C_CHECK_MSG(open_.find(core) == open_.end(), "attempt begun before the previous one ended");
+  Tx tx;
+  tx.core = core;
+  tx.epoch = epoch;
+  tx.begin_time = now;
+  open_[core] = txs_.size();
+  txs_.push_back(std::move(tx));
+}
+
+void History::OnTxRead(uint32_t core, uint64_t addr, uint64_t value) {
+  OpenTx(core)->reads.push_back(Read{addr, value, NextSeq()});
+}
+
+void History::OnTxPersist(uint32_t core, uint64_t addr, uint64_t value) {
+  OpenTx(core)->writes.push_back(Write{addr, value, NextSeq()});
+}
+
+void History::OnTxCommit(uint32_t core, SimTime now) {
+  Tx* tx = OpenTx(core);
+  tx->committed = true;
+  tx->finished = true;
+  tx->end_time = now;
+  open_.erase(core);
+}
+
+void History::OnTxAbort(uint32_t core, SimTime now, ConflictKind reason) {
+  Tx* tx = OpenTx(core);
+  tx->committed = false;
+  tx->finished = true;
+  tx->abort_reason = reason;
+  tx->end_time = now;
+  open_.erase(core);
+}
+
+void History::OnRevocation(uint32_t service_core, uint32_t victim_core, uint64_t victim_epoch,
+                           ConflictKind kind) {
+  revocations_.push_back(Revocation{NextSeq(), service_core, victim_core, victim_epoch, kind});
+}
+
+std::string History::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("initial");
+  w.BeginArray();
+  for (const auto& [addr, value] : initial_) {
+    w.BeginObject();
+    w.KV("addr", addr);
+    w.KV("value", value);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("transactions");
+  w.BeginArray();
+  for (const Tx& tx : txs_) {
+    w.BeginObject();
+    w.KV("core", static_cast<uint64_t>(tx.core));
+    w.KV("epoch", tx.epoch);
+    w.KV("begin_ps", tx.begin_time);
+    w.KV("end_ps", tx.end_time);
+    w.KV("committed", tx.committed);
+    w.KV("finished", tx.finished);
+    if (tx.finished && !tx.committed) {
+      w.KV("abort_reason", ConflictKindName(tx.abort_reason));
+    }
+    w.Key("reads");
+    w.BeginArray();
+    for (const Read& r : tx.reads) {
+      w.BeginObject();
+      w.KV("addr", r.addr);
+      w.KV("value", r.value);
+      w.KV("seq", r.seq);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("writes");
+    w.BeginArray();
+    for (const Write& wr : tx.writes) {
+      w.BeginObject();
+      w.KV("addr", wr.addr);
+      w.KV("value", wr.value);
+      w.KV("seq", wr.seq);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("revocations");
+  w.BeginArray();
+  for (const Revocation& rev : revocations_) {
+    w.BeginObject();
+    w.KV("seq", rev.seq);
+    w.KV("service_core", static_cast<uint64_t>(rev.service_core));
+    w.KV("victim_core", static_cast<uint64_t>(rev.victim_core));
+    w.KV("victim_epoch", rev.victim_epoch);
+    w.KV("kind", ConflictKindName(rev.kind));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace tm2c

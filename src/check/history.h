@@ -1,0 +1,97 @@
+// Per-run execution history for the offline serializability oracle.
+//
+// A History is a TxTraceSink that records, for every transaction attempt,
+// the read set (address and observed value), the persisted write set, and
+// the commit/abort outcome. Every recorded event carries a global sequence
+// number assigned in call order; because the simulator is single-threaded,
+// that order IS the real execution order, which lets the oracle reason
+// about "the last value stored before this read" exactly, without relying
+// on (possibly tied) simulated timestamps.
+//
+// Service-side revocations are recorded too, for human-readable dumps and
+// replay context; the oracle itself derives everything from reads/persists.
+#ifndef TM2C_SRC_CHECK_HISTORY_H_
+#define TM2C_SRC_CHECK_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tm/trace.h"
+
+namespace tm2c {
+
+class History : public TxTraceSink {
+ public:
+  struct Read {
+    uint64_t addr = 0;
+    uint64_t value = 0;
+    uint64_t seq = 0;  // global event order
+  };
+  struct Write {
+    uint64_t addr = 0;
+    uint64_t value = 0;
+    uint64_t seq = 0;  // global event order of the store
+  };
+  struct Tx {
+    uint32_t core = 0;
+    uint64_t epoch = 0;
+    SimTime begin_time = 0;
+    SimTime end_time = 0;
+    bool committed = false;
+    bool finished = false;  // saw a commit or abort (false: cut by a horizon)
+    ConflictKind abort_reason = ConflictKind::kNone;
+    std::vector<Read> reads;
+    std::vector<Write> writes;
+
+    bool read_only() const { return writes.empty(); }
+    std::string Name() const;  // "c3/e12" style label for reports
+  };
+  struct Revocation {
+    uint64_t seq = 0;
+    uint32_t service_core = 0;
+    uint32_t victim_core = 0;
+    uint64_t victim_epoch = 0;
+    ConflictKind kind = ConflictKind::kNone;
+  };
+
+  // Registers the pre-run content of `addr`. Optional: the oracle infers
+  // initial values from pre-write reads when they are not registered, but
+  // explicit registration turns "first read of an address" into a checked
+  // event instead of a definition.
+  void RecordInitial(uint64_t addr, uint64_t value) { initial_[addr] = value; }
+
+  // TxTraceSink implementation (called by TxRuntime / DtmService).
+  void OnTxBegin(uint32_t core, uint64_t epoch, SimTime now) override;
+  void OnTxRead(uint32_t core, uint64_t addr, uint64_t value) override;
+  void OnTxPersist(uint32_t core, uint64_t addr, uint64_t value) override;
+  void OnTxCommit(uint32_t core, SimTime now) override;
+  void OnTxAbort(uint32_t core, SimTime now, ConflictKind reason) override;
+  void OnRevocation(uint32_t service_core, uint32_t victim_core, uint64_t victim_epoch,
+                    ConflictKind kind) override;
+
+  const std::vector<Tx>& transactions() const { return txs_; }
+  const std::vector<Revocation>& revocations() const { return revocations_; }
+  const std::unordered_map<uint64_t, uint64_t>& initial_values() const { return initial_; }
+  uint64_t num_events() const { return next_seq_; }
+
+  // Serializes the whole history (transactions, outcomes, read/write sets,
+  // revocations) as one JSON document, for failing-seed artifacts.
+  std::string ToJson() const;
+
+ private:
+  uint64_t NextSeq() { return next_seq_++; }
+  Tx* OpenTx(uint32_t core);
+
+  std::vector<Tx> txs_;
+  // Index into txs_ of the attempt currently running on each core, or -1.
+  std::unordered_map<uint32_t, size_t> open_;
+  std::unordered_map<uint64_t, uint64_t> initial_;
+  std::vector<Revocation> revocations_;
+  uint64_t next_seq_ = 1;  // 0 is reserved as "before everything"
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_CHECK_HISTORY_H_

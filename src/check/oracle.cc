@@ -1,0 +1,277 @@
+#include "src/check/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tm2c {
+namespace {
+
+struct Version {
+  uint64_t seq = 0;
+  uint64_t value = 0;
+  size_t tx = 0;  // index into history.transactions()
+};
+
+std::string Hex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Dependency-graph builder with labelled edges for cycle reports.
+class ConflictGraph {
+ public:
+  explicit ConflictGraph(size_t n) : adj_(n) {}
+
+  void AddEdge(size_t from, size_t to, const std::string& label) {
+    if (from == to) {
+      return;  // a transaction never conflicts with itself
+    }
+    const uint64_t key = static_cast<uint64_t>(from) * adj_.size() + to;
+    if (!edge_keys_.insert(key).second) {
+      return;  // already present; keep the first label
+    }
+    adj_[from].push_back(to);
+    labels_[key] = label;
+    ++edges_;
+  }
+
+  uint64_t edges() const { return edges_; }
+
+  const std::string& Label(size_t from, size_t to) const {
+    return labels_.at(static_cast<uint64_t>(from) * adj_.size() + to);
+  }
+
+  // Returns the node sequence of one cycle (first node repeated at the
+  // end), or an empty vector when the graph is acyclic.
+  std::vector<size_t> FindCycle() const {
+    std::vector<uint8_t> color(adj_.size(), 0);  // 0 white, 1 on path, 2 done
+    std::vector<size_t> path;
+    // (node, index of the next neighbour to visit)
+    std::vector<std::pair<size_t, size_t>> stack;
+    for (size_t s = 0; s < adj_.size(); ++s) {
+      if (color[s] != 0) {
+        continue;
+      }
+      color[s] = 1;
+      path.push_back(s);
+      stack.emplace_back(s, 0);
+      while (!stack.empty()) {
+        auto& [u, next] = stack.back();
+        if (next < adj_[u].size()) {
+          const size_t v = adj_[u][next++];
+          if (color[v] == 0) {
+            color[v] = 1;
+            path.push_back(v);
+            stack.emplace_back(v, 0);
+          } else if (color[v] == 1) {
+            // Back edge: the cycle is the path suffix starting at v.
+            auto it = std::find(path.begin(), path.end(), v);
+            std::vector<size_t> cycle(it, path.end());
+            cycle.push_back(v);
+            return cycle;
+          }
+        } else {
+          color[u] = 2;
+          path.pop_back();
+          stack.pop_back();
+        }
+      }
+    }
+    return {};
+  }
+
+ private:
+  std::vector<std::vector<size_t>> adj_;
+  std::unordered_set<uint64_t> edge_keys_;
+  std::unordered_map<uint64_t, std::string> labels_;
+  uint64_t edges_ = 0;
+};
+
+}  // namespace
+
+std::string OracleReport::Summary() const {
+  std::string s = "committed=" + std::to_string(committed) +
+                  " aborted=" + std::to_string(aborted) +
+                  " unfinished=" + std::to_string(unfinished) +
+                  " reads=" + std::to_string(reads_checked) +
+                  " edges=" + std::to_string(edges) +
+                  " violations=" + std::to_string(violations.size());
+  for (const OracleViolation& v : violations) {
+    s += "\n  [" + v.kind + "] " + v.detail;
+  }
+  return s;
+}
+
+OracleReport CheckHistory(const History& history, const OracleOptions& options) {
+  OracleReport report;
+  const std::vector<History::Tx>& txs = history.transactions();
+
+  // ---- Version order: the persist order of each address. ----------------
+  std::unordered_map<uint64_t, std::vector<Version>> versions;
+  for (size_t i = 0; i < txs.size(); ++i) {
+    if (txs[i].finished && !txs[i].committed) {
+      continue;  // aborted attempts never persisted anything by contract
+    }
+    for (const History::Write& w : txs[i].writes) {
+      versions[w.addr].push_back(Version{w.seq, w.value, i});
+    }
+    if (txs[i].committed) {
+      ++report.committed;
+    } else {
+      ++report.unfinished;
+    }
+  }
+  for (const History::Tx& tx : txs) {
+    if (tx.finished && !tx.committed) {
+      ++report.aborted;
+    }
+  }
+  for (auto& [addr, vs] : versions) {
+    std::sort(vs.begin(), vs.end(), [](const Version& a, const Version& b) {
+      return a.seq < b.seq;
+    });
+  }
+
+  // ---- Graph membership. ------------------------------------------------
+  // Writers (anything that persisted) and committed transactions take part
+  // in the serializability check; aborted attempts only get the read check.
+  // Under elastic relaxation, committed read-only transactions are exempt:
+  // a torn read-only scan is elasticity's documented behaviour, not a bug.
+  std::vector<bool> in_graph(txs.size(), false);
+  for (size_t i = 0; i < txs.size(); ++i) {
+    const History::Tx& tx = txs[i];
+    const bool is_writer = !tx.writes.empty();
+    bool member = is_writer || tx.committed;
+    if (options.elastic_relaxed && tx.read_only()) {
+      member = false;
+    }
+    in_graph[i] = member;
+  }
+
+  ConflictGraph graph(txs.size());
+
+  // WW edges between consecutive versions of each address.
+  for (const auto& [addr, vs] : versions) {
+    for (size_t k = 0; k + 1 < vs.size(); ++k) {
+      if (in_graph[vs[k].tx] && in_graph[vs[k + 1].tx]) {
+        graph.AddEdge(vs[k].tx, vs[k + 1].tx, "WW " + Hex(addr));
+      }
+    }
+  }
+
+  // ---- Read checks + WR/RW edges. ---------------------------------------
+  // Reads that precede every persist of their address observe the initial
+  // value: explicitly registered, or inferred from the earliest such read.
+  struct InitialObs {
+    uint64_t seq;
+    uint64_t value;
+    size_t tx;
+  };
+  std::unordered_map<uint64_t, std::vector<InitialObs>> initial_reads;
+
+  for (size_t i = 0; i < txs.size(); ++i) {
+    for (const History::Read& r : txs[i].reads) {
+      ++report.reads_checked;
+      auto vit = versions.find(r.addr);
+      ptrdiff_t v = -1;
+      if (vit != versions.end()) {
+        // Last version whose store precedes this read.
+        const std::vector<Version>& vs = vit->second;
+        auto up = std::upper_bound(vs.begin(), vs.end(), r.seq,
+                                   [](uint64_t seq, const Version& ver) { return seq < ver.seq; });
+        v = (up - vs.begin()) - 1;
+      }
+      if (v < 0) {
+        initial_reads[r.addr].push_back(InitialObs{r.seq, r.value, i});
+        // RW edge to the first writer of the address, if any.
+        if (vit != versions.end() && in_graph[i] && in_graph[vit->second[0].tx]) {
+          graph.AddEdge(i, vit->second[0].tx, "RW " + Hex(r.addr));
+        }
+        continue;
+      }
+      const Version& ver = vit->second[static_cast<size_t>(v)];
+      if (r.value != ver.value) {
+        report.violations.push_back(OracleViolation{
+            "stale-read",
+            txs[i].Name() + " read " + Hex(r.addr) + " = " + std::to_string(r.value) +
+                " but the last committed writer (" + txs[ver.tx].Name() + ") stored " +
+                std::to_string(ver.value)});
+        continue;
+      }
+      if (in_graph[i] && in_graph[ver.tx]) {
+        graph.AddEdge(ver.tx, i, "WR " + Hex(r.addr));
+      }
+      if (static_cast<size_t>(v) + 1 < vit->second.size()) {
+        const Version& next = vit->second[static_cast<size_t>(v) + 1];
+        if (in_graph[i] && in_graph[next.tx]) {
+          graph.AddEdge(i, next.tx, "RW " + Hex(r.addr));
+        }
+      }
+    }
+  }
+
+  // Initial-value consistency.
+  const auto& registered = history.initial_values();
+  for (auto& [addr, obs] : initial_reads) {
+    std::sort(obs.begin(), obs.end(),
+              [](const InitialObs& a, const InitialObs& b) { return a.seq < b.seq; });
+    auto reg = registered.find(addr);
+    uint64_t expected = reg != registered.end() ? reg->second : obs.front().value;
+    const char* source = reg != registered.end() ? "registered initial" : "first observed";
+    for (const InitialObs& o : obs) {
+      if (o.value != expected) {
+        report.violations.push_back(OracleViolation{
+            "inconsistent-initial-read",
+            txs[o.tx].Name() + " read " + Hex(addr) + " = " + std::to_string(o.value) +
+                " before any write, but the " + source + " value is " +
+                std::to_string(expected)});
+      }
+    }
+  }
+
+  report.edges = graph.edges();
+
+  // ---- Cycle detection. -------------------------------------------------
+  const std::vector<size_t> cycle = graph.FindCycle();
+  if (!cycle.empty()) {
+    std::string detail = "non-serializable committed transactions: ";
+    for (size_t k = 0; k + 1 < cycle.size(); ++k) {
+      detail += txs[cycle[k]].Name() + " -[" + graph.Label(cycle[k], cycle[k + 1]) + "]-> ";
+    }
+    detail += txs[cycle.back()].Name();
+    report.violations.push_back(OracleViolation{"cycle", detail});
+  }
+
+  return report;
+}
+
+void CheckFinalState(const History& history, const std::function<uint64_t(uint64_t)>& load,
+                     OracleReport* report) {
+  // Reconstruct the last persisted version of every written address.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> last;  // addr -> (seq, value)
+  for (const History::Tx& tx : history.transactions()) {
+    if (tx.finished && !tx.committed) {
+      continue;
+    }
+    for (const History::Write& w : tx.writes) {
+      auto [it, inserted] = last.emplace(w.addr, std::make_pair(w.seq, w.value));
+      if (!inserted && w.seq > it->second.first) {
+        it->second = {w.seq, w.value};
+      }
+    }
+  }
+  for (const auto& [addr, sv] : last) {
+    const uint64_t actual = load(addr);
+    if (actual != sv.second) {
+      report->violations.push_back(OracleViolation{
+          "final-state",
+          "memory at " + Hex(addr) + " holds " + std::to_string(actual) +
+              " but the last persisted version is " + std::to_string(sv.second)});
+    }
+  }
+}
+
+}  // namespace tm2c

@@ -10,7 +10,13 @@ namespace tm2c {
 class SimSystem::Core : public CoreEnv {
  public:
   Core(SimSystem* sys, uint32_t id, SimTime clock_offset_ps, double drift_factor)
-      : sys_(sys), id_(id), clock_offset_ps_(clock_offset_ps), drift_factor_(drift_factor) {}
+      : sys_(sys),
+        id_(id),
+        clock_offset_ps_(clock_offset_ps),
+        drift_factor_(drift_factor),
+        // Per-core chaos stream: deterministic regardless of how the cores
+        // interleave, and decorrelated from the workload/skew streams.
+        chaos_rng_((sys->config_.chaos.seed + 1) * 0x2545f4914f6cdd1dull + id) {}
 
   uint32_t core_id() const override { return id_; }
   const DeploymentPlan& plan() const override { return sys_->plan_; }
@@ -24,9 +30,26 @@ class SimSystem::Core : public CoreEnv {
     // one fixed cost plus a per-payload-word term.
     sys_->engine_.Sleep(sys_->latency_.SendOverheadPs() + sys_->latency_.PayloadPs(msg.extra.size()));
     // Wire crossing, then deposit into the receiver's inbox.
-    const SimTime wire = sys_->latency_.WirePs(id_, dst);
+    SimTime wire = sys_->latency_.WirePs(id_, dst);
+    const ChaosConfig& chaos = sys_->config_.chaos;
+    if (chaos.msg_jitter_max_ps > 0) {
+      wire += chaos_rng_.NextBelow(chaos.msg_jitter_max_ps + 1);
+    }
+    SimTime arrival = sys_->engine_.now() + wire;
+    if (chaos.any()) {
+      // Jitter (and same-instant tie shuffling) must not reorder one pair's
+      // messages: FIFO delivery per pair is a platform guarantee the
+      // protocol is allowed to rely on. Clamp each arrival strictly behind
+      // the pair's previous one.
+      SimTime& last = sys_->pair_last_arrival_[static_cast<size_t>(id_) *
+                                                   sys_->plan_.num_cores() + dst];
+      if (arrival <= last) {
+        arrival = last + 1;
+      }
+      last = arrival;
+    }
     Core* receiver = sys_->cores_[dst].get();
-    sys_->engine_.ScheduleAfter(wire, [this, receiver, m = std::move(msg)]() mutable {
+    sys_->engine_.ScheduleAt(arrival, [this, receiver, m = std::move(msg)]() mutable {
       receiver->inbox_.push_back(std::move(m));
       if (receiver->waiting_recv_ && sys_->engine_.ActorBlocked(receiver->actor_)) {
         sys_->engine_.WakeActor(receiver->actor_);
@@ -106,8 +129,15 @@ class SimSystem::Core : public CoreEnv {
     Message msg = std::move(inbox_.front());
     inbox_.pop_front();
     const uint32_t peers = sys_->plan_.PolledPeers(id_);
-    sys_->engine_.Sleep(sys_->latency_.RecvOverheadPs(peers) +
-                        sys_->latency_.PayloadPs(msg.extra.size()));
+    SimTime cost = sys_->latency_.RecvOverheadPs(peers) + sys_->latency_.PayloadPs(msg.extra.size());
+    const ChaosConfig& chaos = sys_->config_.chaos;
+    if (chaos.poll_duplicate_pct > 0 && chaos_rng_.NextPercent(chaos.poll_duplicate_pct)) {
+      cost *= 2;  // a wasted poll rotation before the scan that hit
+    }
+    if (chaos.poll_stall_pct > 0 && chaos_rng_.NextPercent(chaos.poll_stall_pct)) {
+      cost += chaos_rng_.NextBelow(chaos.poll_stall_max_ps + 1);
+    }
+    sys_->engine_.Sleep(cost);
     return msg;
   }
 
@@ -123,6 +153,7 @@ class SimSystem::Core : public CoreEnv {
   uint32_t id_;
   SimTime clock_offset_ps_;
   double drift_factor_;
+  Rng chaos_rng_;
   std::deque<Message> inbox_;
   bool waiting_recv_ = false;
   size_t actor_ = 0;
@@ -138,6 +169,11 @@ SimSystem::SimSystem(SimSystemConfig config)
   shmem_ = std::make_unique<SharedMemory>(config_.shmem_bytes);
   allocator_ = std::make_unique<ShmAllocator>(shmem_.get(), Topology(config_.platform));
   mc_model_ = std::make_unique<MemControllerModel>(config_.platform, shmem_->size_bytes());
+  engine_.SetChaos(config_.chaos);
+  if (config_.chaos.any()) {
+    pair_last_arrival_.assign(
+        static_cast<size_t>(config_.num_cores) * config_.num_cores, 0);
+  }
 
   Rng rng(config_.seed * 0x9e3779b97f4a7c15ull + 7);
   const auto skew_max_ps =

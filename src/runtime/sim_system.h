@@ -36,6 +36,13 @@ struct SimSystemConfig {
   // The per-payload-word messaging cost lives in
   // PlatformDesc::msg_payload_cycles_per_word (it is a platform property,
   // charged by the latency model on both ends of a message).
+
+  // Schedule-exploration knobs (src/check/): same-instant tie shuffling in
+  // the engine, per-message delay jitter, stalled/duplicated inbox polls.
+  // Off by default; the chaos harness turns them on per seed. Per-pair FIFO
+  // delivery is preserved under every setting (jittered arrivals are
+  // clamped to stay behind the pair's previous arrival).
+  ChaosConfig chaos;
 };
 
 class SimSystem {
@@ -77,6 +84,11 @@ class SimSystem {
   std::unique_ptr<MemControllerModel> mc_model_;
   std::vector<std::unique_ptr<Core>> cores_;
   bool started_actors_ = false;
+
+  // Chaos bookkeeping: last scheduled arrival per (src, dst) pair, so
+  // jittered wire delays can never reorder a pair's messages (indexed
+  // src * num_cores + dst; only maintained when chaos is active).
+  std::vector<SimTime> pair_last_arrival_;
 
   // Centralized zero-cost barrier.
   uint32_t barrier_waiting_ = 0;

@@ -13,9 +13,16 @@ size_t SimEngine::AddActor(std::function<void()> body, size_t stack_size) {
   return actors_.size() - 1;
 }
 
+void SimEngine::SetChaos(const ChaosConfig& chaos) {
+  TM2C_CHECK_MSG(!started_, "SetChaos after Run()");
+  shuffle_ties_ = chaos.shuffle_ties;
+  tie_rng_.Seed(chaos.seed ^ 0xc4a05c75ull);
+}
+
 void SimEngine::ScheduleAt(SimTime t, std::function<void()> cb) {
   TM2C_CHECK_MSG(t >= now_, "scheduling into the past");
-  events_.push(Event{t, next_seq_++, std::move(cb)});
+  const uint64_t tie = shuffle_ties_ ? tie_rng_.Next() : 0;
+  events_.push(Event{t, tie, next_seq_++, std::move(cb)});
 }
 
 void SimEngine::ResumeActor(Actor* actor) {

@@ -4,8 +4,13 @@
 // actor fibers. The scheduler context pops events in time order; events
 // typically resume a blocked fiber, which runs until it blocks again (on a
 // simulated delay, a mailbox, or a resource queue) and yields back. Events
-// scheduled at the same instant run in FIFO order of scheduling, which keeps
-// executions deterministic.
+// scheduled at the same instant run in FIFO order of scheduling — an
+// explicit per-event sequence number is the tie-break, never the container's
+// insertion behaviour — which keeps executions deterministic.
+//
+// Chaos mode (SetChaos) replaces the FIFO tie-break with a seeded random
+// draw so that one workload explores many same-instant interleavings, one
+// per seed, each still fully deterministic and replayable.
 #ifndef TM2C_SRC_SIM_ENGINE_H_
 #define TM2C_SRC_SIM_ENGINE_H_
 
@@ -16,10 +21,38 @@
 #include <queue>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/sim/fiber.h"
 #include "src/sim/time.h"
 
 namespace tm2c {
+
+// Seeded schedule-perturbation knobs. The engine consumes shuffle_ties;
+// the runtime backend (SimSystem) consumes the message/poll knobs. All
+// perturbations preserve the platform's guarantees — in particular FIFO
+// delivery between any pair of cores — so a correct protocol must stay
+// correct under every seed; only the schedule changes.
+struct ChaosConfig {
+  uint64_t seed = 0;
+  // Randomize the execution order of same-instant events (default: FIFO in
+  // scheduling order).
+  bool shuffle_ties = false;
+  // Extra per-message wire delay, uniform in [0, msg_jitter_max_ps].
+  SimTime msg_jitter_max_ps = 0;
+  // With poll_stall_pct% probability an inbox pickup stalls for a uniform
+  // [0, poll_stall_max_ps] delay before the message is consumed (a service
+  // core busy elsewhere, an unlucky poll rotation).
+  uint32_t poll_stall_pct = 0;
+  SimTime poll_stall_max_ps = 0;
+  // With poll_duplicate_pct% probability a pickup pays the poll-scan cost
+  // twice (a wasted scan over the peers before the one that hits).
+  uint32_t poll_duplicate_pct = 0;
+
+  bool any() const {
+    return shuffle_ties || msg_jitter_max_ps > 0 || poll_stall_pct > 0 ||
+           poll_duplicate_pct > 0;
+  }
+};
 
 class SimEngine {
  public:
@@ -33,6 +66,11 @@ class SimEngine {
   // Registers an actor; its fiber starts running at time 0 when Run() is
   // called. Returns the actor index.
   size_t AddActor(std::function<void()> body, size_t stack_size = Fiber::kDefaultStackSize);
+
+  // Installs the chaos configuration (only shuffle_ties is consumed here).
+  // Must be called before the first Run(); the tie-break draw stream is
+  // seeded once, so the whole run replays bit-for-bit per seed.
+  void SetChaos(const ChaosConfig& chaos);
 
   // -- Scheduler-side API -----------------------------------------------
 
@@ -84,7 +122,8 @@ class SimEngine {
 
   struct Event {
     SimTime time;
-    uint64_t seq;  // FIFO tie-break for equal timestamps
+    uint64_t tie;  // chaos shuffle draw; 0 outside chaos mode
+    uint64_t seq;  // explicit monotone tie-break: FIFO among equal (time, tie)
     std::function<void()> cb;
   };
 
@@ -92,6 +131,9 @@ class SimEngine {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) {
         return a.time > b.time;
+      }
+      if (a.tie != b.tie) {
+        return a.tie > b.tie;
       }
       return a.seq > b.seq;
     }
@@ -102,6 +144,8 @@ class SimEngine {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::priority_queue<Event, std::vector<Event>, EventCompare> events_;
   SimTime now_ = 0;
+  bool shuffle_ties_ = false;
+  Rng tie_rng_{0};
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   Actor* running_ = nullptr;

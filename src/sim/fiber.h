@@ -43,6 +43,11 @@ class Fiber {
   // True once fn has returned; a finished fiber must not be resumed.
   bool finished() const { return finished_; }
 
+  // True while Unwind() is tearing this fiber down. Runtime code uses this
+  // to detect application code that swallowed the Unwound exception with a
+  // catch(...) and kept executing during teardown.
+  bool unwinding() const { return unwinding_; }
+
   // Thrown through a suspended fiber's stack by Unwind(); must not be
   // swallowed by application code (catch TxAbortException and friends by
   // concrete type, never `...`).

@@ -23,6 +23,44 @@ enum class TxMode : uint8_t {
   kElasticRead = 2,   // no read locks; value-based read validation
 };
 
+// Planted protocol mutations for the verification subsystem (src/check/).
+// Each mode breaks one safety-critical step of the protocol; the
+// serializability oracle must flag every one of them (tests/check_test.cc
+// asserts it does), which is the evidence that the oracle has teeth.
+// Production configurations always run kNone.
+enum class FaultMode : uint8_t {
+  kNone = 0,
+  // The runtime performs visible reads WITHOUT acquiring the read lock:
+  // reads are no longer visible to writers, so a concurrent commit can
+  // slide between a read and the reader's commit point (lost updates,
+  // torn snapshots).
+  kSkipReadLock = 1,
+  // The service revokes locks (the CM's decision stands and the winner
+  // proceeds) but never tells the victim: no stale-epoch refusal of the
+  // victim's later requests — stale-epoch batch entries are granted — no
+  // abort-status publication, no notification. Winner and victim both
+  // reach their commit points on conflicting lock sets.
+  kIgnoreRevocation = 2,
+  // The committing runtime releases its write locks BEFORE persisting the
+  // write-back buffer (word at a time), opening a window in which other
+  // transactions lock, read and overwrite stale data.
+  kReleaseBeforePersist = 3,
+};
+
+inline const char* FaultModeName(FaultMode f) {
+  switch (f) {
+    case FaultMode::kNone:
+      return "none";
+    case FaultMode::kSkipReadLock:
+      return "skip-read-lock";
+    case FaultMode::kIgnoreRevocation:
+      return "ignore-revocation";
+    case FaultMode::kReleaseBeforePersist:
+      return "release-before-persist";
+  }
+  return "?";
+}
+
 struct TmConfig {
   CmKind cm = CmKind::kFairCm;
   WriteAcquire write_acquire = WriteAcquire::kLazy;
@@ -70,6 +108,9 @@ struct TmConfig {
   // serves. Dedicated cores never pay it — one reason the dedicated
   // deployment wins (Figure 4(a)).
   uint64_t multitask_switch_cycles = 250;
+
+  // Planted protocol mutation (verification only; see FaultMode above).
+  FaultMode fault = FaultMode::kNone;
 };
 
 }  // namespace tm2c

@@ -86,6 +86,17 @@ void DtmService::ChargeProcessing(uint64_t items) {
 
 void DtmService::NotifyVictims(const std::vector<Victim>& victims) {
   for (const Victim& victim : victims) {
+    if (trace_ != nullptr) {
+      trace_->OnRevocation(env_.core_id(), victim.info.core, victim.info.epoch, victim.kind);
+    }
+    // FaultMode::kIgnoreRevocation (verification only): the locks are gone
+    // — the CM's decision stands and the winner proceeds — but the victim
+    // is never told: no record for the stale-epoch refusal (stale batch
+    // entries will be granted), no abort-status publication, no
+    // notification message.
+    if (config_.fault == FaultMode::kIgnoreRevocation) {
+      continue;
+    }
     RemoteCoreState& state = remote_state_[victim.info.core];
     if (state.aborted_epoch == victim.info.epoch) {
       continue;  // this node already notified that transaction attempt

@@ -17,6 +17,7 @@
 #include "src/runtime/core_env.h"
 #include "src/tm/address_map.h"
 #include "src/tm/config.h"
+#include "src/tm/trace.h"
 
 namespace tm2c {
 
@@ -62,6 +63,10 @@ class DtmService {
   const LockTable& lock_table() const { return table_; }
   const DtmServiceStats& stats() const { return stats_; }
 
+  // Attaches the execution-trace recorder (verification harnesses only);
+  // the service reports revocations through it.
+  void set_trace(TxTraceSink* trace) { trace_ = trace; }
+
  private:
   struct RemoteCoreState {
     uint64_t aborted_epoch = 0;  // most recent epoch this node revoked
@@ -86,6 +91,7 @@ class DtmService {
   LockTable table_;
   std::unordered_map<uint32_t, RemoteCoreState> remote_state_;
   std::function<void(uint64_t, ConflictKind)> local_abort_sink_;
+  TxTraceSink* trace_ = nullptr;
   DtmServiceStats stats_;
 };
 

@@ -35,6 +35,21 @@ struct TxStats {
     return attempts == 0 ? 1.0 : static_cast<double>(commits) / static_cast<double>(attempts);
   }
 
+  // Field-by-field equality, used by the determinism regression tests
+  // (same seed and chaos configuration => identical statistics).
+  bool operator==(const TxStats& other) const {
+    return commits == other.commits && aborts == other.aborts &&
+           raw_conflicts == other.raw_conflicts && waw_conflicts == other.waw_conflicts &&
+           war_conflicts == other.war_conflicts && notify_aborts == other.notify_aborts &&
+           reads == other.reads && writes == other.writes &&
+           messages_sent == other.messages_sent && early_releases == other.early_releases &&
+           validation_failures == other.validation_failures && busy_time == other.busy_time &&
+           max_attempts_per_tx == other.max_attempts_per_tx &&
+           lock_acquires == other.lock_acquires && batch_messages == other.batch_messages &&
+           acquire_time == other.acquire_time;
+  }
+  bool operator!=(const TxStats& other) const { return !(*this == other); }
+
   void Merge(const TxStats& other) {
     commits += other.commits;
     aborts += other.aborts;

@@ -89,6 +89,15 @@ void TmSystem::SetAllAppBodies(const AppBody& body) {
   }
 }
 
+void TmSystem::AttachTrace(TxTraceSink* trace) {
+  for (auto& rt : runtimes_) {
+    rt->set_trace(trace);
+  }
+  for (auto& service : services_) {
+    service->set_trace(trace);
+  }
+}
+
 SimTime TmSystem::Run(SimTime until) { return sim_.Run(until); }
 
 const TxStats& TmSystem::AppStats(uint32_t app_index) const {

@@ -49,6 +49,10 @@ class TmSystem {
   // empty. Meaningless if the run was cut mid-transaction by a horizon.
   bool AllLockTablesEmpty() const;
 
+  // Attaches an execution-trace recorder (typically a check::History) to
+  // every runtime and service. Call before Run(); verification only.
+  void AttachTrace(TxTraceSink* trace);
+
   SimSystem& sim() { return sim_; }
   const AddressMap& address_map() const { return map_; }
   const TmSystemConfig& config() const { return config_; }

@@ -1,0 +1,52 @@
+// Execution-trace hook for the verification subsystem (src/check/).
+//
+// TxRuntime and DtmService call into an optional TxTraceSink at the
+// semantically meaningful instants of the protocol: attempt begin, each
+// shared-memory read with the observed value, each commit-time persist,
+// the commit/abort outcome, and service-side revocations. The sink is
+// defined here (tm layer) so the tm code does not depend on src/check/;
+// the concrete recorder (check::History) implements this interface.
+//
+// The hooks are only meaningful under the deterministic single-threaded
+// simulator backend: the recorder relies on call order being the real
+// execution order. Do not attach a sink under the std::thread backend.
+#ifndef TM2C_SRC_TM_TRACE_H_
+#define TM2C_SRC_TM_TRACE_H_
+
+#include <cstdint>
+
+#include "src/runtime/message.h"
+#include "src/sim/time.h"
+
+namespace tm2c {
+
+class TxTraceSink {
+ public:
+  virtual ~TxTraceSink() = default;
+
+  // A transaction attempt started on `core` with the given epoch.
+  virtual void OnTxBegin(uint32_t core, uint64_t epoch, SimTime now) = 0;
+
+  // The running attempt on `core` read `addr` from shared memory and
+  // observed `value`. Buffered (read-own-write) and cached re-reads are not
+  // reported: they carry no new information about the shared state.
+  virtual void OnTxRead(uint32_t core, uint64_t addr, uint64_t value) = 0;
+
+  // The committing attempt on `core` persisted `value` to `addr`. Reported
+  // per word, in store order, at the instant of the actual store.
+  virtual void OnTxPersist(uint32_t core, uint64_t addr, uint64_t value) = 0;
+
+  // Outcome of the attempt on `core`.
+  virtual void OnTxCommit(uint32_t core, SimTime now) = 0;
+  virtual void OnTxAbort(uint32_t core, SimTime now, ConflictKind reason) = 0;
+
+  // The DTM service on `service_core` revoked the locks of the attempt
+  // (victim_core, victim_epoch). Recorded even when a planted fault
+  // suppresses the delivery of the revocation to the victim.
+  virtual void OnRevocation(uint32_t service_core, uint32_t victim_core, uint64_t victim_epoch,
+                            ConflictKind kind) = 0;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_TM_TRACE_H_

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/check.h"
+#include "src/sim/fiber.h"
 
 namespace tm2c {
 
@@ -39,6 +40,13 @@ bool TxRuntime::TryExecute(const std::function<void(Tx&)>& body, uint64_t max_at
     Tx tx(this);
     try {
       body(tx);
+      // An abort was thrown through the body but the body returned anyway:
+      // application code swallowed TxAbortException with a catch-all, which
+      // breaks the retry protocol (locks are already released, the body's
+      // view is stale). This is a programming error, not a recoverable
+      // condition.
+      TM2C_CHECK_MSG(!abort_thrown_,
+                     "transaction body swallowed TxAbortException (catch(...) in a tx body?)");
       TxCommit();
       in_tx_ = false;
       ++stats_.commits;
@@ -53,6 +61,7 @@ bool TxRuntime::TryExecute(const std::function<void(Tx&)>& body, uint64_t max_at
       consecutive_aborts_ = 0;
       return true;
     } catch (const TxAbortException&) {
+      abort_thrown_ = false;
       in_tx_ = false;
       ++stats_.aborts;
       ++consecutive_aborts_;
@@ -76,6 +85,7 @@ void TxRuntime::BeginAttempt() {
   ServePending();
   ++attempt_counter_;
   current_epoch_ = (static_cast<uint64_t>(env_.core_id()) << 32) | attempt_counter_;
+  abort_thrown_ = false;
   pending_abort_ = false;
   pending_abort_kind_ = ConflictKind::kNone;
   write_buffer_.clear();
@@ -89,6 +99,17 @@ void TxRuntime::BeginAttempt() {
   early_released_values_.clear();
   attempt_start_local_ = env_.LocalNow();
   in_tx_ = true;
+  if (trace_ != nullptr) {
+    trace_->OnTxBegin(env_.core_id(), current_epoch_, env_.GlobalNow());
+  }
+}
+
+void TxRuntime::CheckBodyContract() const {
+  const Fiber* fiber = Fiber::Current();
+  TM2C_CHECK_MSG(fiber == nullptr || !fiber->unwinding(),
+                 "transaction body swallowed Fiber::Unwound (catch(...) in a tx body?)");
+  TM2C_CHECK_MSG(!abort_thrown_,
+                 "transaction body swallowed TxAbortException (catch(...) in a tx body?)");
 }
 
 void TxRuntime::ServePending() {
@@ -291,6 +312,7 @@ void TxRuntime::FireAndForget(uint32_t dst, Message msg) {
 }
 
 uint64_t TxRuntime::TxRead(uint64_t addr) {
+  CheckBodyContract();
   TM2C_CHECK_MSG(in_tx_, "tx.Read outside a transaction");
   TM2C_DCHECK(addr % kWordBytes == 0);
   ++stats_.reads;
@@ -306,6 +328,7 @@ uint64_t TxRuntime::TxRead(uint64_t addr) {
 }
 
 std::vector<uint64_t> TxRuntime::TxReadMany(const std::vector<uint64_t>& addrs) {
+  CheckBodyContract();
   TM2C_CHECK_MSG(in_tx_, "tx.ReadMany outside a transaction");
   std::vector<uint64_t> values;
   values.reserve(addrs.size());
@@ -360,7 +383,11 @@ uint64_t TxRuntime::ReadNormal(uint64_t addr, bool elastic_early) {
   CheckPendingAbort();
 
   const uint64_t stripe = map_.StripeOf(addr);
-  if (read_locks_.find(stripe) == read_locks_.end() &&
+  // FaultMode::kSkipReadLock (verification only): perform the read without
+  // the visible-read lock, exactly the invisible-read bug the oracle must
+  // catch.
+  if (config_.fault != FaultMode::kSkipReadLock &&
+      read_locks_.find(stripe) == read_locks_.end() &&
       write_locks_.find(stripe) == write_locks_.end()) {
     Message req;
     req.type = MsgType::kReadLockReq;
@@ -401,6 +428,9 @@ uint64_t TxRuntime::ReadNormal(uint64_t addr, bool elastic_early) {
   }
 
   const uint64_t value = env_.ShmemRead(addr);
+  if (trace_ != nullptr) {
+    trace_->OnTxRead(env_.core_id(), addr, value);
+  }
   read_cache_[addr] = value;
   CheckPendingAbort();
   return value;
@@ -412,6 +442,9 @@ uint64_t TxRuntime::ReadElasticValidated(uint64_t addr) {
   }
   CheckPendingAbort();
   const uint64_t value = env_.ShmemRead(addr);
+  if (trace_ != nullptr) {
+    trace_->OnTxRead(env_.core_id(), addr, value);
+  }
   // Elastic-read (Section 6.1): after stepping to the next node, re-read
   // the trailing window and abort if any value changed under us.
   ValidateWindowOrAbort();
@@ -437,6 +470,7 @@ void TxRuntime::ValidateWindowOrAbort() {
 }
 
 void TxRuntime::TxWrite(uint64_t addr, uint64_t value) {
+  CheckBodyContract();
   TM2C_CHECK_MSG(in_tx_, "tx.Write outside a transaction");
   TM2C_DCHECK(addr % kWordBytes == 0);
   ++stats_.writes;
@@ -574,6 +608,25 @@ void TxRuntime::TxCommit() {
     }
   }
 
+  // FaultMode::kReleaseBeforePersist (verification only): give up every
+  // lock first, then write back word at a time, paying (and yielding for)
+  // the memory latency between words. Other transactions can lock, read
+  // and overwrite the not-yet-persisted data in that window — the classic
+  // broken-2PL bug the oracle must catch.
+  if (config_.fault == FaultMode::kReleaseBeforePersist) {
+    ReleaseAllLocks();
+    for (uint64_t addr : write_order_) {
+      env_.ShmemWrite(addr, write_buffer_[addr]);
+      if (trace_ != nullptr) {
+        trace_->OnTxPersist(env_.core_id(), addr, write_buffer_[addr]);
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_->OnTxCommit(env_.core_id(), env_.GlobalNow());
+    }
+    return;
+  }
+
   // Commit point. With the abort-status protocol enabled, the status read
   // and the whole write-set persist execute at one simulated instant: a
   // revocation either lands before (the status word names our epoch and we
@@ -593,7 +646,10 @@ void TxRuntime::TxCommit() {
     // Elastic updates: re-validate at this same instant. The timed
     // validation above paid the cost, but a foreign commit can land
     // between it and this point (unlocked reads leave that window open);
-    // the instant recheck makes validation and persist atomic.
+    // the instant recheck makes validation and persist atomic. Written
+    // locations are exempt: their write locks have been held since before
+    // the timed validation, so nothing can have changed them since it
+    // passed.
     if (config_.tx_mode == TxMode::kElasticRead && !write_buffer_.empty()) {
       for (const auto& [addr, value] : elastic_read_values_) {
         if (write_buffer_.find(addr) == write_buffer_.end() &&
@@ -613,6 +669,9 @@ void TxRuntime::TxCommit() {
     }
     for (uint64_t addr : write_order_) {
       env_.shmem().StoreWord(addr, write_buffer_[addr]);
+      if (trace_ != nullptr) {
+        trace_->OnTxPersist(env_.core_id(), addr, write_buffer_[addr]);
+      }
     }
     // Charge the persist time after the fact (idempotence-free: no re-store).
     env_.Compute(env_.platform().mem_latency_cycles * write_order_.size());
@@ -620,11 +679,17 @@ void TxRuntime::TxCommit() {
     // Algorithm 3 line 14: persist the write-set to shared memory.
     for (uint64_t addr : write_order_) {
       env_.ShmemWrite(addr, write_buffer_[addr]);
+      if (trace_ != nullptr) {
+        trace_->OnTxPersist(env_.core_id(), addr, write_buffer_[addr]);
+      }
     }
   }
 
   // Algorithm 3 lines 16-17: release all locks.
   ReleaseAllLocks();
+  if (trace_ != nullptr) {
+    trace_->OnTxCommit(env_.core_id(), env_.GlobalNow());
+  }
 }
 
 void TxRuntime::ReleaseAllLocks() {
@@ -672,6 +737,10 @@ void TxRuntime::AbortSelf(ConflictKind reason) {
   }
   ReleaseAllLocks();
   stats_.busy_time += env_.LocalNow() - attempt_start_local_;
+  if (trace_ != nullptr) {
+    trace_->OnTxAbort(env_.core_id(), env_.GlobalNow(), reason);
+  }
+  abort_thrown_ = true;
   throw TxAbortException{reason};
 }
 

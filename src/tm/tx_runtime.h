@@ -21,6 +21,12 @@
 // kElasticEarly keeps only a sliding window of read locks, sending an early
 // release for older ones; kElasticRead takes no read locks at all and
 // value-validates the window instead.
+//
+// Control-flow contract: aborts and end-of-run teardown are delivered by
+// exception (TxAbortException, Fiber::Unwound) THROUGH the transaction
+// body. A body may catch its own exception types, but must never swallow
+// these with a catch-all: the runtime detects both swallows and treats
+// them as fatal programming errors (see tests/check_test.cc).
 #ifndef TM2C_SRC_TM_TX_RUNTIME_H_
 #define TM2C_SRC_TM_TX_RUNTIME_H_
 
@@ -37,6 +43,7 @@
 #include "src/tm/config.h"
 #include "src/tm/dtm_service.h"
 #include "src/tm/stats.h"
+#include "src/tm/trace.h"
 
 namespace tm2c {
 
@@ -102,6 +109,10 @@ class TxRuntime {
   const TmConfig& config() const { return config_; }
   CoreEnv& env() { return env_; }
 
+  // Attaches the execution-trace recorder (verification harnesses only;
+  // see src/tm/trace.h for the single-threaded-backend caveat).
+  void set_trace(TxTraceSink* trace) { trace_ = trace; }
+
   // CM bookkeeping, exposed for tests.
   uint64_t commits_count() const { return commits_count_; }
   SimTime effective_tx_time() const { return effective_tx_time_; }
@@ -123,6 +134,11 @@ class TxRuntime {
   [[noreturn]] void AbortSelf(ConflictKind reason);
   void ReleaseAllLocks();
   void CheckPendingAbort();
+  // Fatal at the first transactional op after a contract violation: the
+  // body swallowed Fiber::Unwound (the calling fiber is being unwound) or
+  // TxAbortException (an abort is in flight for this attempt) with a
+  // catch(...).
+  void CheckBodyContract() const;
 
   // Sends a lock request and waits for the matching response, serving the
   // local DTM partition (multitasked) and recording abort notifications in
@@ -153,6 +169,7 @@ class TxRuntime {
   // Per-attempt state.
   uint64_t current_epoch_ = 0;
   bool in_tx_ = false;
+  bool abort_thrown_ = false;  // a TxAbortException is in flight for this attempt
   bool pending_abort_ = false;
   ConflictKind pending_abort_kind_ = ConflictKind::kNone;
   SimTime attempt_start_local_ = 0;
@@ -183,6 +200,7 @@ class TxRuntime {
   SimTime effective_tx_time_ = 0;     // FairCM priority
   uint64_t consecutive_aborts_ = 0;   // Back-off-Retry state
 
+  TxTraceSink* trace_ = nullptr;
   TxStats stats_;
 };
 

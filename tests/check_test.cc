@@ -1,0 +1,367 @@
+// Tests for the verification subsystem (src/check/): oracle unit tests on
+// hand-built histories, chaos-schedule determinism, planted-fault
+// detection (the oracle must flag every FaultMode), clean-protocol chaos
+// sweeps, and the runtime's control-flow contract (no catch(...) swallows).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/check/checker.h"
+
+namespace tm2c {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oracle unit tests on hand-built histories.
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, AcceptsSerialHistory) {
+  History h;
+  h.RecordInitial(0x10, 5);
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxRead(0, 0x10, 5);
+  h.OnTxPersist(0, 0x10, 6);
+  h.OnTxCommit(0, 10);
+  h.OnTxBegin(1, 1, 11);
+  h.OnTxRead(1, 0x10, 6);
+  h.OnTxPersist(1, 0x10, 7);
+  h.OnTxCommit(1, 20);
+  const OracleReport report = CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.committed, 2u);
+  EXPECT_EQ(report.reads_checked, 2u);
+}
+
+TEST(Oracle, AcceptsInterleavedButSerializableHistory) {
+  // Two transactions on disjoint addresses, fully interleaved: fine.
+  History h;
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxBegin(1, 1, 0);
+  h.OnTxRead(0, 0x10, 0);
+  h.OnTxRead(1, 0x20, 0);
+  h.OnTxPersist(0, 0x10, 1);
+  h.OnTxPersist(1, 0x20, 1);
+  h.OnTxCommit(0, 10);
+  h.OnTxCommit(1, 10);
+  const OracleReport report = CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(Oracle, FlagsLostUpdateAsCycle) {
+  // Both transactions read the initial version of 0x10, then both write it:
+  // the classic lost update. RW (t1 -> t0's version successor) + WW close
+  // the cycle.
+  History h;
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxBegin(1, 1, 0);
+  h.OnTxRead(0, 0x10, 5);
+  h.OnTxRead(1, 0x10, 5);
+  h.OnTxPersist(0, 0x10, 6);
+  h.OnTxCommit(0, 10);
+  h.OnTxPersist(1, 0x10, 6);
+  h.OnTxCommit(1, 20);
+  const OracleReport report = CheckHistory(h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "cycle");
+}
+
+TEST(Oracle, FlagsTornScanAsCycle) {
+  // A read-only scan observes x before W's commit and y after it: torn.
+  History h;
+  h.RecordInitial(0x10, 1);
+  h.RecordInitial(0x18, 1);
+  h.OnTxBegin(0, 1, 0);  // the scan
+  h.OnTxBegin(1, 1, 0);  // the writer
+  h.OnTxRead(0, 0x10, 1);
+  h.OnTxPersist(1, 0x10, 2);
+  h.OnTxPersist(1, 0x18, 2);
+  h.OnTxCommit(1, 10);
+  h.OnTxRead(0, 0x18, 2);
+  h.OnTxCommit(0, 20);
+  OracleReport report = CheckHistory(h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "cycle");
+
+  // Under elastic relaxation the committed read-only scan is exempt: a
+  // torn search prefix is elasticity's documented semantics.
+  OracleOptions relaxed;
+  relaxed.elastic_relaxed = true;
+  report = CheckHistory(h, relaxed);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(Oracle, FlagsOutOfThinAirRead) {
+  History h;
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxPersist(0, 0x10, 9);
+  h.OnTxCommit(0, 5);
+  h.OnTxBegin(1, 1, 6);
+  h.OnTxRead(1, 0x10, 5);  // the last persisted value is 9
+  h.OnTxCommit(1, 10);
+  const OracleReport report = CheckHistory(h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "stale-read");
+}
+
+TEST(Oracle, ChecksReadsOfAbortedTransactions) {
+  // Opacity: even a transaction that later aborts must never observe a
+  // value no serialization-consistent writer produced.
+  History h;
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxPersist(0, 0x10, 9);
+  h.OnTxCommit(0, 5);
+  h.OnTxBegin(1, 1, 6);
+  h.OnTxRead(1, 0x10, 7);  // neither initial nor any writer stored 7
+  h.OnTxAbort(1, 10, ConflictKind::kReadAfterWrite);
+  const OracleReport report = CheckHistory(h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "stale-read");
+  EXPECT_EQ(report.aborted, 1u);
+}
+
+TEST(Oracle, FlagsInconsistentInitialRead) {
+  History h;
+  h.RecordInitial(0x10, 5);
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxRead(0, 0x10, 6);  // pre-write read disagreeing with the snapshot
+  h.OnTxCommit(0, 10);
+  const OracleReport report = CheckHistory(h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "inconsistent-initial-read");
+}
+
+TEST(Oracle, FinalStateMismatchIsFlagged) {
+  History h;
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxPersist(0, 0x10, 9);
+  h.OnTxCommit(0, 5);
+  OracleReport report = CheckHistory(h);
+  ASSERT_TRUE(report.ok());
+  CheckFinalState(h, [](uint64_t) { return uint64_t{3}; }, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "final-state");
+}
+
+TEST(Oracle, HistoryJsonDumpContainsOutcomes) {
+  History h;
+  h.RecordInitial(0x10, 5);
+  h.OnTxBegin(0, 1, 0);
+  h.OnTxRead(0, 0x10, 5);
+  h.OnTxPersist(0, 0x10, 6);
+  h.OnTxCommit(0, 10);
+  h.OnRevocation(3, 0, 42, ConflictKind::kWriteAfterRead);
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"transactions\""), std::string::npos);
+  EXPECT_NE(json.find("\"committed\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"revocations\""), std::string::npos);
+  EXPECT_NE(json.find("\"victim_epoch\":42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-schedule determinism: one seed is one schedule, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosDeterminism, SameSeedGivesByteIdenticalStats) {
+  CheckRunConfig cfg;
+  cfg.seed = 3;
+  const CheckRunResult a = RunCheckedWorkload(cfg);
+  const CheckRunResult b = RunCheckedWorkload(cfg);
+  EXPECT_TRUE(a.report.ok()) << a.report.Summary();
+  EXPECT_TRUE(a.stats == b.stats);
+  EXPECT_EQ(a.history.num_events(), b.history.num_events());
+  EXPECT_EQ(a.history.transactions().size(), b.history.transactions().size());
+}
+
+TEST(ChaosDeterminism, ChaosActuallyPerturbsTheSchedule) {
+  CheckRunConfig with_chaos;
+  with_chaos.seed = 3;
+  CheckRunConfig without = with_chaos;
+  without.chaos = false;
+  const CheckRunResult a = RunCheckedWorkload(with_chaos);
+  const CheckRunResult b = RunCheckedWorkload(without);
+  EXPECT_TRUE(b.report.ok()) << b.report.Summary();
+  // Same workload, different schedule: the timing-sensitive statistics
+  // cannot line up.
+  EXPECT_TRUE(a.stats != b.stats);
+}
+
+// ---------------------------------------------------------------------------
+// Planted faults: the oracle must flag every FaultMode (proof it has teeth).
+// ---------------------------------------------------------------------------
+
+bool FaultDetected(FaultMode fault, uint32_t max_batch) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CheckRunConfig cfg;
+    cfg.cm = CmKind::kFairCm;
+    cfg.max_batch = max_batch;
+    cfg.fault = fault;
+    cfg.seed = seed;
+    cfg.accounts = 6;  // extra heat: more overlap, faster detection
+    if (!RunCheckedWorkload(cfg).report.ok()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(PlantedFaults, SkipReadLockIsDetected) {
+  EXPECT_TRUE(FaultDetected(FaultMode::kSkipReadLock, 1));
+}
+
+TEST(PlantedFaults, IgnoreRevocationIsDetected) {
+  // max_batch 8: the victim's post-revocation acquisitions travel as
+  // kBatchAcquire messages, i.e. the fault grants stale-epoch batch entries.
+  EXPECT_TRUE(FaultDetected(FaultMode::kIgnoreRevocation, 8));
+}
+
+TEST(PlantedFaults, ReleaseBeforePersistIsDetected) {
+  EXPECT_TRUE(FaultDetected(FaultMode::kReleaseBeforePersist, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Clean protocol under chaos: no violations on any explored schedule.
+// ---------------------------------------------------------------------------
+
+TEST(CleanProtocol, SmallChaosSweepFindsNothing) {
+  for (CmKind cm : {CmKind::kFairCm, CmKind::kWholly}) {
+    for (TxMode mode : {TxMode::kNormal, TxMode::kElasticRead}) {
+      for (uint32_t max_batch : {uint32_t{1}, uint32_t{8}}) {
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+          CheckRunConfig cfg;
+          cfg.cm = cm;
+          cfg.tx_mode = mode;
+          cfg.max_batch = max_batch;
+          cfg.seed = seed;
+          const CheckRunResult result = RunCheckedWorkload(cfg);
+          ASSERT_TRUE(result.report.ok())
+              << cfg.Name() << "\n" << result.report.Summary();
+        }
+      }
+    }
+  }
+}
+
+// Regression: the first extended chaos sweep flagged this configuration,
+// which turned out to be an oracle false positive, not a protocol bug —
+// value-validated elastic reads legitimately admit ABA (a transfer pair
+// restored an old balance between a read and its validation), which is
+// value-serializable but looks like a stale read when different writes can
+// produce identical values. The workload now writes globally unique values
+// (tag in the high word), making the writer of every observed value
+// unambiguous. This run must stay clean.
+TEST(CleanProtocol, RegressionElasticReadAbaIsNotMiscalled) {
+  CheckRunConfig cfg;
+  cfg.platform = "scc";
+  cfg.cm = CmKind::kFairCm;
+  cfg.tx_mode = TxMode::kElasticRead;
+  cfg.max_batch = 8;
+  cfg.seed = 15;
+  const CheckRunResult result = RunCheckedWorkload(cfg);
+  EXPECT_TRUE(result.report.ok()) << result.report.Summary();
+}
+
+// The acceptance-grade breadth sweep: >= 20 seeds over the full
+// {cm x tx_mode x max_batch} matrix on both platforms. Gated behind
+// TM2C_LONG_TESTS so tier-1 stays fast; nightly CI runs it via the
+// `long`-labelled ctest entry (see CMakeLists.txt).
+TEST(CleanProtocol, LongChaosSweepFindsNothing) {
+  if (std::getenv("TM2C_LONG_TESTS") == nullptr) {
+    GTEST_SKIP() << "set TM2C_LONG_TESTS=1 (nightly) to run the 20-seed breadth sweep";
+  }
+  for (const char* platform : {"scc", "opteron"}) {
+    for (CmKind cm : {CmKind::kFairCm, CmKind::kWholly}) {
+      for (TxMode mode : {TxMode::kNormal, TxMode::kElasticEarly, TxMode::kElasticRead}) {
+        for (uint32_t max_batch : {uint32_t{1}, uint32_t{8}}) {
+          for (uint64_t seed = 1; seed <= 20; ++seed) {
+            CheckRunConfig cfg;
+            cfg.platform = platform;
+            cfg.cm = cm;
+            cfg.tx_mode = mode;
+            cfg.max_batch = max_batch;
+            cfg.seed = seed;
+            const CheckRunResult result = RunCheckedWorkload(cfg);
+            ASSERT_TRUE(result.report.ok())
+                << cfg.Name() << "\n" << result.report.Summary();
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow contract: a transaction body must not swallow the runtime's
+// control-flow exceptions with a catch-all.
+// ---------------------------------------------------------------------------
+
+TmSystemConfig ContractConfig() {
+  TmSystemConfig cfg;
+  cfg.sim.platform = PlatformByName("scc");
+  cfg.sim.num_cores = 6;
+  cfg.sim.num_service = 3;
+  cfg.sim.shmem_bytes = 1 << 20;
+  cfg.sim.seed = 11;
+  return cfg;
+}
+
+using ControlFlowContractDeathTest = ::testing::Test;
+
+TEST(ControlFlowContractDeathTest, CatchAllCannotSwallowAbort) {
+  EXPECT_DEATH(
+      {
+        TmSystemConfig cfg = ContractConfig();
+        // Back-off-Retry always refuses the requester, so the reader below
+        // deterministically aborts while the writer holds the lock.
+        cfg.tm.cm = CmKind::kBackoffRetry;
+        cfg.tm.write_acquire = WriteAcquire::kEager;
+        TmSystem sys(std::move(cfg));
+        sys.SetAppBody(0, [](CoreEnv& env, TxRuntime& rt) {
+          rt.Execute([&env](Tx& tx) {
+            tx.Write(0x100, 1);     // eager: write lock held from here
+            env.Compute(10000000);  // sit on it
+          });
+        });
+        sys.SetAppBody(1, [](CoreEnv& env, TxRuntime& rt) {
+          env.Compute(100000);  // let core 0 take the lock first
+          rt.TryExecute(
+              [](Tx& tx) {
+                try {
+                  (void)tx.Read(0x100);  // refused -> TxAbortException
+                } catch (...) {
+                  // Swallowing the abort is a contract violation the
+                  // runtime must turn into a hard failure.
+                }
+              },
+              5);
+        });
+        sys.Run(MillisToSim(2000));
+      },
+      "swallowed TxAbortException");
+}
+
+TEST(ControlFlowContractDeathTest, CatchAllCannotSwallowUnwound) {
+  EXPECT_DEATH(
+      {
+        auto sys = std::make_unique<TmSystem>(ContractConfig());
+        sys->SetAppBody(0, [](CoreEnv&, TxRuntime& rt) {
+          rt.Execute([](Tx& tx) {
+            try {
+              (void)tx.Read(0x100);
+            } catch (...) {
+              // At teardown the pending read is unwound with
+              // Fiber::Unwound; swallowing it would let the body keep
+              // running during destruction.
+            }
+            (void)tx.Read(0x108);
+          });
+        });
+        // Stop almost immediately: core 0 is suspended inside the first
+        // read. Destroying the system unwinds it.
+        sys->Run(NanosToSim(50));
+        sys.reset();
+      },
+      "swallowed Fiber::Unwound");
+}
+
+}  // namespace
+}  // namespace tm2c

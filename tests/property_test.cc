@@ -17,6 +17,7 @@
 // service cores); the dedicated rows keep the scans.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <tuple>
 
 #include "src/apps/linked_list.h"
@@ -32,6 +33,11 @@ struct SweepParam {
   uint32_t max_batch;  // 1 = unbatched protocol, >1 = kBatchAcquire chunks
   DeployStrategy strategy;
   const char* platform;
+  // Simulation + workload seed. The default matrix runs one seed (tier-1
+  // speed); the LongSeedMatrix instantiation sweeps several and only runs
+  // when TM2C_LONG_TESTS is set (nightly breadth).
+  uint64_t seed = 1234;
+  bool long_run = false;
 };
 
 std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
@@ -44,6 +50,7 @@ std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
   name += p.strategy == DeployStrategy::kDedicated ? "_ded" : "_multi";
   name += "_";
   name += p.platform;
+  name += "_s" + std::to_string(p.seed);
   for (char& c : name) {
     if (c == '-') {
       c = '_';
@@ -56,13 +63,16 @@ class TmPropertySweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(TmPropertySweep, InvariantsHold) {
   const SweepParam& p = GetParam();
+  if (p.long_run && std::getenv("TM2C_LONG_TESTS") == nullptr) {
+    GTEST_SKIP() << "set TM2C_LONG_TESTS=1 (nightly) to run the seed-sweep breadth suite";
+  }
   TmSystemConfig cfg;
   cfg.sim.platform = PlatformByName(p.platform);
   cfg.sim.num_cores = 8;
   cfg.sim.num_service = p.strategy == DeployStrategy::kMultitasked ? 0 : 4;
   cfg.sim.strategy = p.strategy;
   cfg.sim.shmem_bytes = 2 << 20;
-  cfg.sim.seed = 1234;
+  cfg.sim.seed = p.seed;
   cfg.tm.cm = p.cm;
   cfg.tm.tx_mode = p.mode;
   cfg.tm.write_acquire = p.acquire;
@@ -86,7 +96,7 @@ TEST_P(TmPropertySweep, InvariantsHold) {
   std::vector<bool> done(n, false);
   for (uint32_t i = 0; i < n; ++i) {
     sys.SetAppBody(i, [&, i](CoreEnv& env, TxRuntime& rt) {
-      Rng rng(31 * (i + 1));
+      Rng rng(31 * (i + 1) + p.seed);
       for (int k = 0; k < 40; ++k) {
         const uint64_t kind = rng.NextBelow(3);
         if (kind == 0) {
@@ -180,6 +190,31 @@ INSTANTIATE_TEST_SUITE_P(
                                   DeployStrategy::kDedicated, "scc800"});
       params.push_back(SweepParam{CmKind::kFairCm, TxMode::kNormal, WriteAcquire::kLazy, 8,
                                   DeployStrategy::kDedicated, "opteron"});
+      return params;
+    }()),
+    ParamName);
+
+// Nightly breadth: the same invariants over five more seeds, on a reduced
+// but representative matrix (both starvation-free CMs, every tx mode, both
+// batch settings, dedicated deployment, plus one opteron row per seed).
+// Each case GTEST_SKIPs unless TM2C_LONG_TESTS is set; the `long`-labelled
+// ctest entry registered under -DTM2C_ENABLE_LONG_TESTS=ON sets it.
+INSTANTIATE_TEST_SUITE_P(
+    LongSeedMatrix, TmPropertySweep,
+    ::testing::ValuesIn([] {
+      std::vector<SweepParam> params;
+      for (uint64_t seed : {7u, 1001u, 4242u, 90210u, 31337u}) {
+        for (CmKind cm : {CmKind::kWholly, CmKind::kFairCm}) {
+          for (TxMode mode : {TxMode::kNormal, TxMode::kElasticEarly, TxMode::kElasticRead}) {
+            for (uint32_t max_batch : {uint32_t{8}, uint32_t{1}}) {
+              params.push_back(SweepParam{cm, mode, WriteAcquire::kLazy, max_batch,
+                                          DeployStrategy::kDedicated, "scc", seed, true});
+            }
+          }
+        }
+        params.push_back(SweepParam{CmKind::kFairCm, TxMode::kNormal, WriteAcquire::kLazy, 8,
+                                    DeployStrategy::kDedicated, "opteron", seed, true});
+      }
       return params;
     }()),
     ParamName);

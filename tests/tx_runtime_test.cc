@@ -424,6 +424,150 @@ TEST(TxRuntime, ReadManyFallsBackToScalarWhenUnbatched) {
   EXPECT_EQ(batch_msgs, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Elastic-mode edge cases: degenerate windows and the interplay between
+// early release and ReadMany (the kEarlyReadRelease path).
+// ---------------------------------------------------------------------------
+
+TEST(TxElasticEdge, WindowZeroPinsEveryReadLock) {
+  // elastic_window = 0 degenerates to normal-mode locking: the
+  // just-acquired stripe is popped from the order list but is "still
+  // needed", so it stays locked (and untracked for release) until commit.
+  // No early release is ever sent.
+  TmSystemConfig cfg = Config();
+  cfg.tm.tx_mode = TxMode::kElasticEarly;
+  cfg.tm.elastic_window = 0;
+  TmSystem sys(std::move(cfg));
+  size_t held_mid_tx = 0;
+  uint64_t releases = 99;
+  sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime& rt) {
+    rt.Execute([&](Tx& tx) {
+      for (uint64_t i = 0; i < 8; ++i) {
+        (void)tx.Read(0x700 + i * 8);
+      }
+      held_mid_tx = 0;
+      for (uint64_t i = 0; i < 8; ++i) {
+        const uint64_t addr = 0x700 + i * 8;
+        if (sys.ServiceAt(sys.address_map().PartitionOf(addr))
+                .lock_table()
+                .HasReader(addr, env.core_id())) {
+          ++held_mid_tx;
+        }
+      }
+    });
+    releases = rt.stats().early_releases;
+  });
+  sys.Run(kHorizon);
+  EXPECT_EQ(held_mid_tx, 8u);
+  EXPECT_EQ(releases, 0u);
+  EXPECT_TRUE(sys.AllLockTablesEmpty());
+}
+
+TEST(TxElasticEdge, WindowLargerThanReadSetReleasesNothing) {
+  TmSystemConfig cfg = Config();
+  cfg.tm.tx_mode = TxMode::kElasticEarly;
+  cfg.tm.elastic_window = 64;  // far larger than the 8-read set
+  TmSystem sys(std::move(cfg));
+  size_t held_mid_tx = 0;
+  uint64_t releases = 99;
+  sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime& rt) {
+    rt.Execute([&](Tx& tx) {
+      for (uint64_t i = 0; i < 8; ++i) {
+        (void)tx.Read(0x700 + i * 8);
+      }
+      held_mid_tx = 0;
+      for (uint64_t i = 0; i < 8; ++i) {
+        const uint64_t addr = 0x700 + i * 8;
+        if (sys.ServiceAt(sys.address_map().PartitionOf(addr))
+                .lock_table()
+                .HasReader(addr, env.core_id())) {
+          ++held_mid_tx;
+        }
+      }
+    });
+    releases = rt.stats().early_releases;
+  });
+  sys.Run(kHorizon);
+  // The window never fills: behaviour is exactly normal-mode visible reads.
+  EXPECT_EQ(held_mid_tx, 8u);
+  EXPECT_EQ(releases, 0u);
+  EXPECT_TRUE(sys.AllLockTablesEmpty());
+}
+
+TEST(TxElasticEdge, ReadManyUnderElasticEarlyMatchesScalarReads) {
+  // Elastic modes keep their per-read window semantics: ReadMany must fall
+  // back to the scalar path even when batching is enabled, down to every
+  // statistic (batching the acquisitions would change which reads are
+  // protected when).
+  auto run = [](bool use_read_many) {
+    TmSystemConfig cfg = Config();
+    cfg.tm.tx_mode = TxMode::kElasticEarly;
+    cfg.tm.elastic_window = 2;
+    cfg.tm.max_batch = 8;
+    TmSystem sys(std::move(cfg));
+    std::vector<uint64_t> addrs;
+    for (uint64_t i = 0; i < 10; ++i) {
+      addrs.push_back(0x900 + i * 8);
+      sys.sim().shmem().StoreWord(0x900 + i * 8, 500 + i);
+    }
+    std::vector<uint64_t> values;
+    sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
+      rt.Execute([&](Tx& tx) {
+        if (use_read_many) {
+          values = tx.ReadMany(addrs);
+        } else {
+          values.clear();
+          for (uint64_t addr : addrs) {
+            values.push_back(tx.Read(addr));
+          }
+        }
+      });
+    });
+    sys.Run(kHorizon);
+    return std::make_pair(values, sys.MergedStats());
+  };
+  const auto [many_values, many_stats] = run(true);
+  const auto [scalar_values, scalar_stats] = run(false);
+  EXPECT_EQ(many_values, scalar_values);
+  ExpectStatsIdentical(many_stats, scalar_stats);
+  EXPECT_EQ(many_stats.batch_messages, 0u);  // fallback: no batch protocol
+  EXPECT_GT(many_stats.early_releases, 0u);  // the window did slide
+}
+
+TEST(TxElasticEdge, EarlyReleaseInterleavesWithReadManyWindow) {
+  // Scalar reads fill the window, then a ReadMany continues sliding it:
+  // with window = 2, reads r0..r5 early-release r0..r3 (each read beyond
+  // the second evicts the then-oldest).
+  TmSystemConfig cfg = Config();
+  cfg.tm.tx_mode = TxMode::kElasticEarly;
+  cfg.tm.elastic_window = 2;
+  cfg.tm.max_batch = 8;
+  TmSystem sys(std::move(cfg));
+  for (uint64_t i = 0; i < 6; ++i) {
+    sys.sim().shmem().StoreWord(0xA00 + i * 8, 30 + i);
+  }
+  std::vector<uint64_t> values;
+  uint64_t releases = 0;
+  sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
+    rt.Execute([&](Tx& tx) {
+      values.clear();
+      values.push_back(tx.Read(0xA00));
+      values.push_back(tx.Read(0xA08));
+      values.push_back(tx.Read(0xA10));  // evicts 0xA00
+      const std::vector<uint64_t> tail = tx.ReadMany({0xA18, 0xA20, 0xA28});
+      values.insert(values.end(), tail.begin(), tail.end());
+    });
+    releases = rt.stats().early_releases;
+  });
+  sys.Run(kHorizon);
+  ASSERT_EQ(values.size(), 6u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(values[i], 30 + i);
+  }
+  EXPECT_EQ(releases, 4u);
+  EXPECT_TRUE(sys.AllLockTablesEmpty());
+}
+
 TEST(TxRuntime, NestedTransactionsRejected) {
   TmSystem sys(Config());
   sys.SetAppBody(0, [](CoreEnv&, TxRuntime& rt) {

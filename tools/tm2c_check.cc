@@ -1,0 +1,205 @@
+// tm2c_check: schedule-exploration chaos sweep + serializability oracle.
+//
+// Sweeps seeds x {cm, tx_mode, max_batch, platform}, running the recorded
+// chaos workload for every combination and the offline oracle on each
+// history. Any violation is printed, the full history is dumped as JSON
+// into --dump-dir for replay, and the exit status is non-zero.
+//
+//   tm2c_check --seeds=20                         # the nightly gate
+//   tm2c_check --seeds=8 --fault=skip-read-lock   # watch the oracle bite
+//   tm2c_check --seeds=1 --seed-base=17 --cms=faircm --modes=normal
+//       --batches=8 --platforms=scc               # replay one failure
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/check/checker.h"
+#include "src/common/flags.h"
+
+namespace tm2c {
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) {
+      out.push_back(csv.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ParseCm(const std::string& name, CmKind* out) {
+  if (name == "wholly") {
+    *out = CmKind::kWholly;
+  } else if (name == "faircm") {
+    *out = CmKind::kFairCm;
+  } else if (name == "backoff") {
+    *out = CmKind::kBackoffRetry;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseMode(const std::string& name, TxMode* out) {
+  if (name == "normal") {
+    *out = TxMode::kNormal;
+  } else if (name == "early") {
+    *out = TxMode::kElasticEarly;
+  } else if (name == "eread") {
+    *out = TxMode::kElasticRead;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseFault(const std::string& name, FaultMode* out) {
+  if (name == "none") {
+    *out = FaultMode::kNone;
+  } else if (name == "skip-read-lock") {
+    *out = FaultMode::kSkipReadLock;
+  } else if (name == "ignore-revocation") {
+    *out = FaultMode::kIgnoreRevocation;
+  } else if (name == "release-before-persist") {
+    *out = FaultMode::kReleaseBeforePersist;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t seeds = 20;
+  uint64_t seed_base = 1;
+  std::string platforms = "scc,opteron";
+  std::string cms = "wholly,faircm";
+  std::string modes = "normal,early,eread";
+  std::string batches = "1,8";
+  std::string fault_name = "none";
+  int cores = 8;
+  int service_cores = 4;
+  int txs_per_core = 30;
+  int accounts = 12;
+  bool no_chaos = false;
+  bool verbose = false;
+  std::string dump_dir = "failed_histories";
+
+  FlagSet flags;
+  flags.Register("seeds", &seeds, "number of seeds per configuration");
+  flags.Register("seed-base", &seed_base, "first seed of the sweep");
+  flags.Register("platforms", &platforms, "comma list: scc, scc800, opteron");
+  flags.Register("cms", &cms, "comma list: wholly, faircm, backoff");
+  flags.Register("modes", &modes, "comma list: normal, early, eread");
+  flags.Register("batches", &batches, "comma list of max_batch values");
+  flags.Register("fault", &fault_name,
+                 "planted fault: none, skip-read-lock, ignore-revocation, "
+                 "release-before-persist");
+  flags.Register("cores", &cores, "simulated cores per run");
+  flags.Register("service-cores", &service_cores, "dedicated DTM service cores");
+  flags.Register("txs-per-core", &txs_per_core, "transactions per app core");
+  flags.Register("accounts", &accounts, "hot shared words in the workload");
+  flags.Register("no-chaos", &no_chaos, "disable schedule perturbation (one FIFO schedule)");
+  flags.Register("verbose", &verbose, "print every run, not just failures");
+  flags.Register("dump-dir", &dump_dir, "directory for failing-history JSON dumps");
+  flags.Parse(argc, argv);
+
+  FaultMode fault = FaultMode::kNone;
+  if (!ParseFault(fault_name, &fault)) {
+    std::fprintf(stderr, "unknown --fault value: %s\n", fault_name.c_str());
+    return 2;
+  }
+
+  uint64_t runs = 0;
+  uint64_t failures = 0;
+  bool dump_dir_made = false;
+  for (const std::string& platform : SplitCsv(platforms)) {
+    for (const std::string& cm_name : SplitCsv(cms)) {
+      CmKind cm;
+      if (!ParseCm(cm_name, &cm)) {
+        std::fprintf(stderr, "unknown --cms entry: %s\n", cm_name.c_str());
+        return 2;
+      }
+      for (const std::string& mode_name : SplitCsv(modes)) {
+        TxMode mode;
+        if (!ParseMode(mode_name, &mode)) {
+          std::fprintf(stderr, "unknown --modes entry: %s\n", mode_name.c_str());
+          return 2;
+        }
+        for (const std::string& batch : SplitCsv(batches)) {
+          uint64_t max_batch = 0;
+          for (char c : batch) {
+            if (c < '0' || c > '9') {
+              max_batch = 0;
+              break;
+            }
+            max_batch = max_batch * 10 + static_cast<uint64_t>(c - '0');
+          }
+          if (max_batch < 1 || max_batch > kMaxBatchEntries) {
+            std::fprintf(stderr, "bad --batches entry (want 1..%u): %s\n", kMaxBatchEntries,
+                         batch.c_str());
+            return 2;
+          }
+          for (uint64_t s = 0; s < seeds; ++s) {
+            CheckRunConfig cfg;
+            cfg.platform = platform;
+            cfg.num_cores = static_cast<uint32_t>(cores);
+            cfg.num_service = static_cast<uint32_t>(service_cores);
+            cfg.cm = cm;
+            cfg.tx_mode = mode;
+            cfg.max_batch = static_cast<uint32_t>(max_batch);
+            cfg.fault = fault;
+            cfg.seed = seed_base + s;
+            cfg.chaos = !no_chaos;
+            cfg.txs_per_core = static_cast<uint32_t>(txs_per_core);
+            cfg.accounts = static_cast<uint32_t>(accounts);
+
+            const CheckRunResult result = RunCheckedWorkload(cfg);
+            ++runs;
+            if (verbose || !result.report.ok()) {
+              std::printf("%-48s %s\n", cfg.Name().c_str(),
+                          result.report.ok() ? "ok" : "VIOLATION");
+            }
+            if (!result.report.ok()) {
+              ++failures;
+              std::printf("  %s\n", result.report.Summary().c_str());
+              if (!dump_dir_made) {
+                ::mkdir(dump_dir.c_str(), 0755);  // best effort; may exist
+                dump_dir_made = true;
+              }
+              const std::string path = dump_dir + "/" + cfg.Name() + ".json";
+              std::ofstream out(path);
+              if (out) {
+                out << result.history.ToJson() << "\n";
+                std::printf("  history dumped to %s\n", path.c_str());
+              } else {
+                std::fprintf(stderr, "  could not write %s\n", path.c_str());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("tm2c_check: %llu runs, %llu with violations (fault=%s)\n",
+              static_cast<unsigned long long>(runs), static_cast<unsigned long long>(failures),
+              FaultModeName(fault));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tm2c
+
+int main(int argc, char** argv) { return tm2c::Main(argc, argv); }
