@@ -69,7 +69,7 @@ BenchRow RunWideWrites(BenchContext& ctx, const std::string& platform, uint32_t 
   // commit-time lock acquisition is the batch protocol's main user.
   RunSpec spec = SpecFor(ctx, platform, max_batch);
   TmSystem sys(MakeConfig(spec));
-  const uint64_t base = sys.sim().allocator().AllocGlobal(kRegionBytes);
+  const uint64_t base = sys.allocator().AllocGlobal(kRegionBytes);
   const uint64_t slots = kRegionBytes / kWordBytes;
   LatencySampler lat;
   InstallLoopBodies(sys, spec.duration, spec.seed,
@@ -97,7 +97,7 @@ BenchRow RunReadMany(BenchContext& ctx, const std::string& platform, uint32_t ma
   // acquisitions group by responsible node into kBatchAcquire messages.
   RunSpec spec = SpecFor(ctx, platform, max_batch);
   TmSystem sys(MakeConfig(spec));
-  const uint64_t base = sys.sim().allocator().AllocGlobal(kRegionBytes);
+  const uint64_t base = sys.allocator().AllocGlobal(kRegionBytes);
   const uint64_t slots = kRegionBytes / kWordBytes;
   LatencySampler lat;
   InstallLoopBodies(sys, spec.duration, spec.seed,
@@ -127,9 +127,11 @@ void Run(BenchContext& ctx) {
   // or re-shaped run can legitimately invert adjacent sweep points without
   // the protocol being wrong, so the asserts only arm on default runs
   // (--smoke and --platform included).
+  // Native runs never arm them either: wall-clock throughput on a shared
+  // host is noisy enough to legitimately invert adjacent sweep points.
   const BenchOptions& o = ctx.opts();
-  const bool assert_curve =
-      o.cores == 0 && o.service_cores == 0 && o.duration_ms == 0.0 && o.seed == 0 && o.cm.empty();
+  const bool assert_curve = o.cores == 0 && o.service_cores == 0 && o.duration_ms == 0.0 &&
+                            o.seed == 0 && o.cm.empty() && !ctx.native();
 
   // The max_batch sweep is the point of this ablation, so it is not
   // smoke-reduced; --smoke still shrinks the horizon.
@@ -166,8 +168,9 @@ void Run(BenchContext& ctx) {
   }
 }
 
-TM2C_REGISTER_BENCH("ablation_batching", "ablation",
-                    "batched multi-address protocol: max_batch sweep on both platforms", &Run);
+TM2C_REGISTER_BENCH_NATIVE(
+    "ablation_batching", "ablation",
+    "batched multi-address protocol: max_batch sweep on both platforms", &Run);
 
 }  // namespace
 }  // namespace tm2c

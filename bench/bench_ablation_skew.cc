@@ -20,7 +20,7 @@ BenchRow RunOne(BenchContext& ctx, CmKind cm, double drift_ppm, const std::strin
   cfg.sim.clock_drift_ppm = drift_ppm;
   cfg.sim.clock_skew_max_us = 200.0;
   TmSystem sys(std::move(cfg));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 256, 100);
+  Bank bank(sys.allocator(), sys.shmem(), 256, 100);
   LatencySampler lat;
   InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, 10), &lat);
   sys.Run(spec.duration);

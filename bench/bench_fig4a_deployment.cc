@@ -26,10 +26,10 @@ BenchRow RunOne(BenchContext& ctx, DeployStrategy strategy, uint32_t cores,
     spec.total_cores = cores;
     spec.strategy = strategy;
     TmSystem sys(MakeConfig(spec));
-    ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), kBuckets);
+    ShmHashTable table(sys.allocator(), sys.shmem(), kBuckets);
     Rng fill_rng(11);
     const uint64_t key_range =
-        FillHashTable(table, sys.sim().allocator(), fill_rng, uint64_t{kBuckets} * load_factor);
+        FillHashTable(table, sys.allocator(), fill_rng, uint64_t{kBuckets} * load_factor);
     LatencySampler run_lat;
     InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, kUpdatePct, key_range),
                       &run_lat);

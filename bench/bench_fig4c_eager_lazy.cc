@@ -20,10 +20,10 @@ void Run(BenchContext& ctx) {
         spec.total_cores = cores;
         spec.write_acquire = acquire;
         TmSystem sys(MakeConfig(spec));
-        ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), /*num_buckets=*/8);
+        ShmHashTable table(sys.allocator(), sys.shmem(), /*num_buckets=*/8);
         Rng fill_rng(23);
         const uint64_t key_range =
-            FillHashTable(table, sys.sim().allocator(), fill_rng, elements);
+            FillHashTable(table, sys.allocator(), fill_rng, elements);
         LatencySampler lat;
         InstallLoopBodies(
             sys, spec.duration, spec.seed,

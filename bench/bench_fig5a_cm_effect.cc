@@ -18,7 +18,7 @@ void Run(BenchContext& ctx) {
       spec.total_cores = cores;
       spec.cm = cm;
       TmSystem sys(MakeConfig(spec));
-      Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+      Bank bank(sys.allocator(), sys.shmem(), 1024, 100);
       LatencySampler lat;
       InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, /*balance_pct=*/20), &lat);
       sys.Run(spec.duration);

@@ -22,7 +22,7 @@ void Run(BenchContext& ctx) {
       spec.total_cores = total;
       spec.service_cores = service;
       TmSystem sys(MakeConfig(spec));
-      Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+      Bank bank(sys.allocator(), sys.shmem(), 1024, 100);
       LatencySampler lat;
       InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct), &lat);
       sys.Run(spec.duration);
@@ -35,8 +35,8 @@ void Run(BenchContext& ctx) {
   }
 }
 
-TM2C_REGISTER_BENCH("fig5b_service_cores", "5(b)",
-                    "bank throughput vs number of DTM service cores (48 total)", &Run);
+TM2C_REGISTER_BENCH_NATIVE("fig5b_service_cores", "5(b)",
+                           "bank throughput vs number of DTM service cores (48 total)", &Run);
 
 }  // namespace
 }  // namespace tm2c

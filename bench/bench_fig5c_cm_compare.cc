@@ -22,7 +22,7 @@ void Run(BenchContext& ctx) {
       spec.total_cores = cores;
       spec.cm = cm;
       TmSystem sys(MakeConfig(spec));
-      Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+      Bank bank(sys.allocator(), sys.shmem(), 1024, 100);
       LatencySampler lat;
       InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed,
                                        /*special=*/BankMix(&bank, /*balance_pct=*/100),

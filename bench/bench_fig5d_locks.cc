@@ -21,7 +21,7 @@ BenchRow RunTx(BenchContext& ctx, uint32_t cores, bool one_reader) {
   RunSpec spec = ctx.Spec(40, 61);
   spec.total_cores = cores;
   TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), kAccounts, 100);
+  Bank bank(sys.allocator(), sys.shmem(), kAccounts, 100);
   LatencySampler lat;
   if (one_reader) {
     InstallLoopBodiesWithSpecialCore(sys, spec.duration, spec.seed, BankMix(&bank, 100),
@@ -49,7 +49,7 @@ BenchRow RunLock(BenchContext& ctx, uint32_t cores, bool one_reader) {
   // the application, as on the real SCC.
   spec.service_cores = 1;
   TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), kAccounts, 100);
+  Bank bank(sys.allocator(), sys.shmem(), kAccounts, 100);
   uint64_t ops = 0;
   uint64_t reader_ops = 0;
   LatencySampler lat;

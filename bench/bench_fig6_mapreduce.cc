@@ -31,7 +31,7 @@ SimTime RunParallel(BenchContext& ctx, uint64_t input_bytes, uint32_t cores,
   TmSystem sys(MakeConfig(spec));
   MapReduceConfig mr;
   mr.input_bytes = input_bytes;
-  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr);
+  MapReduceApp app(sys.allocator(), sys.shmem(), mr);
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
     sys.SetAppBody(i, [&app, chunk_bytes](CoreEnv& env, TxRuntime& rt) {
       app.RunWorker(env, rt, chunk_bytes);
@@ -50,7 +50,7 @@ SimTime RunSequentialOnce(BenchContext& ctx, uint64_t input_bytes) {
   TmSystem sys(MakeConfig(spec));
   MapReduceConfig mr;
   mr.input_bytes = input_bytes;
-  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr);
+  MapReduceApp app(sys.allocator(), sys.shmem(), mr);
   sys.SetAppBody(0, [&app](CoreEnv& env, TxRuntime&) { app.RunSequential(env); });
   return sys.Run();
 }

@@ -28,9 +28,9 @@ TxRun RunOne(BenchContext& ctx, TxMode mode, uint32_t cores) {
   spec.total_cores = cores;
   spec.tx_mode = mode;
   TmSystem sys(MakeConfig(spec));
-  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  ShmSortedList list(sys.allocator(), sys.shmem());
   Rng fill_rng(83);
-  const uint64_t key_range = FillList(list, sys.sim().allocator(), fill_rng, kElements);
+  const uint64_t key_range = FillList(list, sys.allocator(), fill_rng, kElements);
   TxRun run;
   InstallLoopBodies(sys, spec.duration, spec.seed, ListMix(&list, kUpdatePct, key_range),
                     &run.lat);

@@ -26,7 +26,7 @@ BenchRow RunBank(BenchContext& ctx, const std::string& platform, uint32_t cores,
                  uint32_t balance_pct) {
   RunSpec spec = PortSpec(ctx, platform, cores);
   TmSystem sys(MakeConfig(spec));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 1024, 100);
+  Bank bank(sys.allocator(), sys.shmem(), 1024, 100);
   LatencySampler lat;
   InstallLoopBodies(sys, spec.duration, spec.seed, BankMix(&bank, balance_pct), &lat);
   sys.Run(spec.duration);
@@ -42,9 +42,9 @@ BenchRow RunList(BenchContext& ctx, const std::string& platform, uint32_t cores)
   RunSpec spec = PortSpec(ctx, platform, cores);
   spec.duration = ctx.Duration(50);
   TmSystem sys(MakeConfig(spec));
-  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  ShmSortedList list(sys.allocator(), sys.shmem());
   Rng fill_rng(93);
-  const uint64_t key_range = FillList(list, sys.sim().allocator(), fill_rng, 512);
+  const uint64_t key_range = FillList(list, sys.allocator(), fill_rng, 512);
   LatencySampler lat;
   InstallLoopBodies(sys, spec.duration, spec.seed, ListMix(&list, 10, key_range), &lat);
   sys.Run(spec.duration);
@@ -60,9 +60,9 @@ BenchRow RunHash(BenchContext& ctx, const std::string& platform, uint32_t cores,
   TmSystem sys(MakeConfig(spec));
   const uint64_t elements = 512;
   const uint32_t buckets = static_cast<uint32_t>(elements / load_factor);
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), buckets);
+  ShmHashTable table(sys.allocator(), sys.shmem(), buckets);
   Rng fill_rng(97);
-  const uint64_t key_range = FillHashTable(table, sys.sim().allocator(), fill_rng, elements);
+  const uint64_t key_range = FillHashTable(table, sys.allocator(), fill_rng, elements);
   LatencySampler lat;
   InstallLoopBodies(sys, spec.duration, spec.seed, HashTableMix(&table, 10, key_range), &lat);
   sys.Run(spec.duration);
@@ -89,8 +89,9 @@ void Run(BenchContext& ctx) {
   }
 }
 
-TM2C_REGISTER_BENCH("fig8_port", "8(b-d)",
-                    "bank/list/hash table across SCC, SCC800 and Opteron platform models", &Run);
+TM2C_REGISTER_BENCH_NATIVE(
+    "fig8_port", "8(b-d)",
+    "bank/list/hash table across SCC, SCC800 and Opteron platform models", &Run);
 
 }  // namespace
 }  // namespace tm2c

@@ -7,6 +7,7 @@
 //   {
 //     "schema_version": 1,
 //     "bench": "...", "figure": "...", "description": "...",
+//     "backend": "sim" | "threads",
 //     "smoke": false,
 //     "results": [
 //       {"scenario": "cores=48 cm=faircm", "params": {...},
@@ -72,6 +73,7 @@ std::string ToJson(const BenchDef& def, const BenchOptions& opts,
   w.KV("bench", def.name);
   w.KV("figure", def.figure);
   w.KV("description", def.description);
+  w.KV("backend", BackendKindName(BackendKindByName(opts.backend)));
   w.KV("smoke", opts.smoke);
   w.Key("results");
   w.BeginArray();
@@ -141,9 +143,33 @@ int main(int argc, char** argv) {
   flags.Register("seed", &opts.seed, "seed override");
   flags.Register("smoke", &opts.smoke, "shrink sweeps/durations for a CI-sized run");
   flags.Register("json", &opts.json_path, "write machine-readable results to this file");
+  flags.Register("backend", &opts.backend,
+                 "runtime backend: sim (deterministic simulator, default) | threads "
+                 "(real OS threads over SPSC channels, wall-clock timing)");
+  flags.Register("channel", &opts.channel,
+                 "thread-backend transport: spsc (lock-free rings, default) | mutex "
+                 "(v1 mailbox baseline)");
+  flags.Register("pin", &opts.pin, "pin thread-backend threads to host CPUs");
+  bool native_capable_probe = false;
+  flags.Register("native-capable", &native_capable_probe,
+                 "exit 0 if this bench supports --backend=threads, 3 otherwise (run_all.sh "
+                 "uses this to discover the native pass)");
   flags.Parse(argc, argv);
 
-  std::printf("bench %s (figure %s)%s\n", def.name, def.figure, opts.smoke ? " [smoke]" : "");
+  if (native_capable_probe) {
+    return def.native ? 0 : 3;
+  }
+
+  if (BackendKindByName(opts.backend) == BackendKind::kThreads && !def.native) {
+    std::fprintf(stderr,
+                 "bench %s drives the simulator directly and has no native counterpart; "
+                 "--backend=threads is not supported here\n",
+                 def.name);
+    return 1;
+  }
+
+  std::printf("bench %s (figure %s, backend %s)%s\n", def.name, def.figure,
+              BackendKindName(BackendKindByName(opts.backend)), opts.smoke ? " [smoke]" : "");
 
   BenchContext ctx(opts);
   def.fn(ctx);

@@ -8,6 +8,13 @@
 // per-op time of one batch, so the reported percentiles are host-side
 // latencies in microseconds and throughput is host ops/ms. Nothing can
 // abort here, so commit_rate is 1 by construction.
+//
+// Under --backend=threads the bench instead measures the native transport
+// itself: the same tiny-transaction workload (per-core counter increments,
+// conflict-free, so every operation is pure protocol messaging) run once
+// over the v1 mutex-and-condvar mailboxes and once over the lock-free SPSC
+// rings, on real OS threads with wall-clock timing. The spsc row carries
+// the channel speedup as extra `speedup_vs_mutex`.
 #include <chrono>
 
 #include "bench/bench_util.h"
@@ -65,7 +72,51 @@ void Measure(BenchContext& ctx, const char* name, uint64_t batch, uint64_t batch
   ctx.Report(row);
 }
 
+// Native transport comparison (--backend=threads): commit throughput of
+// the TM protocol over mutex mailboxes vs SPSC rings on this host. The
+// workload is message-bound by construction — single-word read-modify-write
+// transactions on per-core counters, no contention, no synthetic compute —
+// so the row ratio is the channel speedup the v2 backend exists for.
+void RunNativeChannels(BenchContext& ctx) {
+  const uint32_t cores = ctx.Cores(4);
+  const uint32_t service = ctx.ServiceCores(cores >= 2 ? cores / 2 : 1);
+  double mutex_ops_per_ms = 0.0;
+  for (const ChannelKind channel : {ChannelKind::kMutexMailbox, ChannelKind::kSpscRing}) {
+    RunSpec spec = ctx.Spec(200, 21, CmKind::kBackoffRetry);
+    spec.total_cores = cores;
+    spec.service_cores = service;
+    spec.backend = BackendKind::kThreads;
+    spec.channel = channel;  // the sweep dimension; overrides --channel
+    TmSystem sys(MakeConfig(spec));
+    const uint64_t base = sys.allocator().AllocGlobal(uint64_t{cores} * kCacheLineBytes);
+    LatencySampler lat;
+    InstallLoopBodies(sys, spec.duration, spec.seed,
+                      [base](CoreEnv& env, TxRuntime& rt, Rng&) {
+                        const uint64_t addr = base + env.core_id() * kCacheLineBytes;
+                        rt.Execute([addr](Tx& tx) { tx.Write(addr, tx.Read(addr) + 1); });
+                      },
+                      &lat);
+    sys.Run();
+    BenchRow row;
+    row.Param("micro", "tm_counter")
+        .Param("channel", ChannelKindName(channel))
+        .Param("cores", uint64_t{cores})
+        .Param("service_cores", uint64_t{service})
+        .Tx(sys, spec.duration, lat);
+    if (channel == ChannelKind::kMutexMailbox) {
+      mutex_ops_per_ms = row.ops_per_ms;
+    } else if (mutex_ops_per_ms > 0.0) {
+      row.Extra("speedup_vs_mutex", row.ops_per_ms / mutex_ops_per_ms);
+    }
+    ctx.Report(row);
+  }
+}
+
 void Run(BenchContext& ctx) {
+  if (ctx.native()) {
+    RunNativeChannels(ctx);
+    return;
+  }
   {
     LockTable table;
     const auto cm = MakeContentionManager(CmKind::kFairCm);
@@ -146,9 +197,9 @@ void Run(BenchContext& ctx) {
   }
 }
 
-TM2C_REGISTER_BENCH("micro", "host",
-                    "host-side cost of lock table, CM decision, core set, allocator, engine, rng",
-                    &Run);
+TM2C_REGISTER_BENCH_NATIVE(
+    "micro", "host",
+    "host-side micro costs; with --backend=threads, mutex-vs-spsc channel throughput", &Run);
 
 }  // namespace
 }  // namespace tm2c

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,7 +41,14 @@ struct RunSpec {
   uint32_t max_batch = 16;
   uint64_t shmem_bytes = 32ull << 20;
   uint64_t seed = 1;
+  // Simulated time under the sim backend, wall-clock under threads.
   SimTime duration = MillisToSim(50);
+  // Runtime backend: the deterministic simulator (default) or real OS
+  // threads over the SPSC channels; --backend=threads selects the latter,
+  // turning the bench's rows into measured native performance.
+  BackendKind backend = BackendKind::kSim;
+  ChannelKind channel = ChannelKind::kSpscRing;
+  bool pin_threads = false;
 };
 
 inline TmSystemConfig MakeConfig(const RunSpec& spec) {
@@ -59,50 +67,76 @@ inline TmSystemConfig MakeConfig(const RunSpec& spec) {
   cfg.tm.tx_mode = spec.tx_mode;
   cfg.tm.write_acquire = spec.write_acquire;
   cfg.tm.max_batch = spec.max_batch;
+  cfg.backend = spec.backend;
+  cfg.channel = spec.channel;
+  cfg.pin_threads = spec.pin_threads;
   return cfg;
 }
 
 // One benchmark operation; invoked repeatedly until the horizon.
 using OpFn = std::function<void(CoreEnv&, TxRuntime&, Rng&)>;
 
+// Serializes sampler merges from concurrently finishing app threads (the
+// simulator's single thread passes through uncontended).
+inline std::mutex& LoopSamplerMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// One core's duration-bounded operation loop. The horizon is relative to
+// the body's start, which makes the same loop correct on both backends:
+// simulated cores start at time 0 (so relative == absolute), thread cores
+// start at an arbitrary host clock reading.
+//
+// Latency recording differs per backend by necessity. The simulator is
+// single-threaded but freezes bodies mid-op at the horizon, so samples go
+// straight into the shared sampler (an end-of-body merge would lose every
+// frozen core's samples). Thread bodies always run to completion but race
+// each other, so each records into a core-local sampler merged under a
+// mutex when the body finishes.
+inline TmSystem::AppBody MakeLoopBody(bool simulated, SimTime duration, uint64_t seed,
+                                      uint32_t index, OpFn op, LatencySampler* lat) {
+  return [op = std::move(op), simulated, duration, seed, index, lat](CoreEnv& env,
+                                                                     TxRuntime& rt) {
+    Rng rng(seed * 7919 + index);
+    LatencySampler local;
+    LatencySampler* sink = simulated ? lat : &local;
+    const SimTime t0 = env.GlobalNow();
+    while (env.GlobalNow() - t0 < duration) {
+      const SimTime start = env.GlobalNow();
+      op(env, rt, rng);
+      if (sink != nullptr) {
+        sink->Add(SimToMicros(env.GlobalNow() - start));
+      }
+    }
+    if (!simulated && lat != nullptr) {
+      std::lock_guard<std::mutex> lock(LoopSamplerMutex());
+      lat->Merge(local);
+    }
+  };
+}
+
 // Installs the same operation loop on every application core. Core `i`
 // draws from an Rng seeded with (seed, i). When `lat` is non-null every
-// completed operation records its end-to-end simulated latency (including
-// aborted attempts and retries) in microseconds; the simulator is
-// single-threaded, so one sampler may be shared by all cores.
-inline void InstallLoopBodies(TmSystem& sys, SimTime horizon, uint64_t seed, OpFn op,
+// completed operation records its end-to-end latency (including aborted
+// attempts and retries) in microseconds — simulated time on the sim
+// backend, wall-clock on threads.
+inline void InstallLoopBodies(TmSystem& sys, SimTime duration, uint64_t seed, OpFn op,
                               LatencySampler* lat = nullptr) {
+  const bool simulated = sys.backend() == BackendKind::kSim;
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
-    sys.SetAppBody(i, [op, horizon, seed, i, lat](CoreEnv& env, TxRuntime& rt) {
-      Rng rng(seed * 7919 + i);
-      while (env.GlobalNow() < horizon) {
-        const SimTime start = env.GlobalNow();
-        op(env, rt, rng);
-        if (lat != nullptr) {
-          lat->Add(SimToMicros(env.GlobalNow() - start));
-        }
-      }
-    });
+    sys.SetAppBody(i, MakeLoopBody(simulated, duration, seed, i, op, lat));
   }
 }
 
 // Like InstallLoopBodies but application core 0 runs `special` instead
 // (Figure 5(c)'s one-balance-core workloads).
-inline void InstallLoopBodiesWithSpecialCore(TmSystem& sys, SimTime horizon, uint64_t seed,
+inline void InstallLoopBodiesWithSpecialCore(TmSystem& sys, SimTime duration, uint64_t seed,
                                              OpFn special, OpFn op,
                                              LatencySampler* lat = nullptr) {
+  const bool simulated = sys.backend() == BackendKind::kSim;
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
-    OpFn body = (i == 0) ? special : op;
-    sys.SetAppBody(i, [body, horizon, seed, i, lat](CoreEnv& env, TxRuntime& rt) {
-      Rng rng(seed * 7919 + i);
-      while (env.GlobalNow() < horizon) {
-        const SimTime start = env.GlobalNow();
-        body(env, rt, rng);
-        if (lat != nullptr) {
-          lat->Add(SimToMicros(env.GlobalNow() - start));
-        }
-      }
-    });
+    sys.SetAppBody(i, MakeLoopBody(simulated, duration, seed, i, i == 0 ? special : op, lat));
   }
 }
 
@@ -145,6 +179,9 @@ struct BenchOptions {
   uint64_t seed = 0;         // 0 = bench default
   bool smoke = false;
   std::string json_path;     // "" = no JSON output
+  std::string backend;       // "" = sim; "threads" = native run, wall-clock
+  std::string channel;       // thread transport: "" = spsc; "mutex" = v1 baseline
+  bool pin = false;          // pin thread-backend threads to host CPUs
 };
 
 // p50/p95/p99 of per-operation latency, in (simulated) microseconds.
@@ -333,6 +370,10 @@ class BenchContext {
     return opts_.service_cores > 0 ? static_cast<uint32_t>(opts_.service_cores) : def;
   }
 
+  BackendKind Backend() const { return BackendKindByName(opts_.backend); }
+  ChannelKind Channel() const { return ChannelKindByName(opts_.channel); }
+  bool native() const { return Backend() == BackendKind::kThreads; }
+
   // Seeds a RunSpec with every shared override (platform, service cores,
   // CM, duration, seed) applied over the bench's defaults, so no flag is
   // silently ignored. A bench that sweeps one of these dimensions assigns
@@ -347,6 +388,9 @@ class BenchContext {
     spec.cm = Cm(def_cm);
     spec.duration = Duration(def_duration_ms);
     spec.seed = Seed(def_seed);
+    spec.backend = Backend();
+    spec.channel = Channel();
+    spec.pin_threads = opts_.pin;
     return spec;
   }
 
@@ -422,15 +466,25 @@ struct BenchDef {
   const char* figure;       // paper figure ("4(a)", "ablation", ...)
   const char* description;  // one line, printed and serialized
   void (*fn)(BenchContext&);
+  // Whether the bench supports --backend=threads. Benches that drive the
+  // simulator engine directly (echo RTT workloads, chaos schedules) cannot;
+  // the runner rejects the flag for them instead of mislabelling sim rows
+  // as native.
+  bool native = false;
 };
 
 // Registers the binary's bench with the runner in bench_main.cc; call once
-// at namespace scope via TM2C_REGISTER_BENCH.
+// at namespace scope via TM2C_REGISTER_BENCH (sim-only) or
+// TM2C_REGISTER_BENCH_NATIVE (also runnable on the thread backend).
 bool RegisterBench(const BenchDef& def);
 
 #define TM2C_REGISTER_BENCH(name, figure, desc, fn) \
   [[maybe_unused]] const bool tm2c_bench_registered = \
-      ::tm2c::RegisterBench({name, figure, desc, fn})
+      ::tm2c::RegisterBench({name, figure, desc, fn, false})
+
+#define TM2C_REGISTER_BENCH_NATIVE(name, figure, desc, fn) \
+  [[maybe_unused]] const bool tm2c_bench_registered = \
+      ::tm2c::RegisterBench({name, figure, desc, fn, true})
 
 }  // namespace tm2c
 

@@ -2,11 +2,17 @@
 # Runs every bench binary and merges their per-binary JSON documents into
 # one BENCH_results.json so the perf trajectory can be tracked PR-over-PR.
 #
-#   bench/run_all.sh [--smoke] [--build-dir DIR] [--out FILE] [extra bench flags...]
+#   bench/run_all.sh [--smoke] [--with-native] [--native-cores N]
+#                    [--build-dir DIR] [--out FILE] [extra bench flags...]
 #
-#   --smoke       forward --smoke to every bench (CI-sized sweeps)
-#   --build-dir   where the bench binaries live        (default: build)
-#   --out         merged results file                  (default: BENCH_results.json)
+#   --smoke         forward --smoke to every bench (CI-sized sweeps)
+#   --with-native   additionally run the native-capable benches with
+#                   --backend=threads (real OS threads, wall-clock rows);
+#                   both row kinds land side by side in the merged file
+#   --native-cores  pin --cores for the native pass only (native runs spawn
+#                   one OS thread per core — size them to the host)
+#   --build-dir     where the bench binaries live      (default: build)
+#   --out           merged results file                (default: BENCH_results.json)
 #
 # Any remaining arguments are forwarded verbatim to every bench binary
 # (e.g. --cores=8 --duration-ms=2).
@@ -33,10 +39,14 @@ BENCHES=(
 build_dir=build
 out=BENCH_results.json
 smoke=""
+with_native=""
+native_cores=""
 extra=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke="--smoke"; shift ;;
+    --with-native) with_native=1; shift ;;
+    --native-cores) native_cores="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) extra+=("$1"); shift ;;
@@ -57,6 +67,21 @@ for bench in "${BENCHES[@]}"; do
   echo "=== $bench ==="
   "$bin" $smoke --json "$json_dir/$bench.json" ${extra[@]+"${extra[@]}"}
 done
+
+if [[ -n "$with_native" ]]; then
+  # Each binary knows whether it was registered with
+  # TM2C_REGISTER_BENCH_NATIVE; probe instead of maintaining a second list.
+  for bench in "${BENCHES[@]}"; do
+    if ! "$build_dir/$bench" --native-capable; then
+      continue
+    fi
+    echo "=== $bench (native) ==="
+    # --native-cores comes last so it overrides a forwarded --cores.
+    "$build_dir/$bench" $smoke --backend=threads \
+      --json "$json_dir/$bench.native.json" ${extra[@]+"${extra[@]}"} \
+      ${native_cores:+--cores "$native_cores"}
+  done
+fi
 
 python3 "$repo_root/tools/bench_json.py" merge \
   --out "$out" $( [[ -n "$smoke" ]] && echo --smoke ) "$json_dir"/*.json

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   config.tm.cm = CmKindByName(cm_name);
   TmSystem system(config);
 
-  Bank bank(system.sim().allocator(), system.sim().shmem(), static_cast<uint32_t>(accounts),
+  Bank bank(system.allocator(), system.shmem(), static_cast<uint32_t>(accounts),
             /*initial=*/1000);
   const uint64_t expected_total = static_cast<uint64_t>(accounts) * 1000;
 

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   MapReduceConfig mr;
   mr.input_bytes = static_cast<uint64_t>(input_kb) * 1024;
-  MapReduceApp app(system.sim().allocator(), system.sim().shmem(), mr);
+  MapReduceApp app(system.allocator(), system.shmem(), mr);
 
   const uint64_t chunk_bytes = static_cast<uint64_t>(chunk_kb) * 1024;
   for (uint32_t i = 0; i < system.num_app_cores(); ++i) {

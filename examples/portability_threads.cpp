@@ -18,11 +18,15 @@ int main(int argc, char** argv) {
   int cores = 4;
   int service_cores = 2;
   int increments = 2000;
+  std::string channel = "spsc";
+  bool pin = false;
 
   FlagSet flags;
   flags.Register("cores", &cores, "OS threads to spawn");
   flags.Register("service-cores", &service_cores, "how many of them run the DTM service");
   flags.Register("increments", &increments, "transactional increments per app thread");
+  flags.Register("channel", &channel, "transport: spsc (lock-free rings) | mutex (v1 mailboxes)");
+  flags.Register("pin", &pin, "pin each core thread to a host CPU");
   flags.Parse(argc, argv);
 
   ThreadSystemConfig config;
@@ -30,6 +34,8 @@ int main(int argc, char** argv) {
   config.num_cores = static_cast<uint32_t>(cores);
   config.num_service = static_cast<uint32_t>(service_cores);
   config.shmem_bytes = 1 << 20;
+  config.channel = ChannelKindByName(channel);
+  config.pin_threads = pin;
   ThreadSystem system(config);
 
   TmConfig tm;

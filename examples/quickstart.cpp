@@ -25,7 +25,7 @@ int main() {
   TmSystem system(config);
 
   // 2. Lay out shared data (host-side, before the run starts).
-  const uint64_t counter = system.sim().allocator().AllocGlobal(8);
+  const uint64_t counter = system.allocator().AllocGlobal(8);
 
   // 3. Give every application core a program.
   for (uint32_t i = 0; i < system.num_app_cores(); ++i) {
@@ -42,7 +42,7 @@ int main() {
   const SimTime end = system.Run();
   const TxStats stats = system.MergedStats();
   std::printf("counter      = %llu (expected %u)\n",
-              static_cast<unsigned long long>(system.sim().shmem().LoadWord(counter)),
+              static_cast<unsigned long long>(system.shmem().LoadWord(counter)),
               system.num_app_cores() * 1000);
   std::printf("commits      = %llu\n", static_cast<unsigned long long>(stats.commits));
   std::printf("aborts       = %llu (conflicts resolved by FairCM)\n",

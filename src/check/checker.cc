@@ -69,10 +69,10 @@ CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
   // value-serializable yet indistinguishable from a real stale read.
   constexpr uint64_t kInitial = 1000;
   constexpr uint64_t kBalanceMask = 0xffffffffull;
-  const uint64_t base = sys.sim().allocator().AllocGlobal(cfg.accounts * kWordBytes);
+  const uint64_t base = sys.allocator().AllocGlobal(cfg.accounts * kWordBytes);
   for (uint32_t a = 0; a < cfg.accounts; ++a) {
     const uint64_t addr = base + a * kWordBytes;
-    sys.sim().shmem().StoreWord(addr, kInitial);
+    sys.shmem().StoreWord(addr, kInitial);
     result.history.RecordInitial(addr, kInitial);
   }
 
@@ -144,7 +144,7 @@ CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
   }
 
   CheckFinalState(result.history,
-                  [&sys](uint64_t addr) { return sys.sim().shmem().LoadWord(addr); },
+                  [&sys](uint64_t addr) { return sys.shmem().LoadWord(addr); },
                   &result.report);
 
   if (all_done) {
@@ -157,7 +157,7 @@ CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
     }
     uint64_t actual = 0;
     for (uint32_t a = 0; a < cfg.accounts; ++a) {
-      actual += sys.sim().shmem().LoadWord(base + a * kWordBytes) & kBalanceMask;
+      actual += sys.shmem().LoadWord(base + a * kWordBytes) & kBalanceMask;
     }
     if (actual != expected) {
       result.report.violations.push_back(OracleViolation{

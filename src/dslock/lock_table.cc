@@ -20,7 +20,15 @@ AcquireResult LockTable::ReadLock(const TxInfo& requester, uint64_t addr,
       return result;
     }
     // CM aborted the enemy writer: revoke its lock and report the victim.
+    // The victim's read bit goes with it — a committing writer holds the
+    // stripe in upgrade mode (reader + writer), and leaving the reader bit
+    // behind would create a ghost holder with no TxInfo whose
+    // default-constructed metric (0) then beats every later write request:
+    // on the thread backend two cores can revoke/refuse each other through
+    // that ghost in a perfectly timed cycle forever (found by the native
+    // backend, invisible to the deterministic simulator's schedules).
     result.victims.push_back(Victim{writer_info, ConflictKind::kReadAfterWrite});
+    entry.readers.Erase(entry.writer);
     entry.holder_info.erase(entry.writer);
     entry.writer = kNoWriter;
     entry.writer_epoch = 0;
@@ -50,7 +58,10 @@ AcquireResult LockTable::WriteLock(const TxInfo& requester, uint64_t addr,
       result.refused = ConflictKind::kWriteAfterWrite;
       return result;
     }
+    // As in ReadLock: revoke the loser's upgrade read bit together with its
+    // write lock, or it lingers as a ghost reader with no TxInfo.
     result.victims.push_back(Victim{writer_info, ConflictKind::kWriteAfterWrite});
+    entry.readers.Erase(entry.writer);
     entry.holder_info.erase(entry.writer);
     entry.writer = kNoWriter;
     entry.writer_epoch = 0;
@@ -62,9 +73,17 @@ AcquireResult LockTable::WriteLock(const TxInfo& requester, uint64_t addr,
   // conflict; the requester must beat the whole reader set.
   std::vector<TxInfo> enemies;
   entry.readers.ForEach([&](uint32_t reader) {
-    if (reader != requester.core) {
-      enemies.push_back(entry.holder_info[reader]);
+    if (reader == requester.core) {
+      return;
     }
+    // Every reader bit must have its TxInfo: a miss here would silently
+    // default-construct a metric-0 enemy that wins every arbitration (the
+    // ghost-reader livelock the revocation paths above now prevent). Hard
+    // CHECK, not DCHECK: this conflict path is cold, and the Release-build
+    // alternative is undefined behavior feeding garbage into the CM.
+    auto it = entry.holder_info.find(reader);
+    TM2C_CHECK_MSG(it != entry.holder_info.end(), "reader bit without holder TxInfo");
+    enemies.push_back(it->second);
   });
   if (!enemies.empty()) {
     if (cm.Decide(requester, enemies, ConflictKind::kWriteAfterRead) ==

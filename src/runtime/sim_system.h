@@ -15,6 +15,7 @@
 
 #include "src/common/rng.h"
 #include "src/noc/latency.h"
+#include "src/runtime/backend.h"
 #include "src/runtime/core_env.h"
 #include "src/sim/engine.h"
 
@@ -45,29 +46,30 @@ struct SimSystemConfig {
   ChaosConfig chaos;
 };
 
-class SimSystem {
+class SimSystem : public SystemBackend {
  public:
   explicit SimSystem(SimSystemConfig config);
-  ~SimSystem();
+  ~SimSystem() override;
 
   SimSystem(const SimSystem&) = delete;
   SimSystem& operator=(const SimSystem&) = delete;
 
   // Installs the program run by `core`. Must be called for every core
   // before Run (cores without a main simply finish immediately).
-  void SetCoreMain(uint32_t core, CoreMain main);
+  void SetCoreMain(uint32_t core, CoreMain main) override;
 
   // Runs the simulation until `until` (simulated time) or until all cores
   // finish. Returns the final simulated time.
-  SimTime Run(SimTime until = UINT64_MAX);
+  SimTime Run(SimTime until = UINT64_MAX) override;
 
-  CoreEnv& env(uint32_t core);
+  CoreEnv& env(uint32_t core) override;
   SimEngine& engine() { return engine_; }
-  const DeploymentPlan& deployment() const { return plan_; }
+  const DeploymentPlan& deployment() const override { return plan_; }
   const LatencyModel& latency() const { return latency_; }
-  SharedMemory& shmem() { return *shmem_; }
-  ShmAllocator& allocator() { return *allocator_; }
+  SharedMemory& shmem() override { return *shmem_; }
+  ShmAllocator& allocator() override { return *allocator_; }
   const SimSystemConfig& config() const { return config_; }
+  bool is_simulated() const override { return true; }
 
  private:
   class Core;  // CoreEnv implementation

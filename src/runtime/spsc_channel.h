@@ -1,0 +1,104 @@
+// Lock-free single-producer/single-consumer message ring.
+//
+// The native thread backend's port of the paper's cache-line channels: one
+// bounded ring per directed core pair, so every ring has exactly one writer
+// thread and one reader thread and needs no locks — a producer-side release
+// store publishes a slot, a consumer-side acquire load picks it up, exactly
+// like flipping the ownership flag of an MPB cache line on the SCC (or a
+// Barrelfish UMP channel line on the Opteron). Head and tail live on their
+// own cache lines, and each side caches the opposing index so the common
+// case touches no shared line at all.
+#ifndef TM2C_SRC_RUNTIME_SPSC_CHANNEL_H_
+#define TM2C_SRC_RUNTIME_SPSC_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/runtime/message.h"
+
+namespace tm2c {
+
+// One destructive-interference span. std::hardware_destructive_interference_size
+// is not universally available (and trips -Winterference-size on GCC); 64
+// bytes is correct for every x86/arm machine this backend targets.
+constexpr size_t kCacheLineBytes = 64;
+
+class SpscChannel {
+ public:
+  // `capacity` is rounded up to a power of two; the ring holds at most
+  // `capacity` messages before TryPush reports full (sender backpressure).
+  explicit SpscChannel(uint32_t capacity) {
+    TM2C_CHECK_MSG(capacity >= 1 && capacity <= kMaxCapacity,
+                   "SpscChannel capacity must be in [1, 2^24]");
+    uint32_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Message[]>(cap);
+  }
+
+  // Sanity bound: 2^24 slots is already ~1 GB of Message headers per ring;
+  // anything larger is a configuration bug, and unbounded values would
+  // overflow the power-of-two rounding.
+  static constexpr uint32_t kMaxCapacity = 1u << 24;
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  // Producer side. Moves `msg` into the ring and returns true, or returns
+  // false (leaving `msg` intact) when the ring is full.
+  bool TryPush(Message& msg) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) {
+        return false;  // genuinely full
+      }
+    }
+    slots_[tail & mask_] = std::move(msg);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Moves the oldest message into `out` and returns true,
+  // or returns false when the ring is empty.
+  bool TryPop(Message* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return false;  // genuinely empty
+      }
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side cheap emptiness probe: false positives are impossible,
+  // a concurrent producer may make a true result stale immediately.
+  bool EmptyHint() const {
+    return head_.load(std::memory_order_relaxed) == tail_.load(std::memory_order_acquire);
+  }
+
+  uint32_t capacity() const { return mask_ + 1; }
+
+ private:
+  // Producer line: the push index plus the producer's stale view of head.
+  alignas(kCacheLineBytes) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+  // Consumer line: the pop index plus the consumer's stale view of tail.
+  alignas(kCacheLineBytes) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+
+  alignas(kCacheLineBytes) uint32_t mask_ = 0;
+  std::unique_ptr<Message[]> slots_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_RUNTIME_SPSC_CHANNEL_H_

@@ -33,12 +33,27 @@ class SharedMemory {
     }
   }
 
+  // Acquire/release word accesses: free on x86 (plain MOVs) and what the
+  // thread backend needs so a word used as a flag or lock register orders
+  // the data it protects — in particular the modelled TAS register is
+  // released by a plain StoreWord(addr, 0), which must pair with the next
+  // winner's CasWord acquire. The simulator backend is single-threaded and
+  // unaffected.
   uint64_t LoadWord(uint64_t addr) const {
-    return words_[WordIndex(addr)].load(std::memory_order_relaxed);
+    return words_[WordIndex(addr)].load(std::memory_order_acquire);
   }
 
   void StoreWord(uint64_t addr, uint64_t value) {
-    words_[WordIndex(addr)].store(value, std::memory_order_relaxed);
+    words_[WordIndex(addr)].store(value, std::memory_order_release);
+  }
+
+  // Atomic compare-and-swap on one word: installs `desired` and returns
+  // true iff the word held `expected`. The thread backend builds its
+  // test-and-set register from this; the simulator never needs it (one
+  // host thread runs everything).
+  bool CasWord(uint64_t addr, uint64_t expected, uint64_t desired) {
+    return words_[WordIndex(addr)].compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
   }
 
   uint64_t size_bytes() const { return size_bytes_; }

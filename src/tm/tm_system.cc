@@ -3,23 +3,43 @@
 #include "src/common/check.h"
 
 namespace tm2c {
+namespace {
+
+std::unique_ptr<SystemBackend> MakeBackend(const TmSystemConfig& config) {
+  if (config.backend == BackendKind::kSim) {
+    return std::make_unique<SimSystem>(config.sim);
+  }
+  ThreadSystemConfig tcfg;
+  tcfg.platform = config.sim.platform;
+  tcfg.num_cores = config.sim.num_cores;
+  tcfg.num_service = config.sim.num_service;
+  tcfg.strategy = config.sim.strategy;
+  tcfg.shmem_bytes = config.sim.shmem_bytes;
+  tcfg.channel = config.channel;
+  tcfg.pin_threads = config.pin_threads;
+  tcfg.channel_capacity = config.channel_capacity;
+  return std::make_unique<ThreadSystem>(tcfg);
+}
+
+}  // namespace
 
 TmSystem::TmSystem(TmSystemConfig config)
     : config_(std::move(config)),
-      sim_(config_.sim),
-      map_(sim_.deployment(), config_.tm.stripe_bytes) {
-  const DeploymentPlan& plan = sim_.deployment();
+      system_(MakeBackend(config_)),
+      map_(system_->deployment(), config_.tm.stripe_bytes) {
+  const DeploymentPlan& plan = system_->deployment();
   TM2C_CHECK_MSG(config_.tm.max_batch >= 1 && config_.tm.max_batch <= kMaxBatchEntries,
                  "max_batch must be in [1, kMaxBatchEntries]");
   // Per-core abort status words (see TmConfig::abort_status_base).
   if (config_.tm.abort_status_base == TmConfig::kNoAbortStatus) {
     config_.tm.abort_status_base =
-        sim_.allocator().AllocGlobal(static_cast<uint64_t>(plan.num_cores()) * kWordBytes);
+        system_->allocator().AllocGlobal(static_cast<uint64_t>(plan.num_cores()) * kWordBytes);
     for (uint32_t c = 0; c < plan.num_cores(); ++c) {
-      sim_.shmem().StoreWord(config_.tm.abort_status_base + c * kWordBytes, 0);
+      system_->shmem().StoreWord(config_.tm.abort_status_base + c * kWordBytes, 0);
     }
   }
   bodies_.resize(plan.num_app());
+  apps_running_.store(plan.num_app(), std::memory_order_relaxed);
 
   if (plan.strategy() == DeployStrategy::kDedicated) {
     // Service cores run the DTM loop; app cores run their body with a
@@ -27,21 +47,22 @@ TmSystem::TmSystem(TmSystemConfig config)
     services_.reserve(plan.num_service());
     for (uint32_t p = 0; p < plan.num_service(); ++p) {
       const uint32_t core = plan.ServiceCore(p);
-      auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm, &map_);
+      auto service = std::make_unique<DtmService>(system_->env(core), config_.tm, &map_);
       DtmService* svc = service.get();
-      sim_.SetCoreMain(core, [svc](CoreEnv&) { svc->RunLoop(); });
+      system_->SetCoreMain(core, [svc](CoreEnv&) { svc->RunLoop(); });
       services_.push_back(std::move(service));
     }
     runtimes_.reserve(plan.num_app());
     for (uint32_t i = 0; i < plan.num_app(); ++i) {
       const uint32_t core = plan.app_cores()[i];
       runtimes_.push_back(
-          std::make_unique<TxRuntime>(sim_.env(core), config_.tm, map_, nullptr));
+          std::make_unique<TxRuntime>(system_->env(core), config_.tm, map_, nullptr));
       TxRuntime* rt = runtimes_.back().get();
-      sim_.SetCoreMain(core, [this, i, rt](CoreEnv& env) {
+      system_->SetCoreMain(core, [this, i, rt](CoreEnv& env) {
         if (bodies_[i]) {
           bodies_[i](env, *rt);
         }
+        OnAppBodyDone();
       });
     }
     return;
@@ -51,19 +72,22 @@ TmSystem::TmSystem(TmSystemConfig config)
   services_.reserve(plan.num_cores());
   runtimes_.reserve(plan.num_cores());
   for (uint32_t core = 0; core < plan.num_cores(); ++core) {
-    auto service = std::make_unique<DtmService>(sim_.env(core), config_.tm, &map_);
+    auto service = std::make_unique<DtmService>(system_->env(core), config_.tm, &map_);
     runtimes_.push_back(
-        std::make_unique<TxRuntime>(sim_.env(core), config_.tm, map_, service.get()));
+        std::make_unique<TxRuntime>(system_->env(core), config_.tm, map_, service.get()));
     services_.push_back(std::move(service));
     TxRuntime* rt = runtimes_.back().get();
     const uint32_t i = core;  // app index == core id under multitasking
-    sim_.SetCoreMain(core, [this, i, rt](CoreEnv& env) {
+    system_->SetCoreMain(core, [this, i, rt](CoreEnv& env) {
       if (bodies_[i]) {
         bodies_[i](env, *rt);
       }
+      OnAppBodyDone();
       // The application task finished; keep serving DTM requests so other
       // cores' transactions can still make progress (the libtask scheduler
-      // would keep running the service coroutine).
+      // would keep running the service coroutine). The simulator run ends
+      // when its events drain; the thread backend ends on the kShutdown
+      // the last app body broadcast.
       for (;;) {
         Message msg = env.Recv();
         if (msg.type == MsgType::kShutdown) {
@@ -75,6 +99,29 @@ TmSystem::TmSystem(TmSystemConfig config)
         TM2C_CHECK(services_[i]->HandleMessage(msg));
       }
     });
+  }
+}
+
+void TmSystem::OnAppBodyDone() {
+  if (system_->is_simulated()) {
+    return;  // the simulator ends the run by draining its event queue
+  }
+  if (apps_running_.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+  // Last application body to finish: wake every core still blocked in a
+  // service loop. All transactions are complete, so the only in-flight
+  // messages are one-way (releases, stale notifications) — a service that
+  // drains its rings before seeing the injected shutdown loses nothing.
+  const DeploymentPlan& plan = system_->deployment();
+  if (plan.strategy() == DeployStrategy::kDedicated) {
+    for (uint32_t core : plan.service_cores()) {
+      system_->RequestShutdown(core);
+    }
+  } else {
+    for (uint32_t core = 0; core < plan.num_cores(); ++core) {
+      system_->RequestShutdown(core);
+    }
   }
 }
 
@@ -90,6 +137,8 @@ void TmSystem::SetAllAppBodies(const AppBody& body) {
 }
 
 void TmSystem::AttachTrace(TxTraceSink* trace) {
+  TM2C_CHECK_MSG(system_->is_simulated(),
+                 "execution traces are simulator-only (sinks are not thread-safe)");
   for (auto& rt : runtimes_) {
     rt->set_trace(trace);
   }
@@ -98,7 +147,13 @@ void TmSystem::AttachTrace(TxTraceSink* trace) {
   }
 }
 
-SimTime TmSystem::Run(SimTime until) { return sim_.Run(until); }
+SimTime TmSystem::Run(SimTime until) { return system_->Run(until); }
+
+SimSystem& TmSystem::sim() {
+  TM2C_CHECK_MSG(config_.backend == BackendKind::kSim,
+                 "sim() is only valid on the simulator backend");
+  return static_cast<SimSystem&>(*system_);
+}
 
 const TxStats& TmSystem::AppStats(uint32_t app_index) const {
   TM2C_CHECK(app_index < runtimes_.size());

@@ -1,17 +1,23 @@
-// Top-level convenience wiring: a simulated many-core running TM2C.
+// Top-level convenience wiring: a many-core running TM2C.
 //
-// TmSystem builds the simulator backend, installs a DtmService on every
-// service core (dedicated deployment) or on every core (multitasked), and
-// gives each application core a TxRuntime. Benchmarks and examples only
-// provide per-app-core bodies.
+// TmSystem builds the selected runtime backend — the deterministic
+// simulator (BackendKind::kSim, the default) or real OS threads over
+// lock-free SPSC channels (BackendKind::kThreads) — installs a DtmService
+// on every service core (dedicated deployment) or on every core
+// (multitasked), and gives each application core a TxRuntime. Benchmarks
+// and examples only provide per-app-core bodies; the same body code runs
+// unmodified on either backend.
 #ifndef TM2C_SRC_TM_TM_SYSTEM_H_
 #define TM2C_SRC_TM_TM_SYSTEM_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/runtime/backend.h"
 #include "src/runtime/sim_system.h"
+#include "src/runtime/thread_system.h"
 #include "src/tm/address_map.h"
 #include "src/tm/dtm_service.h"
 #include "src/tm/tx_runtime.h"
@@ -19,8 +25,17 @@
 namespace tm2c {
 
 struct TmSystemConfig {
+  // Topology, platform, deployment and sizing — shared by both backends
+  // (the thread backend uses platform/num_cores/num_service/strategy/
+  // shmem_bytes and ignores the simulation-only knobs).
   SimSystemConfig sim;
   TmConfig tm;
+
+  BackendKind backend = BackendKind::kSim;
+  // Thread-backend tuning; ignored under the simulator.
+  ChannelKind channel = ChannelKind::kSpscRing;
+  bool pin_threads = false;
+  uint32_t channel_capacity = 256;
 };
 
 class TmSystem {
@@ -28,17 +43,22 @@ class TmSystem {
   explicit TmSystem(TmSystemConfig config);
 
   // Body run by the `app_index`-th application core (0-based among app
-  // cores). Bodies typically loop until the simulated horizon:
-  //   while (env.GlobalNow() < horizon) { rt.Execute(...); }
+  // cores). Bodies typically loop for a fixed duration:
+  //   const SimTime t0 = env.GlobalNow();
+  //   while (env.GlobalNow() - t0 < duration) { rt.Execute(...); }
   using AppBody = std::function<void(CoreEnv&, TxRuntime&)>;
 
   void SetAppBody(uint32_t app_index, AppBody body);
   // Installs the same body on every application core.
   void SetAllAppBodies(const AppBody& body);
 
+  // Runs the system and returns the elapsed time: simulated time under the
+  // simulator (bounded by `until`), wall-clock time under threads (where
+  // `until` is ignored — bodies bound their own work, and the last
+  // finishing app core shuts the service loops down).
   SimTime Run(SimTime until = UINT64_MAX);
 
-  uint32_t num_app_cores() const { return sim_.deployment().num_app(); }
+  uint32_t num_app_cores() const { return system_->deployment().num_app(); }
   const TxStats& AppStats(uint32_t app_index) const;
   TxStats MergedStats() const;
   const DtmService& ServiceAt(uint32_t partition) const;
@@ -50,20 +70,36 @@ class TmSystem {
   bool AllLockTablesEmpty() const;
 
   // Attaches an execution-trace recorder (typically a check::History) to
-  // every runtime and service. Call before Run(); verification only.
+  // every runtime and service. Call before Run(); verification only, and
+  // simulator-only (trace sinks are not thread-safe).
   void AttachTrace(TxTraceSink* trace);
 
-  SimSystem& sim() { return sim_; }
+  // Backend-agnostic handles (work under sim and threads alike).
+  SystemBackend& system() { return *system_; }
+  const DeploymentPlan& deployment() const { return system_->deployment(); }
+  SharedMemory& shmem() { return system_->shmem(); }
+  ShmAllocator& allocator() { return system_->allocator(); }
+  BackendKind backend() const { return config_.backend; }
+
+  // Simulator-specific handle (engine, latency model, chaos). Checked:
+  // only valid when backend() == BackendKind::kSim.
+  SimSystem& sim();
+
   const AddressMap& address_map() const { return map_; }
   const TmSystemConfig& config() const { return config_; }
 
  private:
+  // Called by every app core main after its body returns; under the thread
+  // backend the last one shuts down the cores still blocked in Recv.
+  void OnAppBodyDone();
+
   TmSystemConfig config_;
-  SimSystem sim_;
+  std::unique_ptr<SystemBackend> system_;
   AddressMap map_;
   std::vector<std::unique_ptr<DtmService>> services_;   // per service core
   std::vector<std::unique_ptr<TxRuntime>> runtimes_;    // per app core
   std::vector<AppBody> bodies_;                         // per app core
+  std::atomic<uint32_t> apps_running_{0};
 };
 
 }  // namespace tm2c

@@ -30,7 +30,7 @@ TmSystemConfig BaseConfig(uint32_t cores = 8, uint32_t service = 4,
 
 TEST(BankApp, TransfersConserveTotalUnderContention) {
   TmSystem sys(BaseConfig());
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 128, 1000);
+  Bank bank(sys.allocator(), sys.shmem(), 128, 1000);
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
     sys.SetAppBody(i, [&bank, i](CoreEnv&, TxRuntime& rt) {
       Rng rng(100 + i);
@@ -50,7 +50,7 @@ TEST(BankApp, TransfersConserveTotalUnderContention) {
 
 TEST(BankApp, TxBalanceSeesConstantTotal) {
   TmSystem sys(BaseConfig());
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 64, 500);
+  Bank bank(sys.allocator(), sys.shmem(), 64, 500);
   bool bad_balance = false;
   sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
     for (int k = 0; k < 15; ++k) {
@@ -78,7 +78,7 @@ TEST(BankApp, TxBalanceSeesConstantTotal) {
 
 TEST(BankApp, GlobalLockVersionConservesTotal) {
   TmSystem sys(BaseConfig());
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 64, 100);
+  Bank bank(sys.allocator(), sys.shmem(), 64, 100);
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
     sys.SetAppBody(i, [&bank, i](CoreEnv& env, TxRuntime&) {
       Rng rng(200 + i);
@@ -95,7 +95,7 @@ TEST(BankApp, GlobalLockVersionConservesTotal) {
 
 TEST(BankApp, LockBalanceConsistentWithConcurrentLockTransfers) {
   TmSystem sys(BaseConfig(4, 1));
-  Bank bank(sys.sim().allocator(), sys.sim().shmem(), 32, 100);
+  Bank bank(sys.allocator(), sys.shmem(), 32, 100);
   bool bad = false;
   sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime&) {
     for (int k = 0; k < 20; ++k) {
@@ -121,10 +121,10 @@ TEST(BankApp, LockBalanceConsistentWithConcurrentLockTransfers) {
 
 TEST(HashTableApp, HostSetupAndLookup) {
   TmSystem sys(BaseConfig());
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 16);
-  EXPECT_TRUE(table.HostAdd(sys.sim().allocator(), 5));
-  EXPECT_TRUE(table.HostAdd(sys.sim().allocator(), 21));  // same bucket likely
-  EXPECT_FALSE(table.HostAdd(sys.sim().allocator(), 5));
+  ShmHashTable table(sys.allocator(), sys.shmem(), 16);
+  EXPECT_TRUE(table.HostAdd(sys.allocator(), 5));
+  EXPECT_TRUE(table.HostAdd(sys.allocator(), 21));  // same bucket likely
+  EXPECT_FALSE(table.HostAdd(sys.allocator(), 5));
   EXPECT_TRUE(table.HostContains(5));
   EXPECT_TRUE(table.HostContains(21));
   EXPECT_FALSE(table.HostContains(6));
@@ -133,7 +133,7 @@ TEST(HashTableApp, HostSetupAndLookup) {
 
 TEST(HashTableApp, TransactionalOpsMatchReferenceSet) {
   TmSystem sys(BaseConfig(4, 2));
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 8);
+  ShmHashTable table(sys.allocator(), sys.shmem(), 8);
   // Deterministic single-core op stream checked against std::set.
   sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime& rt) {
     std::set<uint64_t> reference;
@@ -156,9 +156,9 @@ TEST(HashTableApp, TransactionalOpsMatchReferenceSet) {
 
 TEST(HashTableApp, ConcurrentMixedOpsKeepStructureSane) {
   TmSystem sys(BaseConfig());
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 32);
+  ShmHashTable table(sys.allocator(), sys.shmem(), 32);
   for (uint64_t key = 1; key <= 64; ++key) {
-    table.HostAdd(sys.sim().allocator(), key);
+    table.HostAdd(sys.allocator(), key);
   }
   std::vector<int64_t> net_adds(sys.num_app_cores(), 0);
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
@@ -188,11 +188,11 @@ TEST(HashTableApp, ConcurrentMixedOpsKeepStructureSane) {
 
 TEST(HashTableApp, MoveIsAtomic) {
   TmSystem sys(BaseConfig());
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 16);
+  ShmHashTable table(sys.allocator(), sys.shmem(), 16);
   // Start with even keys present; movers shuffle between even and odd,
   // scanners verify the element count never changes.
   for (uint64_t key = 2; key <= 128; key += 2) {
-    table.HostAdd(sys.sim().allocator(), key);
+    table.HostAdd(sys.allocator(), key);
   }
   const uint64_t initial = table.HostSize();
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
@@ -213,7 +213,7 @@ TEST(HashTableApp, MoveIsAtomic) {
 
 TEST(HashTableApp, SequentialBaselineWorks) {
   TmSystem sys(BaseConfig(2, 1));
-  ShmHashTable table(sys.sim().allocator(), sys.sim().shmem(), 8);
+  ShmHashTable table(sys.allocator(), sys.shmem(), 8);
   sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime&) {
     EXPECT_TRUE(table.SeqAdd(env, env.allocator(), 10));
     EXPECT_TRUE(table.SeqAdd(env, env.allocator(), 3));
@@ -230,7 +230,7 @@ TEST(HashTableApp, SequentialBaselineWorks) {
 
 TEST(LinkedListApp, SortedSetSemantics) {
   TmSystem sys(BaseConfig(4, 2));
-  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  ShmSortedList list(sys.allocator(), sys.shmem());
   sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime& rt) {
     std::set<uint64_t> reference;
     Rng rng(5);
@@ -254,9 +254,9 @@ void RunListConcurrencyTest(TxMode mode) {
   TmSystemConfig cfg = BaseConfig(6, 3);
   cfg.tm.tx_mode = mode;
   TmSystem sys(std::move(cfg));
-  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  ShmSortedList list(sys.allocator(), sys.shmem());
   for (uint64_t key = 2; key <= 64; key += 2) {
-    list.HostAdd(sys.sim().allocator(), key);
+    list.HostAdd(sys.allocator(), key);
   }
   std::vector<int64_t> net(sys.num_app_cores(), 0);
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
@@ -300,9 +300,9 @@ TEST(LinkedListApp, ElasticModesReduceAborts) {
     cfg.tm.tx_mode = mode;
     cfg.sim.seed = 11;
     TmSystem sys(std::move(cfg));
-    ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+    ShmSortedList list(sys.allocator(), sys.shmem());
     for (uint64_t key = 1; key <= 128; ++key) {
-      list.HostAdd(sys.sim().allocator(), key);
+      list.HostAdd(sys.allocator(), key);
     }
     for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
       sys.SetAppBody(i, [&list, i](CoreEnv& env, TxRuntime& rt) {
@@ -337,7 +337,7 @@ TEST(MapReduceApp, ParallelCountMatchesGroundTruth) {
   TmSystem sys(std::move(cfg));
   MapReduceConfig mr_cfg;
   mr_cfg.input_bytes = 256 << 10;
-  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+  MapReduceApp app(sys.allocator(), sys.shmem(), mr_cfg);
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
     sys.SetAppBody(i, [&app](CoreEnv& env, TxRuntime& rt) { app.RunWorker(env, rt, 8 << 10); });
   }
@@ -351,7 +351,7 @@ TEST(MapReduceApp, SequentialCountMatchesGroundTruth) {
   TmSystem sys(std::move(cfg));
   MapReduceConfig mr_cfg;
   mr_cfg.input_bytes = 128 << 10;
-  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+  MapReduceApp app(sys.allocator(), sys.shmem(), mr_cfg);
   sys.SetAppBody(0, [&app](CoreEnv& env, TxRuntime&) { app.RunSequential(env); });
   sys.Run(kTestHorizon);
   EXPECT_EQ(app.HostResultCounts(), app.HostExpectedCounts());
@@ -368,7 +368,7 @@ TEST(MapReduceApp, ParallelIsFasterThanSequential) {
     TmSystemConfig cfg = BaseConfig(parallel ? 8 : 2, 1);
     cfg.sim.shmem_bytes = 16 << 20;
     TmSystem sys(std::move(cfg));
-    MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+    MapReduceApp app(sys.allocator(), sys.shmem(), mr_cfg);
     SimTime duration = 0;
     if (parallel) {
       for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
@@ -392,7 +392,7 @@ TEST(MapReduceApp, ResetRunClearsState) {
   TmSystem sys(std::move(cfg));
   MapReduceConfig mr_cfg;
   mr_cfg.input_bytes = 64 << 10;
-  MapReduceApp app(sys.sim().allocator(), sys.sim().shmem(), mr_cfg);
+  MapReduceApp app(sys.allocator(), sys.shmem(), mr_cfg);
   sys.SetAppBody(0, [&app](CoreEnv& env, TxRuntime&) { app.RunSequential(env); });
   sys.Run(kTestHorizon);
   EXPECT_EQ(app.HostResultCounts(), app.HostExpectedCounts());

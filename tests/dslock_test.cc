@@ -253,5 +253,50 @@ TEST_F(LockTableTest, StatsCountAcquiresRefusalsRevocations) {
   EXPECT_EQ(s.revocations, 1u);
 }
 
+// Regression: revoking a writer that acquired via lock upgrade (reader +
+// writer on the same stripe) must also revoke its read bit. Leaving the bit
+// behind created a ghost reader with no TxInfo whose default metric (0)
+// beat every subsequent write request — on the thread backend two cores
+// could revoke/refuse each other through that ghost forever (the
+// FairCm livelock the native backend exposed).
+TEST_F(LockTableTest, RevokingUpgradedWriterClearsItsReadBit) {
+  // Core 2 (weaker, higher metric) read-locks then upgrades: holds the
+  // stripe as reader + committing writer.
+  EXPECT_EQ(table_.ReadLock(Tx1(2, 100), 0x38, *faircm_).refused, ConflictKind::kNone);
+  EXPECT_EQ(table_.WriteLock(Tx1(2, 100), 0x38, *faircm_, /*committing=*/true).refused,
+            ConflictKind::kNone);
+
+  // Core 1 (stronger, lower metric) reads: RAW, core 1 wins, core 2's
+  // write lock is revoked — and its upgrade read bit must die with it.
+  const auto r = table_.ReadLock(Tx1(1, 10), 0x38, *faircm_);
+  EXPECT_EQ(r.refused, ConflictKind::kNone);
+  ASSERT_EQ(r.victims.size(), 1u);
+  EXPECT_EQ(r.victims[0].info.core, 2u);
+  EXPECT_FALSE(table_.HasReader(0x38, 2));
+  EXPECT_TRUE(table_.CheckInvariants());
+
+  // Core 1's own commit-time upgrade must now succeed: no ghost reader
+  // refuses it, no phantom victim is reported.
+  const auto w = table_.WriteLock(Tx1(1, 10), 0x38, *faircm_, /*committing=*/true);
+  EXPECT_EQ(w.refused, ConflictKind::kNone);
+  EXPECT_TRUE(w.victims.empty());
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
+// Same ghost via the WAW path: a stronger writer revokes a weaker upgraded
+// writer; the loser must leave no reader bit behind.
+TEST_F(LockTableTest, WawRevocationClearsLosersReadBit) {
+  EXPECT_EQ(table_.ReadLock(Tx1(2, 100), 0x40, *faircm_).refused, ConflictKind::kNone);
+  EXPECT_EQ(table_.WriteLock(Tx1(2, 100), 0x40, *faircm_, /*committing=*/true).refused,
+            ConflictKind::kNone);
+
+  const auto w = table_.WriteLock(Tx1(1, 10), 0x40, *faircm_, /*committing=*/true);
+  EXPECT_EQ(w.refused, ConflictKind::kNone);
+  ASSERT_EQ(w.victims.size(), 1u);
+  EXPECT_EQ(w.victims[0].info.core, 2u);
+  EXPECT_FALSE(table_.HasReader(0x40, 2));
+  EXPECT_TRUE(table_.CheckInvariants());
+}
+
 }  // namespace
 }  // namespace tm2c

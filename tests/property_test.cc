@@ -81,13 +81,13 @@ TEST_P(TmPropertySweep, InvariantsHold) {
 
   constexpr uint32_t kAccounts = 24;
   constexpr uint64_t kInitial = 100;
-  const uint64_t base = sys.sim().allocator().AllocGlobal(kAccounts * 8);
+  const uint64_t base = sys.allocator().AllocGlobal(kAccounts * 8);
   for (uint32_t a = 0; a < kAccounts; ++a) {
-    sys.sim().shmem().StoreWord(base + a * 8, kInitial);
+    sys.shmem().StoreWord(base + a * 8, kInitial);
   }
-  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  ShmSortedList list(sys.allocator(), sys.shmem());
   for (uint64_t key = 2; key <= 32; key += 2) {
-    list.HostAdd(sys.sim().allocator(), key);
+    list.HostAdd(sys.allocator(), key);
   }
 
   const uint32_t n = sys.num_app_cores();
@@ -154,7 +154,7 @@ TEST_P(TmPropertySweep, InvariantsHold) {
   }
   uint64_t total = 0;
   for (uint32_t a = 0; a < kAccounts; ++a) {
-    total += sys.sim().shmem().LoadWord(base + a * 8);
+    total += sys.shmem().LoadWord(base + a * 8);
   }
   EXPECT_EQ(total, static_cast<uint64_t>(kAccounts) * kInitial);
   int64_t expected_size = 16;

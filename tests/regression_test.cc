@@ -32,13 +32,13 @@ TmSystemConfig Config(CmKind cm, TxMode mode, DeployStrategy strategy) {
 TEST(Regression, ServingLivelockMultitasked) {
   TmSystem sys(Config(CmKind::kWholly, TxMode::kNormal, DeployStrategy::kMultitasked));
   constexpr uint32_t kAccounts = 24;
-  const uint64_t base = sys.sim().allocator().AllocGlobal(kAccounts * 8);
+  const uint64_t base = sys.allocator().AllocGlobal(kAccounts * 8);
   for (uint32_t a = 0; a < kAccounts; ++a) {
-    sys.sim().shmem().StoreWord(base + a * 8, 100);
+    sys.shmem().StoreWord(base + a * 8, 100);
   }
-  ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+  ShmSortedList list(sys.allocator(), sys.shmem());
   for (uint64_t key = 2; key <= 32; key += 2) {
-    list.HostAdd(sys.sim().allocator(), key);
+    list.HostAdd(sys.allocator(), key);
   }
   std::vector<bool> done(sys.num_app_cores(), false);
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
@@ -68,10 +68,10 @@ TEST(Regression, ServingLivelockMultitasked) {
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
     EXPECT_TRUE(done[i]) << "core " << i << " wedged (serving livelock)";
   }
-  EXPECT_EQ(sys.sim().shmem().LoadWord(base) + [&] {
+  EXPECT_EQ(sys.shmem().LoadWord(base) + [&] {
     uint64_t t = 0;
     for (uint32_t a = 1; a < kAccounts; ++a) {
-      t += sys.sim().shmem().LoadWord(base + a * 8);
+      t += sys.shmem().LoadWord(base + a * 8);
     }
     return t;
   }(), static_cast<uint64_t>(kAccounts) * 100);
@@ -88,7 +88,7 @@ TEST(Regression, RevocationVsPersistRace) {
     cfg.sim.seed = seed;
     TmSystem sys(std::move(cfg));
     constexpr uint64_t kWords = 4;  // few words -> constant WAW/WAR revocation
-    const uint64_t base = sys.sim().allocator().AllocGlobal(kWords * 8);
+    const uint64_t base = sys.allocator().AllocGlobal(kWords * 8);
     constexpr int kIncs = 60;
     for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
       sys.SetAppBody(i, [&, i](CoreEnv&, TxRuntime& rt) {
@@ -102,7 +102,7 @@ TEST(Regression, RevocationVsPersistRace) {
     sys.Run(kHorizon);
     uint64_t total = 0;
     for (uint64_t w = 0; w < kWords; ++w) {
-      total += sys.sim().shmem().LoadWord(base + w * 8);
+      total += sys.shmem().LoadWord(base + w * 8);
     }
     EXPECT_EQ(total, static_cast<uint64_t>(sys.num_app_cores()) * kIncs) << "seed " << seed;
   }
@@ -119,9 +119,9 @@ TEST_P(ElasticStructuralRegression, SetSemanticsPreserved) {
   for (DeployStrategy strategy : {DeployStrategy::kDedicated, DeployStrategy::kMultitasked}) {
     TmSystemConfig cfg = Config(CmKind::kFairCm, GetParam(), strategy);
     TmSystem sys(std::move(cfg));
-    ShmSortedList list(sys.sim().allocator(), sys.sim().shmem());
+    ShmSortedList list(sys.allocator(), sys.shmem());
     for (uint64_t key = 2; key <= 24; key += 2) {
-      list.HostAdd(sys.sim().allocator(), key);
+      list.HostAdd(sys.allocator(), key);
     }
     std::vector<int64_t> net(sys.num_app_cores(), 0);
     std::vector<bool> done(sys.num_app_cores(), false);
@@ -178,9 +178,9 @@ TEST(Regression, SelfPartitionScanSeesRevocation) {
     cfg.sim.seed = seed;
     TmSystem sys(std::move(cfg));
     constexpr uint32_t kAccounts = 64;
-    const uint64_t base = sys.sim().allocator().AllocGlobal(kAccounts * 8);
+    const uint64_t base = sys.allocator().AllocGlobal(kAccounts * 8);
     for (uint32_t a = 0; a < kAccounts; ++a) {
-      sys.sim().shmem().StoreWord(base + a * 8, 1000);
+      sys.shmem().StoreWord(base + a * 8, 1000);
     }
     bool torn = false;
     for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {

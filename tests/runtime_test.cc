@@ -1,11 +1,9 @@
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <vector>
 
 #include "src/runtime/deployment.h"
 #include "src/runtime/sim_system.h"
-#include "src/runtime/thread_system.h"
 
 namespace tm2c {
 namespace {
@@ -236,59 +234,8 @@ TEST(SimSystem, RejectsMoreCoresThanPlatform) {
   EXPECT_DEATH(SimSystem{cfg}, "more cores");
 }
 
-TEST(ThreadSystem, PingPongAcrossRealThreads) {
-  ThreadSystemConfig cfg;
-  cfg.platform = MakeSccPlatform(0);
-  cfg.num_cores = 2;
-  cfg.num_service = 1;
-  cfg.shmem_bytes = 1 << 16;
-  ThreadSystem sys(cfg);
-  std::atomic<uint64_t> answer{0};
-  sys.SetCoreMain(0, [](CoreEnv& env) {
-    Message m = env.Recv();
-    if (m.type == MsgType::kShutdown) {
-      return;
-    }
-    Message rsp;
-    rsp.type = MsgType::kEchoRsp;
-    rsp.w0 = m.w0 + 1;
-    env.Send(m.src, std::move(rsp));
-  });
-  sys.SetCoreMain(1, [&answer](CoreEnv& env) {
-    Message m;
-    m.type = MsgType::kEcho;
-    m.w0 = 41;
-    env.Send(0, std::move(m));
-    answer = env.Recv().w0;
-  });
-  sys.RunToCompletion();
-  EXPECT_EQ(answer.load(), 42u);
-}
-
-TEST(ThreadSystem, BarrierAndShmem) {
-  ThreadSystemConfig cfg;
-  cfg.platform = MakeSccPlatform(0);
-  cfg.num_cores = 4;
-  cfg.num_service = 1;
-  cfg.shmem_bytes = 1 << 16;
-  ThreadSystem sys(cfg);
-  for (uint32_t c = 0; c < 4; ++c) {
-    sys.SetCoreMain(c, [c](CoreEnv& env) {
-      env.ShmemWrite(c * 8, c + 1);
-      env.Barrier();
-      // After the barrier every core sees every write.
-      uint64_t sum = 0;
-      for (uint32_t i = 0; i < 4; ++i) {
-        sum += env.ShmemRead(i * 8);
-      }
-      env.ShmemWrite((4 + c) * 8, sum);
-    });
-  }
-  sys.RunToCompletion();
-  for (uint32_t c = 0; c < 4; ++c) {
-    EXPECT_EQ(sys.shmem().LoadWord((4 + c) * 8), 10u);
-  }
-}
+// ThreadSystem transport tests live in tests/thread_system_test.cc (a
+// fiber-free suite the TSan CI job can run).
 
 }  // namespace
 }  // namespace tm2c

@@ -37,7 +37,7 @@ TEST(TmBasic, SingleTransactionReadsAndWrites) {
     });
   });
   sys.Run(kTestHorizon);
-  EXPECT_EQ(sys.sim().shmem().LoadWord(0x110), 42u);
+  EXPECT_EQ(sys.shmem().LoadWord(0x110), 42u);
   EXPECT_EQ(sys.MergedStats().commits, 2u);
   EXPECT_EQ(sys.MergedStats().aborts, 0u);
 }
@@ -55,7 +55,7 @@ TEST(TmBasic, ReadYourOwnWrites) {
   });
   sys.Run(kTestHorizon);
   EXPECT_EQ(observed, 6u);
-  EXPECT_EQ(sys.sim().shmem().LoadWord(0x200), 6u);
+  EXPECT_EQ(sys.shmem().LoadWord(0x200), 6u);
 }
 
 TEST(TmBasic, DeferredWritesInvisibleBeforeCommit) {
@@ -75,7 +75,7 @@ TEST(TmBasic, DeferredWritesInvisibleBeforeCommit) {
   });
   sys.Run(kTestHorizon);
   EXPECT_EQ(seen_mid_tx, 0u);
-  EXPECT_EQ(sys.sim().shmem().LoadWord(0x300), 77u);
+  EXPECT_EQ(sys.shmem().LoadWord(0x300), 77u);
 }
 
 // The canonical atomicity check: concurrent increments never lose updates.
@@ -95,7 +95,7 @@ TEST(TmConcurrency, ConcurrentIncrementsAllApplied) {
       });
     }
     sys.Run(kTestHorizon);
-    EXPECT_EQ(sys.sim().shmem().LoadWord(kCounter),
+    EXPECT_EQ(sys.shmem().LoadWord(kCounter),
               static_cast<uint64_t>(sys.num_app_cores()) * kIncsPerCore)
         << "lost updates under CM " << CmKindName(cm);
     EXPECT_EQ(sys.MergedStats().commits,
@@ -124,7 +124,7 @@ TEST(TmConcurrency, NoCmLivelocksUnderSymmetricContention) {
   sys.Run(kTestHorizon);
   const uint64_t total_commits =
       std::accumulate(committed.begin(), committed.end(), uint64_t{0});
-  EXPECT_EQ(sys.sim().shmem().LoadWord(kCounter), total_commits);
+  EXPECT_EQ(sys.shmem().LoadWord(kCounter), total_commits);
   // The livelock manifests as a large abort count relative to commits.
   const TxStats stats = sys.MergedStats();
   EXPECT_GT(stats.aborts, stats.commits);
@@ -138,7 +138,7 @@ void RunBankInvariantTest(TmSystemConfig cfg, int transfers_per_core) {
   TmSystem sys(std::move(cfg));
   auto addr = [](uint32_t account) { return 0x1000 + account * 8; };
   for (uint32_t a = 0; a < kAccounts; ++a) {
-    sys.sim().shmem().StoreWord(addr(a), kInitial);
+    sys.shmem().StoreWord(addr(a), kInitial);
   }
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
     sys.SetAppBody(i, [i, transfers_per_core, &addr](CoreEnv& /*env*/, TxRuntime& rt) {
@@ -170,7 +170,7 @@ void RunBankInvariantTest(TmSystemConfig cfg, int transfers_per_core) {
   sys.Run(kTestHorizon);
   uint64_t total = 0;
   for (uint32_t a = 0; a < kAccounts; ++a) {
-    total += sys.sim().shmem().LoadWord(addr(a));
+    total += sys.shmem().LoadWord(addr(a));
   }
   EXPECT_EQ(total, static_cast<uint64_t>(kAccounts) * kInitial);
 }
@@ -220,7 +220,7 @@ TEST(TmConflicts, VisibleReadsDetectWarEagerly) {
   TmSystem sys(BaseConfig(4, 2, CmKind::kFairCm));
   constexpr uint64_t kBase = 0x2000;
   for (uint32_t a = 0; a < 16; ++a) {
-    sys.sim().shmem().StoreWord(kBase + a * 8, 1);
+    sys.shmem().StoreWord(kBase + a * 8, 1);
   }
   sys.SetAppBody(0, [](CoreEnv&, TxRuntime& rt) {
     for (int k = 0; k < 40; ++k) {
@@ -251,8 +251,8 @@ TEST(TmConflicts, ScanSeesConsistentSnapshot) {
   TmSystem sys(BaseConfig(6, 3, CmKind::kFairCm));
   constexpr uint64_t kA = 0x3000;
   constexpr uint64_t kB = 0x3008;
-  sys.sim().shmem().StoreWord(kA, 100);
-  sys.sim().shmem().StoreWord(kB, 100);
+  sys.shmem().StoreWord(kA, 100);
+  sys.shmem().StoreWord(kB, 100);
   bool violation = false;
   for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
     if (i % 2 == 0) {
@@ -286,7 +286,7 @@ TEST(TmConflicts, ScanSeesConsistentSnapshot) {
   }
   sys.Run(kTestHorizon);
   EXPECT_FALSE(violation);
-  EXPECT_EQ(sys.sim().shmem().LoadWord(kA) + sys.sim().shmem().LoadWord(kB), 200u);
+  EXPECT_EQ(sys.shmem().LoadWord(kA) + sys.shmem().LoadWord(kB), 200u);
 }
 
 TEST(TmElastic, ElasticReadTraversalCorrect) {
@@ -300,8 +300,8 @@ TEST(TmElastic, ElasticReadTraversalCorrect) {
   // Chain of 32 nodes: node i at 0x4000+i*16, [value, next_index].
   auto node_addr = [](uint64_t i) { return 0x4000 + i * 16; };
   for (uint64_t i = 0; i < 32; ++i) {
-    sys.sim().shmem().StoreWord(node_addr(i), i * 10);
-    sys.sim().shmem().StoreWord(node_addr(i) + 8, i + 1 < 32 ? i + 1 : UINT64_MAX);
+    sys.shmem().StoreWord(node_addr(i), i * 10);
+    sys.shmem().StoreWord(node_addr(i) + 8, i + 1 < 32 ? i + 1 : UINT64_MAX);
   }
   uint64_t traversals = 0;
   sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
@@ -339,7 +339,7 @@ TEST(TmElastic, ElasticEarlyReleasesLocks) {
   cfg.tm.elastic_window = 2;
   TmSystem sys(std::move(cfg));
   for (uint64_t i = 0; i < 16; ++i) {
-    sys.sim().shmem().StoreWord(0x5000 + i * 8, i);
+    sys.shmem().StoreWord(0x5000 + i * 8, i);
   }
   sys.SetAppBody(0, [](CoreEnv&, TxRuntime& rt) {
     rt.Execute([](Tx& tx) {
@@ -361,7 +361,7 @@ TEST(TmProgress, FairCmStarvationFree) {
   // number of attempts.
   TmSystem sys(BaseConfig(8, 2, CmKind::kFairCm));
   for (uint32_t a = 0; a < 32; ++a) {
-    sys.sim().shmem().StoreWord(0x6000 + a * 8, 0);
+    sys.shmem().StoreWord(0x6000 + a * 8, 0);
   }
   bool scanner_ok = false;
   sys.SetAppBody(0, [&scanner_ok](CoreEnv&, TxRuntime& rt) {
@@ -393,7 +393,7 @@ TEST(TmProgress, FairCmStarvationFree) {
 TEST(TmProgress, WhollyStarvationFree) {
   TmSystem sys(BaseConfig(8, 2, CmKind::kWholly));
   for (uint32_t a = 0; a < 32; ++a) {
-    sys.sim().shmem().StoreWord(0x6000 + a * 8, 0);
+    sys.shmem().StoreWord(0x6000 + a * 8, 0);
   }
   bool scanner_ok = false;
   sys.SetAppBody(0, [&scanner_ok](CoreEnv&, TxRuntime& rt) {

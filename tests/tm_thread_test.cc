@@ -1,5 +1,6 @@
 // TM2C protocol on the std::thread backend: the same DtmService/TxRuntime
-// code under real OS concurrency (the Section 7 port). These tests are
+// code under real OS concurrency (the Section 7 port), over both the
+// lock-free SPSC rings and the mutex-mailbox baseline. These tests are
 // nondeterministic by nature and assert only safety and completion.
 #include <gtest/gtest.h>
 
@@ -12,14 +13,18 @@
 namespace tm2c {
 namespace {
 
+constexpr ChannelKind kBothChannels[] = {ChannelKind::kSpscRing, ChannelKind::kMutexMailbox};
+
 struct ThreadTmHarness {
-  explicit ThreadTmHarness(uint32_t cores, uint32_t service, TmConfig tm_config)
+  ThreadTmHarness(uint32_t cores, uint32_t service, TmConfig tm_config,
+                  ChannelKind channel = ChannelKind::kSpscRing)
       : tm(tm_config) {
     ThreadSystemConfig cfg;
     cfg.platform = MakeOpteronPlatform();
     cfg.num_cores = cores;
     cfg.num_service = service;
     cfg.shmem_bytes = 1 << 20;
+    cfg.channel = channel;
     sys = std::make_unique<ThreadSystem>(cfg);
     map = std::make_unique<AddressMap>(sys->deployment(), tm.stripe_bytes);
     for (uint32_t core : sys->deployment().service_cores()) {
@@ -56,54 +61,58 @@ struct ThreadTmHarness {
 };
 
 TEST(ThreadTm, ConcurrentIncrementsExact) {
-  for (CmKind cm : {CmKind::kBackoffRetry, CmKind::kFairCm}) {
-    TmConfig tm;
-    tm.cm = cm;
-    ThreadTmHarness h(4, 2, tm);
-    const uint64_t counter = h.sys->allocator().AllocGlobal(8);
-    constexpr int kIncs = 500;
-    h.SetAppBodies([counter](CoreEnv&, TxRuntime& rt) {
-      for (int k = 0; k < kIncs; ++k) {
-        rt.Execute([counter](Tx& tx) { tx.Write(counter, tx.Read(counter) + 1); });
-      }
-    });
-    h.sys->RunToCompletion();
-    EXPECT_EQ(h.sys->shmem().LoadWord(counter),
-              static_cast<uint64_t>(h.sys->deployment().num_app()) * kIncs)
-        << "cm=" << CmKindName(cm);
+  for (const ChannelKind channel : kBothChannels) {
+    for (CmKind cm : {CmKind::kBackoffRetry, CmKind::kFairCm}) {
+      TmConfig tm;
+      tm.cm = cm;
+      ThreadTmHarness h(4, 2, tm, channel);
+      const uint64_t counter = h.sys->allocator().AllocGlobal(8);
+      constexpr int kIncs = 500;
+      h.SetAppBodies([counter](CoreEnv&, TxRuntime& rt) {
+        for (int k = 0; k < kIncs; ++k) {
+          rt.Execute([counter](Tx& tx) { tx.Write(counter, tx.Read(counter) + 1); });
+        }
+      });
+      h.sys->RunToCompletion();
+      EXPECT_EQ(h.sys->shmem().LoadWord(counter),
+                static_cast<uint64_t>(h.sys->deployment().num_app()) * kIncs)
+          << "cm=" << CmKindName(cm) << " channel=" << ChannelKindName(channel);
+    }
   }
 }
 
 TEST(ThreadTm, BankTransfersConserveTotal) {
-  TmConfig tm;
-  tm.cm = CmKind::kFairCm;
-  ThreadTmHarness h(4, 1, tm);
-  constexpr uint32_t kAccounts = 32;
-  const uint64_t base = h.sys->allocator().AllocGlobal(kAccounts * 8);
-  for (uint32_t a = 0; a < kAccounts; ++a) {
-    h.sys->shmem().StoreWord(base + a * 8, 100);
-  }
-  std::atomic<uint32_t> next_seed{1};
-  h.SetAppBodies([base, &next_seed](CoreEnv&, TxRuntime& rt) {
-    Rng rng(next_seed.fetch_add(1));
-    for (int k = 0; k < 300; ++k) {
-      const uint64_t from = base + rng.NextBelow(kAccounts) * 8;
-      uint64_t to = base + rng.NextBelow(kAccounts) * 8;
-      if (to == from) {
-        to = base + ((to - base) / 8 + 1) % kAccounts * 8;
-      }
-      rt.Execute([from, to](Tx& tx) {
-        tx.Write(from, tx.Read(from) - 1);
-        tx.Write(to, tx.Read(to) + 1);
-      });
+  for (const ChannelKind channel : kBothChannels) {
+    TmConfig tm;
+    tm.cm = CmKind::kFairCm;
+    ThreadTmHarness h(4, 1, tm, channel);
+    constexpr uint32_t kAccounts = 32;
+    const uint64_t base = h.sys->allocator().AllocGlobal(kAccounts * 8);
+    for (uint32_t a = 0; a < kAccounts; ++a) {
+      h.sys->shmem().StoreWord(base + a * 8, 100);
     }
-  });
-  h.sys->RunToCompletion();
-  uint64_t total = 0;
-  for (uint32_t a = 0; a < kAccounts; ++a) {
-    total += h.sys->shmem().LoadWord(base + a * 8);
+    std::atomic<uint32_t> next_seed{1};
+    h.SetAppBodies([base, &next_seed](CoreEnv&, TxRuntime& rt) {
+      Rng rng(next_seed.fetch_add(1));
+      for (int k = 0; k < 300; ++k) {
+        const uint64_t from = base + rng.NextBelow(kAccounts) * 8;
+        uint64_t to = base + rng.NextBelow(kAccounts) * 8;
+        if (to == from) {
+          to = base + ((to - base) / 8 + 1) % kAccounts * 8;
+        }
+        rt.Execute([from, to](Tx& tx) {
+          tx.Write(from, tx.Read(from) - 1);
+          tx.Write(to, tx.Read(to) + 1);
+        });
+      }
+    });
+    h.sys->RunToCompletion();
+    uint64_t total = 0;
+    for (uint32_t a = 0; a < kAccounts; ++a) {
+      total += h.sys->shmem().LoadWord(base + a * 8);
+    }
+    EXPECT_EQ(total, static_cast<uint64_t>(kAccounts) * 100) << ChannelKindName(channel);
   }
-  EXPECT_EQ(total, static_cast<uint64_t>(kAccounts) * 100);
 }
 
 TEST(ThreadTm, ScansSeeConsistentPairs) {

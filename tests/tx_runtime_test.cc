@@ -47,7 +47,7 @@ TEST(TxRuntime, WriteIsBufferedUntilCommit) {
   });
   sys.Run(kHorizon);
   EXPECT_EQ(mid_tx_value, 0u);
-  EXPECT_EQ(sys.sim().shmem().LoadWord(0x200), 9u);
+  EXPECT_EQ(sys.shmem().LoadWord(0x200), 9u);
 }
 
 TEST(TxRuntime, EagerModeTakesWriteLockAtWriteTime) {
@@ -206,7 +206,7 @@ TEST(TxRuntime, ElasticReadValidationFailureAborts) {
   cfg.tm.tx_mode = TxMode::kElasticRead;
   cfg.tm.elastic_window = 2;
   TmSystem sys(std::move(cfg));
-  sys.sim().shmem().StoreWord(0x900, 5);
+  sys.shmem().StoreWord(0x900, 5);
   uint64_t failures = 0;
   sys.SetAppBody(0, [&](CoreEnv& env, TxRuntime& rt) {
     int attempt = 0;
@@ -386,7 +386,7 @@ TEST(TxRuntime, ReadManyMatchesScalarReadsAndBatchesLocks) {
   for (uint64_t i = 0; i < 12; ++i) {
     const uint64_t addr = 0x2000 + i * 8;
     addrs.push_back(addr);
-    sys.sim().shmem().StoreWord(addr, 100 + i);
+    sys.shmem().StoreWord(addr, 100 + i);
   }
   std::vector<uint64_t> batched_values;
   std::vector<uint64_t> scalar_values;
@@ -508,7 +508,7 @@ TEST(TxElasticEdge, ReadManyUnderElasticEarlyMatchesScalarReads) {
     std::vector<uint64_t> addrs;
     for (uint64_t i = 0; i < 10; ++i) {
       addrs.push_back(0x900 + i * 8);
-      sys.sim().shmem().StoreWord(0x900 + i * 8, 500 + i);
+      sys.shmem().StoreWord(0x900 + i * 8, 500 + i);
     }
     std::vector<uint64_t> values;
     sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
@@ -544,7 +544,7 @@ TEST(TxElasticEdge, EarlyReleaseInterleavesWithReadManyWindow) {
   cfg.tm.max_batch = 8;
   TmSystem sys(std::move(cfg));
   for (uint64_t i = 0; i < 6; ++i) {
-    sys.sim().shmem().StoreWord(0xA00 + i * 8, 30 + i);
+    sys.shmem().StoreWord(0xA00 + i * 8, 30 + i);
   }
   std::vector<uint64_t> values;
   uint64_t releases = 0;

@@ -1,19 +1,30 @@
 #!/usr/bin/env python3
-"""Merge and validate the bench JSON documents.
+"""Merge, validate and compare the bench JSON documents.
 
 Every bench binary emits one document under the shared schema (see
-bench/bench_main.cc). `merge` combines them into BENCH_results.json;
-`validate` checks either a per-bench document or a merged file, so CI can
-gate on the schema staying intact.
+bench/bench_main.cc); the `backend` field says whether its rows were
+measured on the deterministic simulator ("sim") or on real OS threads
+("threads"), so one merged file carries both kinds side by side. `merge`
+combines documents into BENCH_results.json; `validate` checks either a
+per-bench document or a merged file, so CI can gate on the schema staying
+intact; `compare` diffs mean throughput per (bench, backend, platform)
+between two merged files and fails on regressions beyond a threshold.
 
   tools/bench_json.py merge --out BENCH_results.json [--smoke] a.json b.json ...
   tools/bench_json.py validate BENCH_results.json
+  tools/bench_json.py compare old.json new.json --max-regress=15
+
+`compare` gates sim rows only by default: they are deterministic, so any
+drift is a real code change. Native (threads) rows are wall-clock numbers
+from whatever host ran them — they are reported but only enforced with
+--gate-native (for dedicated, quiet perf hosts).
 """
 import argparse
 import json
 import sys
 
 SCHEMA_VERSION = 1
+BACKENDS = ("sim", "threads")
 
 RESULT_NUMBER_FIELDS = [
     "throughput_ops_per_ms",
@@ -60,6 +71,8 @@ def check_bench(doc):
     if doc.get("schema_version") != SCHEMA_VERSION:
         fail(f"{doc.get('bench')}: schema_version {doc.get('schema_version')} "
              f"!= {SCHEMA_VERSION}")
+    if doc.get("backend", "sim") not in BACKENDS:
+        fail(f"{doc['bench']}: backend '{doc.get('backend')}' not in {BACKENDS}")
     if not isinstance(doc.get("smoke"), bool):
         fail(f"{doc['bench']}: missing bool field 'smoke'")
     results = doc.get("results")
@@ -76,7 +89,7 @@ def cmd_merge(args):
             doc = json.load(f)
         check_bench(doc)
         benches.append(doc)
-    benches.sort(key=lambda d: d["bench"])
+    benches.sort(key=lambda d: (d["bench"], d.get("backend", "sim")))
     merged = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "bench/run_all.sh",
@@ -107,6 +120,63 @@ def cmd_validate(args):
         print(f"{args.input}: OK ({len(doc['results'])} result rows)")
 
 
+def load_benches(path):
+    """Returns the list of bench documents in a merged or per-bench file."""
+    with open(path) as f:
+        doc = json.load(f)
+    return doc["benches"] if "benches" in doc else [doc]
+
+
+def throughput_groups(benches):
+    """Mean throughput per (bench, backend, platform) across result rows."""
+    sums = {}
+    for bench in benches:
+        for result in bench.get("results", []):
+            key = (bench["bench"], bench.get("backend", "sim"),
+                   result.get("params", {}).get("platform", "-"))
+            total, count = sums.get(key, (0.0, 0))
+            sums[key] = (total + result["throughput_ops_per_ms"], count + 1)
+    return {key: total / count for key, (total, count) in sums.items() if count > 0}
+
+
+def cmd_compare(args):
+    old = throughput_groups(load_benches(args.old))
+    new = throughput_groups(load_benches(args.new))
+    regressions = []
+    advisories = []
+    print(f"{'bench':<24} {'backend':<8} {'platform':<9} "
+          f"{'old op/ms':>10} {'new op/ms':>10} {'delta %':>8}")
+    for key in sorted(set(old) | set(new)):
+        bench, backend, platform = key
+        if key not in old:
+            print(f"{bench:<24} {backend:<8} {platform:<9} {'-':>10} "
+                  f"{new[key]:>10.2f}    (new)")
+            continue
+        if key not in new:
+            print(f"{bench:<24} {backend:<8} {platform:<9} {old[key]:>10.2f} "
+                  f"{'-':>10}    (gone)")
+            continue
+        delta_pct = (100.0 * (new[key] - old[key]) / old[key]) if old[key] > 0 else 0.0
+        flag = ""
+        if delta_pct < -args.max_regress:
+            if backend == "sim" or args.gate_native:
+                regressions.append((key, delta_pct))
+                flag = "  REGRESSION"
+            else:
+                advisories.append((key, delta_pct))
+                flag = "  (native, advisory)"
+        print(f"{bench:<24} {backend:<8} {platform:<9} {old[key]:>10.2f} "
+              f"{new[key]:>10.2f} {delta_pct:>+8.1f}{flag}")
+    if advisories:
+        print(f"{len(advisories)} native group(s) regressed beyond "
+              f"{args.max_regress}% (advisory only; use --gate-native to enforce)")
+    if regressions:
+        print(f"FAIL: {len(regressions)} group(s) regressed beyond "
+              f"{args.max_regress}%", file=sys.stderr)
+        sys.exit(1)
+    print("compare: OK")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -118,6 +188,14 @@ def main():
     validate = sub.add_parser("validate")
     validate.add_argument("input")
     validate.set_defaults(fn=cmd_validate)
+    compare = sub.add_parser("compare")
+    compare.add_argument("old")
+    compare.add_argument("new")
+    compare.add_argument("--max-regress", type=float, default=15.0,
+                         help="tolerated throughput drop per group, percent")
+    compare.add_argument("--gate-native", action="store_true",
+                         help="fail on threads-backend regressions too")
+    compare.set_defaults(fn=cmd_compare)
     args = parser.parse_args()
     args.fn(args)
 
