@@ -1,0 +1,78 @@
+// YCSB-style workload on the partitioned transactional KV store
+// (src/apps/kvstore.h) — the first service-shaped scenario in the suite:
+// skewed, mixed read/write traffic against a keyed store, the KVell-style
+// workload the DS-Lock + CM machinery must survive at scale.
+//
+// Sweeps the YCSB core mixes that make sense on a hash store (A, B, C, F)
+// under scrambled-zipfian (theta = 0.99, the YCSB default) and uniform key
+// choice, for two value sizes. The store pins each partition's slab to its
+// owning DTM service core (AddressMap::AddOwnedRange), so every lock
+// acquisition routes to the partition owner; the interesting comparison is
+// how throughput degrades from C (read-only) through B/A (write contention
+// on zipfian-hot keys) to F (read-modify-write holds locks longest).
+//
+// Registered native: --backend=threads measures the same store on real OS
+// threads over the SPSC channels.
+#include "bench/workloads.h"
+
+namespace tm2c {
+namespace {
+
+struct Dist {
+  const char* name;
+  double theta;  // 0 = uniform
+};
+
+void Run(BenchContext& ctx) {
+  const uint64_t keys = ctx.smoke() ? 2048 : 16384;
+  const auto dists = ctx.Sweep<Dist>({{"zipfian", 0.99}, {"uniform", 0.0}});
+  const auto value_sizes = ctx.Sweep<uint32_t>({4, 16});
+  for (const Dist& dist : dists) {
+    const auto chooser = std::make_shared<const KeyChooser>(keys, dist.theta);
+    for (const uint32_t value_words : value_sizes) {
+      // The four mixes are not smoke-reduced: together they are one sweep
+      // point per mix and the A/B/C/F coverage is what the schema gate
+      // checks.
+      for (const YcsbMixSpec& mix : YcsbCoreMixes()) {
+        RunSpec spec = ctx.Spec(25, 11);
+        spec.total_cores = ctx.Cores(48);
+        TmSystem sys(MakeConfig(spec));
+        const uint32_t parts = sys.deployment().num_service();
+        KvStoreConfig kcfg;
+        kcfg.value_words = value_words;
+        // Load factor ~4 per bucket; 2x headroom over the mean residency
+        // for hash imbalance across partitions.
+        kcfg.buckets_per_partition =
+            static_cast<uint32_t>(std::max<uint64_t>(16, keys / (uint64_t{parts} * 4)));
+        kcfg.capacity_per_partition =
+            static_cast<uint32_t>(2 * keys / parts + 64);
+        KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(),
+                      kcfg);
+        FillKvStore(store, keys);
+        LatencySampler lat;
+        InstallLoopBodies(sys, spec.duration, spec.seed, YcsbMix(&store, mix, chooser),
+                          &lat);
+        sys.Run(spec.duration);
+        BenchRow row;
+        row.Param("workload", mix.name)
+            .Param("dist", dist.name)
+            .Param("value_words", uint64_t{value_words})
+            .Param("platform", spec.platform_name)
+            .Param("cores", uint64_t{spec.total_cores})
+            .Tx(sys, spec.duration, lat)
+            .Extra("theta", dist.theta)
+            .Extra("keys", static_cast<double>(keys))
+            .Extra("read_pct", mix.read_pct)
+            .Extra("resident_keys", static_cast<double>(store.HostSize()));
+        ctx.Report(row);
+      }
+    }
+  }
+}
+
+TM2C_REGISTER_BENCH_NATIVE("ycsb_kv", "kv",
+                           "YCSB A/B/C/F on the partitioned transactional KV store",
+                           &Run);
+
+}  // namespace
+}  // namespace tm2c

@@ -34,6 +34,7 @@ BENCHES=(
   bench_fig8a_latency
   bench_micro
   bench_platforms
+  bench_ycsb
 )
 
 build_dir=build

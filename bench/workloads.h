@@ -1,10 +1,15 @@
-// The paper's workload mixes, shared by the figure benches.
+// The paper's workload mixes, shared by the figure benches, plus the
+// YCSB-style key-value mixes for bench_ycsb.
 #ifndef TM2C_BENCH_WORKLOADS_H_
 #define TM2C_BENCH_WORKLOADS_H_
+
+#include <cmath>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/apps/bank.h"
 #include "src/apps/hash_table.h"
+#include "src/apps/kvstore.h"
 #include "src/apps/linked_list.h"
 
 namespace tm2c {
@@ -146,6 +151,147 @@ inline uint64_t FillList(ShmSortedList& list, ShmAllocator& allocator, Rng& rng,
     }
   }
   return key_range;
+}
+
+// ---------------------------------------------------------------------------
+// YCSB-style key-value workload (bench_ycsb)
+// ---------------------------------------------------------------------------
+
+// Zipfian rank generator over [0, n), Gray et al.'s "Quickly generating
+// billion-record synthetic databases" rejection-free algorithm (the one
+// YCSB uses). theta in (0, 1); YCSB's default skew is theta = 0.99, where
+// the hottest key draws a few percent of all requests. Ranks are scrambled
+// through a full-avalanche hash before use (YCSB's "scrambled zipfian") so
+// the hot keys spread over the whole keyspace instead of clustering at the
+// low ids — without it, hot keys would also share store partitions.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    TM2C_CHECK(n >= 2 && theta > 0.0 && theta < 1.0);
+    zetan_ = Zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - Zeta(2, theta) / zetan_);
+  }
+
+  // Next rank, 0 = the hottest. O(1) per draw.
+  uint64_t NextRank(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_, alpha_, zetan_, eta_;
+};
+
+// Draws keys in [1, num_keys] (keys are non-zero), either uniformly or
+// zipfian-skewed with scrambling. theta == 0 selects uniform. Stateless
+// per draw, so one shared instance serves every core.
+class KeyChooser {
+ public:
+  KeyChooser(uint64_t num_keys, double theta) : num_keys_(num_keys) {
+    if (theta > 0.0) {
+      zipf_ = std::make_unique<ZipfianGenerator>(num_keys, theta);
+    }
+  }
+
+  uint64_t Next(Rng& rng) const {
+    if (zipf_ == nullptr) {
+      return 1 + rng.NextBelow(num_keys_);
+    }
+    // FNV-1a-style scramble of the rank (see ZipfianGenerator).
+    uint64_t h = zipf_->NextRank(rng) * 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return 1 + h % num_keys_;
+  }
+
+  uint64_t num_keys() const { return num_keys_; }
+
+ private:
+  uint64_t num_keys_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+};
+
+// The YCSB core workload mixes that make sense on a hash store. Every
+// operation targets one key drawn from the chooser. Updates overwrite the
+// whole value (YCSB writes whole records); workload F's read-modify-write
+// increments the first value word inside one transaction.
+//
+//   A: 50% read / 50% update   (session store)
+//   B: 95% read /  5% update   (photo tagging)
+//   C: 100% read               (profile cache)
+//   F: 50% read / 50% RMW      (user database)
+struct YcsbMixSpec {
+  const char* name;
+  uint32_t read_pct;
+  uint32_t update_pct;
+  uint32_t rmw_pct;
+};
+
+inline const std::vector<YcsbMixSpec>& YcsbCoreMixes() {
+  static const std::vector<YcsbMixSpec> mixes = {
+      {"A", 50, 50, 0},
+      {"B", 95, 5, 0},
+      {"C", 100, 0, 0},
+      {"F", 50, 0, 50},
+  };
+  return mixes;
+}
+
+inline OpFn YcsbMix(KvStore* store, const YcsbMixSpec& mix,
+                    std::shared_ptr<const KeyChooser> keys) {
+  // The update-value buffer lives in the lambda (one per core:
+  // InstallLoopBodies copies the OpFn per body) so value generation adds
+  // no per-op allocation. The store wrappers' ReadMany plumbing still
+  // allocates small scratch vectors per call — equally on every path and
+  // every bench that uses the Tx API, so relative numbers are unaffected.
+  return [store, mix, keys,
+          value = std::vector<uint64_t>(store->value_words())](
+             CoreEnv& env, TxRuntime& rt, Rng& rng) mutable {
+    env.Compute(kOpOverheadCycles);
+    const uint64_t key = keys->Next(rng);
+    const uint64_t roll = rng.NextBelow(100);
+    if (roll < mix.read_pct) {
+      store->Get(rt, key, nullptr);
+    } else if (roll < mix.read_pct + mix.update_pct) {
+      for (uint64_t& w : value) {
+        w = rng.Next();
+      }
+      store->Put(rt, key, value.data());
+    } else {
+      store->ReadModifyWrite(rt, key, [](uint64_t* v) { v[0] += 1; });
+    }
+  };
+}
+
+// Load phase: every key in [1, num_keys] resident, with a deterministic
+// value derived from the key (host-side, zero simulated cost).
+inline void FillKvStore(KvStore& store, uint64_t num_keys) {
+  std::vector<uint64_t> value(store.value_words());
+  for (uint64_t key = 1; key <= num_keys; ++key) {
+    for (uint32_t w = 0; w < store.value_words(); ++w) {
+      value[w] = key * 1000003 + w;
+    }
+    store.HostPut(key, value.data());
+  }
 }
 
 }  // namespace tm2c

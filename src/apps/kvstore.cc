@@ -1,0 +1,466 @@
+#include "src/apps/kvstore.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tm2c {
+
+KvStore::KvStore(ShmAllocator& allocator, SharedMemory& mem, AddressMap& map,
+                 const DeploymentPlan& plan, KvStoreConfig cfg)
+    : mem_(&mem), cfg_(cfg), plan_(&plan) {
+  TM2C_CHECK(cfg_.buckets_per_partition >= 1);
+  TM2C_CHECK(cfg_.value_words >= 1);
+  TM2C_CHECK(cfg_.capacity_per_partition >= 1);
+  const uint32_t num_parts = plan.num_service();
+  TM2C_CHECK(num_parts >= 1);
+
+  const uint64_t stripe = map.stripe_bytes();
+  const uint64_t raw_bytes =
+      (cfg_.buckets_per_partition + uint64_t{cfg_.capacity_per_partition} * node_words()) *
+      kWordBytes;
+  const uint64_t slab_bytes = (raw_bytes + stripe - 1) / stripe * stripe;
+  parts_.reserve(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    auto part = std::make_unique<Partition>();
+    // Over-allocate by one stripe so the slab can be aligned to a stripe
+    // boundary (AddOwnedRange requires it; a stripe must not straddle
+    // partitions). Placed near the owning service core: the partition that
+    // serves the locks also sits next to the memory.
+    const uint64_t raw = allocator.Alloc(slab_bytes + stripe, plan.ServiceCore(p));
+    part->slab_base = (raw + stripe - 1) / stripe * stripe;
+    part->slab_bytes = slab_bytes;
+    part->pool_base = part->slab_base + uint64_t{cfg_.buckets_per_partition} * kWordBytes;
+    map.AddOwnedRange(part->slab_base, part->slab_bytes, p);
+    // The allocator may hand back recycled memory; the store's invariants
+    // (0 = null pointer / empty bucket) need a clean slab.
+    for (uint64_t off = 0; off < slab_bytes; off += kWordBytes) {
+      mem_->StoreWord(part->slab_base + off, 0);
+    }
+    parts_.push_back(std::move(part));
+  }
+}
+
+uint64_t KvStore::Hash(uint64_t key) {
+  // MurmurHash3 finalizer: full-avalanche, so the partition (low half) and
+  // bucket (high half) selections are decorrelated.
+  uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+uint32_t KvStore::PartitionOfKey(uint64_t key) const {
+  return static_cast<uint32_t>(Hash(key)) % num_partitions();
+}
+
+uint32_t KvStore::OwnerCore(uint64_t key) const {
+  return plan_->ServiceCore(PartitionOfKey(key));
+}
+
+uint32_t KvStore::BucketIndexOf(uint64_t key) const {
+  return static_cast<uint32_t>(Hash(key) >> 32) % cfg_.buckets_per_partition;
+}
+
+uint64_t KvStore::BucketAddrAt(uint32_t partition, uint32_t bucket) const {
+  return parts_[partition]->slab_base + uint64_t{bucket} * kWordBytes;
+}
+
+uint64_t KvStore::BucketAddr(uint64_t key) const {
+  return BucketAddrAt(PartitionOfKey(key), BucketIndexOf(key));
+}
+
+std::pair<uint64_t, uint64_t> KvStore::SlabRange(uint32_t partition) const {
+  TM2C_CHECK(partition < parts_.size());
+  return {parts_[partition]->slab_base, parts_[partition]->slab_bytes};
+}
+
+uint64_t KvStore::NodesInUse(uint32_t partition) const {
+  TM2C_CHECK(partition < parts_.size());
+  std::lock_guard<std::mutex> lock(parts_[partition]->mu);
+  return parts_[partition]->in_use;
+}
+
+uint64_t KvStore::AllocNode(uint32_t partition) {
+  Partition& part = *parts_[partition];
+  std::lock_guard<std::mutex> lock(part.mu);
+  uint64_t node = 0;
+  if (!part.free_nodes.empty()) {
+    node = part.free_nodes.back();
+    part.free_nodes.pop_back();
+  } else if (part.next_unused < cfg_.capacity_per_partition) {
+    node = part.pool_base + uint64_t{part.next_unused} * node_bytes();
+    ++part.next_unused;
+  }
+  if (node != 0) {
+    ++part.in_use;
+  }
+  return node;
+}
+
+void KvStore::FreeNode(uint32_t partition, uint64_t node) {
+  Partition& part = *parts_[partition];
+  std::lock_guard<std::mutex> lock(part.mu);
+  TM2C_DCHECK(part.in_use > 0);
+  --part.in_use;
+  part.free_nodes.push_back(node);
+}
+
+// ---------------------------------------------------------------------------
+// Composable transactional operations
+// ---------------------------------------------------------------------------
+
+// A chain can never legally hold more nodes than the partition pool owns,
+// so every chain walk is bounded by capacity_per_partition. The bound only
+// bites when the structure is corrupted — which cannot happen under the
+// intact protocol, but is the expected outcome of the planted FaultModes
+// the verification harness runs: a lost link update can weave a cycle into
+// a chain, and an unbounded traversal would wedge the checked run instead
+// of letting the oracle flag the corruption. Past the bound the walk gives
+// up (not-found / partial scan): a bounded wrong answer the invariants see.
+uint64_t KvStore::TxLocate(Tx& tx, uint64_t key, uint64_t* prev_link) const {
+  TM2C_DCHECK(key != 0);
+  uint64_t prev = BucketAddr(key);
+  uint64_t node = tx.Read(prev);
+  uint32_t steps = 0;
+  while (node != 0 && ++steps <= cfg_.capacity_per_partition) {
+    const uint64_t node_key = tx.Read(KeyAddr(node));
+    if (node_key == key) {
+      *prev_link = prev;
+      return node;
+    }
+    if (node_key > key) {
+      break;  // sorted chain: passed the insertion point
+    }
+    prev = NextAddr(node);
+    node = tx.Read(prev);
+  }
+  *prev_link = prev;
+  return 0;
+}
+
+bool KvStore::TxGet(Tx& tx, uint64_t key, uint64_t* value) const {
+  uint64_t prev_link = 0;
+  const uint64_t node = TxLocate(tx, key, &prev_link);
+  if (node == 0) {
+    return false;
+  }
+  std::vector<uint64_t> addrs(cfg_.value_words);
+  for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+    addrs[w] = ValueAddr(node) + uint64_t{w} * kWordBytes;
+  }
+  const std::vector<uint64_t> vals = tx.ReadMany(addrs);
+  std::copy(vals.begin(), vals.end(), value);
+  return true;
+}
+
+void KvStore::TxLinkNew(Tx& tx, uint64_t prev_link, uint64_t node, uint64_t key,
+                        const uint64_t* value) const {
+  // The successor is the node the locate loop stopped at: re-read the link
+  // (served from the attempt's read cache, no extra round trip). The link
+  // word is written last — the node is fully initialized before it is
+  // reachable.
+  const uint64_t succ = tx.Read(prev_link);
+  tx.Write(KeyAddr(node), key);
+  tx.Write(NextAddr(node), succ);
+  for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+    tx.Write(ValueAddr(node) + uint64_t{w} * kWordBytes, value[w]);
+  }
+  tx.Write(prev_link, node);
+}
+
+bool KvStore::TxPut(Tx& tx, uint64_t key, const uint64_t* value, uint64_t node_addr) const {
+  uint64_t prev_link = 0;
+  const uint64_t node = TxLocate(tx, key, &prev_link);
+  if (node != 0) {
+    for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+      tx.Write(ValueAddr(node) + uint64_t{w} * kWordBytes, value[w]);
+    }
+    return false;
+  }
+  TM2C_CHECK_MSG(node_addr != 0, "KvStore insert needs a node (partition pool exhausted?)");
+  TxLinkNew(tx, prev_link, node_addr, key, value);
+  return true;
+}
+
+bool KvStore::TxDelete(Tx& tx, uint64_t key, uint64_t* old_value,
+                       uint64_t* removed_node) const {
+  uint64_t prev_link = 0;
+  const uint64_t node = TxLocate(tx, key, &prev_link);
+  if (node == 0) {
+    return false;
+  }
+  if (old_value != nullptr) {
+    std::vector<uint64_t> addrs(cfg_.value_words);
+    for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+      addrs[w] = ValueAddr(node) + uint64_t{w} * kWordBytes;
+    }
+    const std::vector<uint64_t> vals = tx.ReadMany(addrs);
+    std::copy(vals.begin(), vals.end(), old_value);
+  }
+  tx.Write(prev_link, tx.Read(NextAddr(node)));
+  if (removed_node != nullptr) {
+    *removed_node = node;
+  }
+  return true;
+}
+
+bool KvStore::TxReadModifyWrite(Tx& tx, uint64_t key,
+                                const std::function<void(uint64_t*)>& fn) const {
+  uint64_t prev_link = 0;
+  const uint64_t node = TxLocate(tx, key, &prev_link);
+  if (node == 0) {
+    return false;
+  }
+  std::vector<uint64_t> addrs(cfg_.value_words);
+  for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+    addrs[w] = ValueAddr(node) + uint64_t{w} * kWordBytes;
+  }
+  std::vector<uint64_t> vals = tx.ReadMany(addrs);
+  fn(vals.data());
+  for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+    tx.Write(addrs[w], vals[w]);
+  }
+  return true;
+}
+
+uint32_t KvStore::TxScan(Tx& tx, uint64_t start_key, uint32_t limit,
+                         std::vector<KvEntry>* out) const {
+  TM2C_DCHECK(start_key != 0);
+  constexpr uint32_t kHeadBatch = 8;
+  const uint32_t partition = PartitionOfKey(start_key);
+  const uint32_t first_bucket = BucketIndexOf(start_key);
+  const uint32_t num_buckets = cfg_.buckets_per_partition;
+  uint32_t appended = 0;
+  uint32_t visited = 0;
+  while (visited < num_buckets && appended < limit) {
+    const uint32_t window = std::min(kHeadBatch, num_buckets - visited);
+    std::vector<uint64_t> head_addrs(window);
+    for (uint32_t i = 0; i < window; ++i) {
+      head_addrs[i] = BucketAddrAt(partition, (first_bucket + visited + i) % num_buckets);
+    }
+    const std::vector<uint64_t> heads = tx.ReadMany(head_addrs);
+    for (uint32_t i = 0; i < window && appended < limit; ++i) {
+      uint64_t node = heads[i];
+      uint32_t steps = 0;  // corruption bound, see TxLocate
+      while (node != 0 && appended < limit && ++steps <= cfg_.capacity_per_partition) {
+        const uint64_t node_key = tx.Read(KeyAddr(node));
+        // In the start bucket, skip the sorted prefix below start_key.
+        if (visited + i > 0 || node_key >= start_key) {
+          KvEntry entry;
+          entry.key = node_key;
+          std::vector<uint64_t> addrs(cfg_.value_words);
+          for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+            addrs[w] = ValueAddr(node) + uint64_t{w} * kWordBytes;
+          }
+          entry.value = tx.ReadMany(addrs);
+          out->push_back(std::move(entry));
+          ++appended;
+        }
+        node = tx.Read(NextAddr(node));
+      }
+    }
+    visited += window;
+  }
+  return appended;
+}
+
+// ---------------------------------------------------------------------------
+// One-transaction wrappers
+// ---------------------------------------------------------------------------
+
+bool KvStore::Get(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* value) const {
+  bool found = false;
+  std::vector<uint64_t> buf(cfg_.value_words);
+  rt.Execute([&](Tx& tx) { found = TxGet(tx, key, buf.data()); });
+  if (found && value != nullptr) {
+    *value = std::move(buf);
+  }
+  return found;
+}
+
+bool KvStore::Put(TxRuntime& rt, uint64_t key, const uint64_t* value) {
+  const uint32_t partition = PartitionOfKey(key);
+  uint64_t node = 0;  // allocated lazily on first miss, reused across retries
+  bool inserted = false;
+  rt.Execute([&](Tx& tx) {
+    uint64_t prev_link = 0;
+    const uint64_t found = TxLocate(tx, key, &prev_link);
+    if (found != 0) {
+      for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+        tx.Write(ValueAddr(found) + uint64_t{w} * kWordBytes, value[w]);
+      }
+      inserted = false;
+      return;
+    }
+    if (node == 0) {
+      node = AllocNode(partition);
+    }
+    TM2C_CHECK_MSG(node != 0, "KvStore insert needs a node (partition pool exhausted?)");
+    TxLinkNew(tx, prev_link, node, key, value);
+    inserted = true;
+  });
+  if (!inserted && node != 0) {
+    FreeNode(partition, node);  // a retry switched from insert to update
+  }
+  return inserted;
+}
+
+bool KvStore::Insert(TxRuntime& rt, uint64_t key, const uint64_t* value) {
+  const uint32_t partition = PartitionOfKey(key);
+  uint64_t node = 0;
+  bool inserted = false;
+  rt.Execute([&](Tx& tx) {
+    uint64_t prev_link = 0;
+    if (TxLocate(tx, key, &prev_link) != 0) {
+      inserted = false;  // present: insert-only leaves the value alone
+      return;
+    }
+    if (node == 0) {
+      node = AllocNode(partition);
+    }
+    TM2C_CHECK_MSG(node != 0, "KvStore insert needs a node (partition pool exhausted?)");
+    TxLinkNew(tx, prev_link, node, key, value);
+    inserted = true;
+  });
+  if (!inserted && node != 0) {
+    FreeNode(partition, node);
+  }
+  return inserted;
+}
+
+bool KvStore::Delete(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* old_value) {
+  const uint32_t partition = PartitionOfKey(key);
+  bool removed = false;
+  uint64_t removed_node = 0;
+  std::vector<uint64_t> buf(cfg_.value_words);
+  rt.Execute([&](Tx& tx) {
+    removed_node = 0;
+    removed = TxDelete(tx, key, old_value != nullptr ? buf.data() : nullptr, &removed_node);
+  });
+  if (removed) {
+    if (old_value != nullptr) {
+      *old_value = std::move(buf);
+    }
+    // Recycle only after the unlink committed: until then another attempt
+    // could still need the node in place.
+    if (cfg_.reuse_nodes && removed_node != 0) {
+      FreeNode(partition, removed_node);
+    }
+  }
+  return removed;
+}
+
+bool KvStore::ReadModifyWrite(TxRuntime& rt, uint64_t key,
+                              const std::function<void(uint64_t*)>& fn) const {
+  bool found = false;
+  rt.Execute([&](Tx& tx) { found = TxReadModifyWrite(tx, key, fn); });
+  return found;
+}
+
+std::vector<KvEntry> KvStore::Scan(TxRuntime& rt, uint64_t start_key, uint32_t limit) const {
+  std::vector<KvEntry> out;
+  rt.Execute([&](Tx& tx) {
+    out.clear();  // an aborted attempt may have appended partial results
+    TxScan(tx, start_key, limit, &out);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Host-side helpers
+// ---------------------------------------------------------------------------
+
+bool KvStore::HostPut(uint64_t key, const uint64_t* value) {
+  TM2C_DCHECK(key != 0);
+  const uint32_t partition = PartitionOfKey(key);
+  uint64_t prev_link = BucketAddr(key);
+  uint64_t node = mem_->LoadWord(prev_link);
+  uint32_t steps = 0;  // corruption bound, see TxLocate
+  while (node != 0 && ++steps <= cfg_.capacity_per_partition) {
+    const uint64_t node_key = mem_->LoadWord(KeyAddr(node));
+    if (node_key == key) {
+      for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+        mem_->StoreWord(ValueAddr(node) + uint64_t{w} * kWordBytes, value[w]);
+      }
+      return false;
+    }
+    if (node_key > key) {
+      break;
+    }
+    prev_link = NextAddr(node);
+    node = mem_->LoadWord(prev_link);
+  }
+  const uint64_t fresh = AllocNode(partition);
+  TM2C_CHECK_MSG(fresh != 0, "KvStore load exceeds capacity_per_partition");
+  mem_->StoreWord(KeyAddr(fresh), key);
+  mem_->StoreWord(NextAddr(fresh), node);
+  for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+    mem_->StoreWord(ValueAddr(fresh) + uint64_t{w} * kWordBytes, value[w]);
+  }
+  mem_->StoreWord(prev_link, fresh);
+  return true;
+}
+
+bool KvStore::HostGet(uint64_t key, uint64_t* value) const {
+  uint64_t node = mem_->LoadWord(BucketAddr(key));
+  uint32_t steps = 0;  // corruption bound, see TxLocate
+  while (node != 0 && ++steps <= cfg_.capacity_per_partition) {
+    const uint64_t node_key = mem_->LoadWord(KeyAddr(node));
+    if (node_key == key) {
+      for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+        value[w] = mem_->LoadWord(ValueAddr(node) + uint64_t{w} * kWordBytes);
+      }
+      return true;
+    }
+    if (node_key > key) {
+      return false;
+    }
+    node = mem_->LoadWord(NextAddr(node));
+  }
+  return false;
+}
+
+uint64_t KvStore::HostSizeOfPartition(uint32_t partition) const {
+  TM2C_CHECK(partition < parts_.size());
+  uint64_t count = 0;
+  for (uint32_t b = 0; b < cfg_.buckets_per_partition; ++b) {
+    uint64_t node = mem_->LoadWord(BucketAddrAt(partition, b));
+    uint32_t steps = 0;  // corruption bound, see TxLocate
+    while (node != 0 && ++steps <= cfg_.capacity_per_partition) {
+      ++count;
+      node = mem_->LoadWord(NextAddr(node));
+    }
+  }
+  return count;
+}
+
+uint64_t KvStore::HostSize() const {
+  uint64_t count = 0;
+  for (uint32_t p = 0; p < num_partitions(); ++p) {
+    count += HostSizeOfPartition(p);
+  }
+  return count;
+}
+
+void KvStore::HostForEach(const std::function<void(uint64_t, const uint64_t*)>& fn) const {
+  std::vector<uint64_t> value(cfg_.value_words);
+  for (uint32_t p = 0; p < num_partitions(); ++p) {
+    for (uint32_t b = 0; b < cfg_.buckets_per_partition; ++b) {
+      uint64_t node = mem_->LoadWord(BucketAddrAt(p, b));
+      uint32_t steps = 0;  // corruption bound, see TxLocate
+      while (node != 0 && ++steps <= cfg_.capacity_per_partition) {
+        for (uint32_t w = 0; w < cfg_.value_words; ++w) {
+          value[w] = mem_->LoadWord(ValueAddr(node) + uint64_t{w} * kWordBytes);
+        }
+        fn(mem_->LoadWord(KeyAddr(node)), value.data());
+        node = mem_->LoadWord(NextAddr(node));
+      }
+    }
+  }
+}
+
+}  // namespace tm2c

@@ -1,0 +1,197 @@
+// Partitioned transactional key-value store (the service-shaped workload).
+//
+// The store divides its keyspace into one partition per DTM service core
+// and lays each partition's memory — a bucket array plus a node pool — in
+// its own slab, registered with AddressMap::AddOwnedRange so every lock
+// acquisition for a partition's data is routed to the partition's owning
+// service core. This is the KVell share-little design: each service core
+// owns the locks (and, via the locality-aware allocator, usually the
+// memory controller) of exactly the keys that hash to it, so a mixed
+// read/write workload decomposes into per-core request streams instead of
+// scattering every transaction across all partitions.
+//
+// Within a partition, keys hash to chained buckets; each bucket is a
+// singly linked list sorted by key. Keys are non-zero 64-bit integers; 0
+// is the null pointer. Values are a fixed number of words
+// (KvStoreConfig::value_words), stored inline in the node:
+//
+//   node layout: [key][next][v0][v1]...[v_{value_words-1}]
+//
+// Operations: Get / Put (insert-or-update) / Delete / ReadModifyWrite,
+// plus a bounded Scan whose bucket-head traversal goes through
+// Tx::ReadMany — under the batched protocol that amortizes the lock
+// round trips, and under the elastic modes it is exactly the paper's
+// Section 6 traversal (a sliding window of protected reads).
+//
+// Deleted nodes are recycled through a per-partition free list (a real
+// store cannot leak memory under a delete/reinsert workload); recycling is
+// safe because every node word is read and written under the DS-Lock
+// protocol — address reuse is just another write-after-release. The chaos
+// harness (tm2c_check --workload=kv) sweeps exactly this: lost updates on
+// hot keys and delete/reinsert node reuse under adversarial schedules.
+//
+// Three access modes share the layout, as in the other apps:
+//  - Tx* methods compose inside a caller-provided transaction,
+//  - wrapper methods run their own transaction via a TxRuntime, handling
+//    node allocation/recycling across retries,
+//  - Host* helpers touch memory directly at zero simulated cost for the
+//    load phase and for verification.
+#ifndef TM2C_SRC_APPS_KVSTORE_H_
+#define TM2C_SRC_APPS_KVSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/core_env.h"
+#include "src/shmem/allocator.h"
+#include "src/tm/address_map.h"
+#include "src/tm/tx_runtime.h"
+
+namespace tm2c {
+
+struct KvStoreConfig {
+  // Buckets per partition; keys hash to (partition, bucket) independently.
+  uint32_t buckets_per_partition = 64;
+  // Inline value payload, in words (>= 1).
+  uint32_t value_words = 1;
+  // Node-pool capacity per partition: the maximum number of resident
+  // entries a partition can hold (plus, with reuse off, every node ever
+  // deleted). Sized by the caller; exhaustion is a checked error.
+  uint32_t capacity_per_partition = 1024;
+  // Recycle deleted nodes through the partition free list. On by default;
+  // tests turn it off to compare against the synchrobench-style leak.
+  bool reuse_nodes = true;
+};
+
+struct KvEntry {
+  uint64_t key = 0;
+  std::vector<uint64_t> value;
+};
+
+class KvStore {
+ public:
+  // Carves one slab per DTM partition out of `allocator` (placed near the
+  // owning service core) and registers each slab with `map` so the
+  // partition's lock traffic routes to its owner. Registration happens
+  // here, at setup time — construct the store before the system runs.
+  // Typical wiring from a TmSystem `sys`:
+  //   KvStore store(sys.allocator(), sys.shmem(), sys.address_map(),
+  //                 sys.deployment(), cfg);
+  KvStore(ShmAllocator& allocator, SharedMemory& mem, AddressMap& map,
+          const DeploymentPlan& plan, KvStoreConfig cfg);
+
+  // -- Composable transactional operations --------------------------------
+  // Reads `key`'s value into value[0..value_words) (batched via ReadMany).
+  // Returns false when the key is absent.
+  bool TxGet(Tx& tx, uint64_t key, uint64_t* value) const;
+  // Insert-or-update. On update the value is written in place and the
+  // caller keeps `node_addr` (returns false: node not consumed). On insert
+  // `node_addr` is linked in (returns true: node consumed).
+  bool TxPut(Tx& tx, uint64_t key, const uint64_t* value, uint64_t node_addr) const;
+  // Unlinks `key`. When present, the removed value is read into
+  // `old_value` (if non-null) and the removed node's address is stored in
+  // `removed_node` (if non-null) so the caller can recycle it after the
+  // transaction commits. Returns false when the key is absent.
+  bool TxDelete(Tx& tx, uint64_t key, uint64_t* old_value, uint64_t* removed_node) const;
+  // Reads the value, applies `fn` to it in place, writes it back. Returns
+  // false when the key is absent. `fn` must be side-effect-free: it runs
+  // once per attempt.
+  bool TxReadModifyWrite(Tx& tx, uint64_t key,
+                         const std::function<void(uint64_t*)>& fn) const;
+  // Bounded scan, hash-ordered (the honest semantics of a hash store):
+  // walks the owning partition's buckets starting at `start_key`'s bucket
+  // (within that first bucket, at the first key >= start_key), wrapping
+  // around the partition, and appends entries to `out` until `limit`
+  // entries were collected or the whole partition was visited. Bucket
+  // heads are read in ReadMany batches; chains are walked read-by-read.
+  // Returns the number of entries appended.
+  uint32_t TxScan(Tx& tx, uint64_t start_key, uint32_t limit,
+                  std::vector<KvEntry>* out) const;
+
+  // -- One-transaction wrappers -------------------------------------------
+  bool Get(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* value) const;
+  // Returns true if the key was inserted, false if an existing value was
+  // overwritten. `value` must point at value_words() words.
+  bool Put(TxRuntime& rt, uint64_t key, const uint64_t* value);
+  // Returns true if the key was removed; the removed value lands in
+  // `old_value` (if non-null). The node returns to the partition pool.
+  bool Delete(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* old_value = nullptr);
+  // Insert-only variant: returns false (and writes nothing) when the key
+  // already exists. The conservation-checked chaos workload needs "put if
+  // absent" — a blind Put would overwrite a concurrent counter.
+  bool Insert(TxRuntime& rt, uint64_t key, const uint64_t* value);
+  bool ReadModifyWrite(TxRuntime& rt, uint64_t key,
+                       const std::function<void(uint64_t*)>& fn) const;
+  std::vector<KvEntry> Scan(TxRuntime& rt, uint64_t start_key, uint32_t limit) const;
+
+  // -- Host-side helpers (zero simulated cost; load phase + verification) --
+  bool HostPut(uint64_t key, const uint64_t* value);  // insert-or-update
+  bool HostGet(uint64_t key, uint64_t* value) const;
+  uint64_t HostSize() const;
+  uint64_t HostSizeOfPartition(uint32_t partition) const;
+  // Invokes fn(key, value_ptr) for every resident entry (host-side).
+  void HostForEach(const std::function<void(uint64_t, const uint64_t*)>& fn) const;
+
+  // -- Introspection -------------------------------------------------------
+  uint32_t PartitionOfKey(uint64_t key) const;
+  uint32_t OwnerCore(uint64_t key) const;  // service core of the partition
+  uint32_t num_partitions() const { return static_cast<uint32_t>(parts_.size()); }
+  uint32_t value_words() const { return cfg_.value_words; }
+  uint32_t buckets_per_partition() const { return cfg_.buckets_per_partition; }
+  // [base, base + bytes) of a partition's slab, for tests and the chaos
+  // harness's initial-state recording.
+  std::pair<uint64_t, uint64_t> SlabRange(uint32_t partition) const;
+  // Live nodes currently allocated out of a partition's pool.
+  uint64_t NodesInUse(uint32_t partition) const;
+
+  uint64_t node_words() const { return 2 + cfg_.value_words; }
+  uint64_t node_bytes() const { return node_words() * kWordBytes; }
+
+ private:
+  struct Partition {
+    uint64_t slab_base = 0;   // stripe-aligned, registered with the map
+    uint64_t slab_bytes = 0;
+    uint64_t pool_base = 0;   // first node of the pool
+    uint32_t next_unused = 0; // bump index into the pool
+    std::vector<uint64_t> free_nodes;
+    uint64_t in_use = 0;
+    // Wrappers on the thread backend allocate/recycle concurrently.
+    std::mutex mu;
+  };
+
+  // 64-bit finalizer; low half selects the partition, high half the bucket.
+  static uint64_t Hash(uint64_t key);
+  uint32_t BucketIndexOf(uint64_t key) const;
+  uint64_t BucketAddr(uint64_t key) const;
+  uint64_t BucketAddrAt(uint32_t partition, uint32_t bucket) const;
+  static uint64_t KeyAddr(uint64_t node) { return node; }
+  static uint64_t NextAddr(uint64_t node) { return node + kWordBytes; }
+  static uint64_t ValueAddr(uint64_t node) { return node + 2 * kWordBytes; }
+
+  // Pool management (host-side metadata). AllocNode returns 0 on
+  // exhaustion; the wrappers turn that into a checked error.
+  uint64_t AllocNode(uint32_t partition);
+  void FreeNode(uint32_t partition, uint64_t node);
+
+  // Walks the bucket chain for `key`. Returns the node address (0 when
+  // absent) and stores the address of the link pointing at it (the bucket
+  // head or a predecessor's next word) in `prev_link`.
+  uint64_t TxLocate(Tx& tx, uint64_t key, uint64_t* prev_link) const;
+  // Links `node` in at `prev_link` (as returned by a missing TxLocate):
+  // fills key/next/value, then publishes by writing the link word last.
+  void TxLinkNew(Tx& tx, uint64_t prev_link, uint64_t node, uint64_t key,
+                 const uint64_t* value) const;
+
+  SharedMemory* mem_;
+  KvStoreConfig cfg_;
+  const DeploymentPlan* plan_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_APPS_KVSTORE_H_

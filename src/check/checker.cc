@@ -2,12 +2,17 @@
 
 #include <vector>
 
+#include "src/apps/kvstore.h"
 #include "src/common/rng.h"
 
 namespace tm2c {
 
 std::string CheckRunConfig::Name() const {
   std::string name = platform;
+  if (workload != CheckWorkload::kBank) {
+    name += "_";
+    name += CheckWorkloadName(workload);
+  }
   name += "_";
   name += CmKindName(cm);
   name += tx_mode == TxMode::kNormal ? "_normal"
@@ -41,7 +46,9 @@ ChaosConfig DefaultChaos(uint64_t seed) {
   return chaos;
 }
 
-CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
+namespace {
+
+TmSystemConfig MakeCheckedSystemConfig(const CheckRunConfig& cfg) {
   TmSystemConfig sys_cfg;
   sys_cfg.sim.platform = PlatformByName(cfg.platform);
   sys_cfg.sim.num_cores = cfg.num_cores;
@@ -56,7 +63,11 @@ CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
   sys_cfg.tm.write_acquire = cfg.write_acquire;
   sys_cfg.tm.max_batch = cfg.max_batch;
   sys_cfg.tm.fault = cfg.fault;
-  TmSystem sys(std::move(sys_cfg));
+  return sys_cfg;
+}
+
+CheckRunResult RunCheckedBankWorkload(const CheckRunConfig& cfg) {
+  TmSystem sys(MakeCheckedSystemConfig(cfg));
 
   CheckRunResult result;
 
@@ -167,6 +178,158 @@ CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
   }
 
   return result;
+}
+
+// The KV-store chaos mix. Every value word is (unique write tag << 32) |
+// counter, the same attribution discipline as the bank workload: the low
+// half carries the conserved counter, the high half makes every committed
+// value write globally unique so the oracle (and elastic value validation)
+// can never confuse two writes. Structure words (bucket heads, next
+// pointers) necessarily repeat values across delete/reinsert cycles; the
+// oracle's sequence-exact attribution handles that, and the conservation
+// check below catches what per-address checks cannot: an update applied to
+// a node that a concurrent delete had already unlinked (the delete/
+// reinsert ABA) leaves the live counters short.
+CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
+  TmSystem sys(MakeCheckedSystemConfig(cfg));
+
+  CheckRunResult result;
+
+  constexpr uint64_t kInitial = 1000;
+  constexpr uint64_t kCounterMask = 0xffffffffull;
+  KvStoreConfig kv_cfg;
+  kv_cfg.value_words = 1;
+  // Tiny and hot on purpose: few buckets so chains exist (traversals
+  // overlap), capacity just above the keyspace so recycling is exercised.
+  kv_cfg.buckets_per_partition = 2;
+  kv_cfg.capacity_per_partition = cfg.accounts + 8;
+  kv_cfg.reuse_nodes = true;
+  KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), kv_cfg);
+  for (uint64_t key = 1; key <= cfg.accounts; ++key) {
+    const uint64_t value = kInitial;  // tag 0: the load phase
+    store.HostPut(key, &value);
+  }
+  // Register the pre-run content of every slab word (bucket heads, node
+  // pool) so first reads are checked against a known initial state.
+  for (uint32_t p = 0; p < store.num_partitions(); ++p) {
+    const auto [base, bytes] = store.SlabRange(p);
+    for (uint64_t addr = base; addr < base + bytes; addr += kWordBytes) {
+      result.history.RecordInitial(addr, sys.shmem().LoadWord(addr));
+    }
+  }
+
+  const uint32_t n = sys.num_app_cores();
+  std::vector<bool> done(n, false);
+  std::vector<uint64_t> increments(n, 0);    // applied RMW increments
+  std::vector<uint64_t> removed_sum(n, 0);   // counters carried off by deletes
+  for (uint32_t i = 0; i < n; ++i) {
+    sys.SetAppBody(i, [&, i](CoreEnv&, TxRuntime& rt) {
+      Rng rng(cfg.seed * 131 + 17 * (i + 1));
+      for (uint32_t k = 0; k < cfg.txs_per_core; ++k) {
+        // Unique per (core, transaction); each op persists at most one
+        // value word, so the tag disambiguates every committed value.
+        const uint64_t tag = static_cast<uint64_t>(i + 1) * cfg.txs_per_core + k;
+        const uint64_t key = 1 + rng.NextBelow(cfg.accounts);
+        const uint64_t pick = rng.NextBelow(10);
+        if (pick < 4) {
+          // Hot-key increment through ReadModifyWrite: the lost-update
+          // probe. Counts only if the key was resident.
+          if (store.ReadModifyWrite(rt, key, [tag](uint64_t* v) {
+                *v = (tag << 32) | ((*v & kCounterMask) + 1);
+              })) {
+            ++increments[i];
+          }
+        } else if (pick < 6) {
+          // Delete, banking the removed counter: a lost delete (or a
+          // resurrected node) breaks conservation.
+          std::vector<uint64_t> old;
+          if (store.Delete(rt, key, &old)) {
+            removed_sum[i] += old[0] & kCounterMask;
+          }
+        } else if (pick < 8) {
+          // Reinsert-if-absent with a fresh counter of 0. Insert (not
+          // Put): blindly overwriting a resident key would destroy its
+          // counter and void the conservation argument.
+          const uint64_t value = tag << 32;
+          store.Insert(rt, key, &value);
+        } else if (pick < 9) {
+          store.Get(rt, key, nullptr);
+        } else {
+          // Bounded ReadMany scan: the elastic-style traversal.
+          store.Scan(rt, 1 + rng.NextBelow(cfg.accounts), cfg.accounts);
+        }
+      }
+      done[i] = true;
+    });
+  }
+
+  sys.AttachTrace(&result.history);
+  sys.Run(MillisToSim(8000));
+  result.stats = sys.MergedStats();
+
+  OracleOptions opts;
+  opts.elastic_relaxed = cfg.tx_mode != TxMode::kNormal;
+  result.report = CheckHistory(result.history, opts);
+
+  bool all_done = true;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!done[i]) {
+      all_done = false;
+      result.report.violations.push_back(OracleViolation{
+          "incomplete-run", "app core " + std::to_string(i) + " did not finish its workload"});
+    }
+  }
+
+  CheckFinalState(result.history,
+                  [&sys](uint64_t addr) { return sys.shmem().LoadWord(addr); },
+                  &result.report);
+
+  if (all_done) {
+    // Every applied increment adds exactly 1 to some resident counter;
+    // every delete moves a counter out of the store, unchanged; reinserts
+    // start at 0. So: live counters + removed counters == initial total +
+    // applied increments, whatever the interleaving.
+    uint64_t expected = static_cast<uint64_t>(cfg.accounts) * kInitial;
+    uint64_t live_nodes = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      expected += increments[i];
+    }
+    uint64_t actual = 0;
+    store.HostForEach([&](uint64_t, const uint64_t* value) {
+      actual += value[0] & kCounterMask;
+      ++live_nodes;
+    });
+    for (uint32_t i = 0; i < n; ++i) {
+      actual += removed_sum[i];
+    }
+    if (actual != expected) {
+      result.report.violations.push_back(OracleViolation{
+          "conservation", "final counter total is " + std::to_string(actual) + ", expected " +
+                              std::to_string(expected) +
+                              " (lost updates or delete/reinsert ABA)"});
+    }
+    // Structural cross-check: the pool's live-node accounting must agree
+    // with what a host-side walk of the chains actually finds.
+    uint64_t pool_in_use = 0;
+    for (uint32_t p = 0; p < store.num_partitions(); ++p) {
+      pool_in_use += store.NodesInUse(p);
+    }
+    if (pool_in_use != live_nodes) {
+      result.report.violations.push_back(OracleViolation{
+          "node-accounting", "pool says " + std::to_string(pool_in_use) +
+                                 " live nodes, chains hold " + std::to_string(live_nodes) +
+                                 " (leaked or doubly-linked node)"});
+    }
+  }
+
+  return result;
+}
+
+}  // namespace
+
+CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
+  return cfg.workload == CheckWorkload::kKv ? RunCheckedKvWorkload(cfg)
+                                            : RunCheckedBankWorkload(cfg);
 }
 
 }  // namespace tm2c

@@ -15,6 +15,26 @@
 
 namespace tm2c {
 
+// Which adversarial workload a checked run drives.
+//  - kBank: the hot-account mix (increments, transfers, full scans) over a
+//    small flat array — the PR 3 workload.
+//  - kKv: the partitioned KV store (src/apps/kvstore.h) under a
+//    delete/reinsert mix: tagged RMW increments, deletes that capture the
+//    removed counter, insert-if-absent reinserts, gets and ReadMany scans
+//    over a deliberately hot keyspace with node recycling on. On top of
+//    the oracle, the harness checks counter conservation (live counters +
+//    removed counters == initial total + applied increments), which
+//    catches lost updates and delete/reinsert ABA even when the history
+//    looks locally clean.
+enum class CheckWorkload : uint8_t {
+  kBank = 0,
+  kKv = 1,
+};
+
+inline const char* CheckWorkloadName(CheckWorkload w) {
+  return w == CheckWorkload::kBank ? "bank" : "kv";
+}
+
 struct CheckRunConfig {
   std::string platform = "scc";
   uint32_t num_cores = 8;
@@ -27,8 +47,11 @@ struct CheckRunConfig {
   uint64_t seed = 1;
   bool chaos = true;  // apply DefaultChaos(seed); off = the one FIFO schedule
 
+  CheckWorkload workload = CheckWorkload::kBank;
+
   // Workload shape: each app core runs txs_per_core transactions over a
-  // deliberately small, hot array (increments + transfers + full scans).
+  // deliberately small, hot key/account space (kBank: increments +
+  // transfers + full scans; kKv: RMW/delete/reinsert/get/scan).
   uint32_t txs_per_core = 30;
   uint32_t accounts = 12;
 

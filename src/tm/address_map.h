@@ -1,12 +1,31 @@
 // Address-to-partition mapping.
 //
-// A memory location is mapped to its responsible DS-Lock node by hashing
-// (Section 3.2). We hash the stripe index with a Fibonacci multiplier so
-// that contiguous structures spread across partitions.
+// A memory location is mapped to its responsible DS-Lock node in one of two
+// ways:
+//
+//  - By hashing (Section 3.2), the default: the stripe index is hashed with
+//    a Fibonacci multiplier so that contiguous structures spread across
+//    partitions. Good for load balance, oblivious to data placement.
+//
+//  - By explicit ownership: AddOwnedRange pins an address range to one
+//    partition, overriding the hash for every stripe inside it. This is the
+//    share-little layout (KVell-style): an application that partitions its
+//    data can colocate each partition's memory with one DTM service core,
+//    so every lock acquisition for that data goes to its owner and the
+//    request stream stays partition-local (see src/apps/kvstore.h).
+//
+// AddressMap is copied freely (TxRuntime holds one by value, DtmService
+// points at TmSystem's); the ownership directory is shared state behind a
+// shared_ptr, so ranges registered through any copy are visible to all of
+// them. Registration is setup-time only: call AddOwnedRange before the
+// system runs — the directory is read without synchronization afterwards.
 #ifndef TM2C_SRC_TM_ADDRESS_MAP_H_
 #define TM2C_SRC_TM_ADDRESS_MAP_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/runtime/deployment.h"
@@ -16,15 +35,51 @@ namespace tm2c {
 class AddressMap {
  public:
   AddressMap(const DeploymentPlan& plan, uint64_t stripe_bytes)
-      : plan_(&plan), stripe_bytes_(stripe_bytes) {
+      : plan_(&plan),
+        stripe_bytes_(stripe_bytes),
+        directory_(std::make_shared<Directory>()) {
     TM2C_CHECK(stripe_bytes >= 1 && (stripe_bytes & (stripe_bytes - 1)) == 0);
   }
 
   // Canonical lock unit for an address: the stripe base address.
   uint64_t StripeOf(uint64_t addr) const { return addr & ~(stripe_bytes_ - 1); }
 
-  // Partition index responsible for the stripe.
+  // Pins [base, base + bytes) to `partition`. The range must be stripe-
+  // aligned (a stripe cannot straddle partitions) and must not overlap a
+  // previously registered range. Setup-time only: not thread-safe against
+  // concurrent lookups, so register every range before the system runs.
+  void AddOwnedRange(uint64_t base, uint64_t bytes, uint32_t partition) {
+    TM2C_CHECK_MSG(base % stripe_bytes_ == 0 && bytes % stripe_bytes_ == 0,
+                   "owned range must be stripe-aligned");
+    TM2C_CHECK(bytes > 0);
+    TM2C_CHECK(partition < plan_->num_service());
+    auto& ranges = directory_->ranges;
+    // The new range must end before the next range starts and begin after
+    // the previous one ends.
+    auto next = ranges.lower_bound(base);
+    TM2C_CHECK_MSG(next == ranges.end() || base + bytes <= next->first,
+                   "owned ranges must not overlap");
+    if (next != ranges.begin()) {
+      auto prev = std::prev(next);
+      TM2C_CHECK_MSG(prev->first + prev->second.bytes <= base,
+                     "owned ranges must not overlap");
+    }
+    ranges.emplace(base, OwnedRange{bytes, partition});
+  }
+
+  // Partition index responsible for the stripe: the owning partition if the
+  // address falls in a registered range, the stripe hash otherwise.
   uint32_t PartitionOf(uint64_t addr) const {
+    const auto& ranges = directory_->ranges;
+    if (!ranges.empty()) {
+      auto it = ranges.upper_bound(addr);
+      if (it != ranges.begin()) {
+        --it;
+        if (addr - it->first < it->second.bytes) {
+          return it->second.partition;
+        }
+      }
+    }
     const uint64_t stripe = addr / stripe_bytes_;
     const uint64_t h = stripe * 0x9e3779b97f4a7c15ull;
     return static_cast<uint32_t>((h >> 32) % plan_->num_service());
@@ -36,10 +91,21 @@ class AddressMap {
   }
 
   uint64_t stripe_bytes() const { return stripe_bytes_; }
+  size_t num_owned_ranges() const { return directory_->ranges.size(); }
 
  private:
+  struct OwnedRange {
+    uint64_t bytes = 0;
+    uint32_t partition = 0;
+  };
+  // base address -> range; shared by every copy of the map (see header).
+  struct Directory {
+    std::map<uint64_t, OwnedRange> ranges;
+  };
+
   const DeploymentPlan* plan_;
   uint64_t stripe_bytes_;
+  std::shared_ptr<Directory> directory_;
 };
 
 }  // namespace tm2c

@@ -86,6 +86,9 @@ class TmSystem {
   SimSystem& sim();
 
   const AddressMap& address_map() const { return map_; }
+  // Mutable for setup-time AddressMap::AddOwnedRange registration (the
+  // runtimes' and services' map copies share the ownership directory).
+  AddressMap& address_map() { return map_; }
   const TmSystemConfig& config() const { return config_; }
 
  private:

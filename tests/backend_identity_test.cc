@@ -9,6 +9,9 @@
 // NOT part of the TSan-labelled suites.
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "src/apps/kvstore.h"
 #include "src/common/rng.h"
 #include "src/tm/tm_system.h"
 
@@ -77,6 +80,79 @@ TEST(BackendIdentity, SimAndThreadsCommitTheSameWorkload) {
     const RunResult thr = RunCounterWorkload(thr_cfg);
     EXPECT_EQ(thr.commits, sim.commits) << ChannelKindName(channel);
     EXPECT_EQ(thr.counter_sum, sim.counter_sum) << ChannelKindName(channel);
+  }
+}
+
+// KV-store identity: the same fixed KV workload must leave byte-identical
+// store contents on the simulator and on real threads. The workload is
+// deterministic by construction — each core owns a private key range for
+// its put/delete churn, and the shared keys receive only commutative
+// read-modify-write increments — so the final contents do not depend on
+// the interleaving, only on the protocol executing every operation exactly
+// once.
+struct KvRunResult {
+  uint64_t commits = 0;
+  std::map<uint64_t, std::vector<uint64_t>> contents;
+};
+
+KvRunResult RunKvWorkload(TmSystemConfig cfg) {
+  constexpr uint64_t kSharedKeys = 8;
+  constexpr uint64_t kPrivateKeys = 8;  // per core, above the shared range
+  constexpr int kOpsPerCore = 120;
+  TmSystem sys(cfg);
+  KvStoreConfig kv_cfg;
+  kv_cfg.buckets_per_partition = 4;
+  kv_cfg.value_words = 2;
+  kv_cfg.capacity_per_partition = 128;
+  KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), kv_cfg);
+  for (uint64_t key = 1; key <= kSharedKeys; ++key) {
+    const uint64_t value[2] = {0, key};
+    store.HostPut(key, value);
+  }
+  sys.SetAllAppBodies([&store](CoreEnv& env, TxRuntime& rt) {
+    const uint64_t private_base = kSharedKeys + 1 + env.core_id() * kPrivateKeys;
+    Rng rng(env.core_id() * 131 + 7);
+    for (int k = 0; k < kOpsPerCore; ++k) {
+      const uint64_t pick = rng.NextBelow(10);
+      if (pick < 4) {
+        const uint64_t key = 1 + rng.NextBelow(kSharedKeys);
+        store.ReadModifyWrite(rt, key, [](uint64_t* v) { v[0] += 1; });
+      } else if (pick < 7) {
+        const uint64_t key = private_base + rng.NextBelow(kPrivateKeys);
+        const uint64_t value[2] = {key * 3, key * 5};
+        store.Put(rt, key, value);
+      } else if (pick < 9) {
+        store.Delete(rt, private_base + rng.NextBelow(kPrivateKeys));
+      } else {
+        store.Get(rt, 1 + rng.NextBelow(kSharedKeys), nullptr);
+      }
+    }
+  });
+  sys.Run();
+  KvRunResult result;
+  result.commits = sys.MergedStats().commits;
+  store.HostForEach([&result, &kv_cfg](uint64_t key, const uint64_t* value) {
+    result.contents[key] = std::vector<uint64_t>(value, value + kv_cfg.value_words);
+  });
+  return result;
+}
+
+TEST(BackendIdentity, KvStoreCommitsIdenticalFinalContents) {
+  TmSystemConfig sim_cfg = BaseConfig();
+  sim_cfg.backend = BackendKind::kSim;
+  const KvRunResult sim = RunKvWorkload(sim_cfg);
+
+  // 2 app cores x 120 ops, one committed transaction per op.
+  EXPECT_EQ(sim.commits, 2ull * 120);
+  EXPECT_FALSE(sim.contents.empty());
+
+  for (const ChannelKind channel : {ChannelKind::kSpscRing, ChannelKind::kMutexMailbox}) {
+    TmSystemConfig thr_cfg = BaseConfig();
+    thr_cfg.backend = BackendKind::kThreads;
+    thr_cfg.channel = channel;
+    const KvRunResult thr = RunKvWorkload(thr_cfg);
+    EXPECT_EQ(thr.commits, sim.commits) << ChannelKindName(channel);
+    EXPECT_EQ(thr.contents, sim.contents) << ChannelKindName(channel);
   }
 }
 

@@ -13,6 +13,12 @@ between two merged files and fails on regressions beyond a threshold.
   tools/bench_json.py merge --out BENCH_results.json [--smoke] a.json b.json ...
   tools/bench_json.py validate BENCH_results.json
   tools/bench_json.py compare old.json new.json --max-regress=15
+  tools/bench_json.py report BENCH_results.json --out docs/BENCHMARKS.md
+
+`report` renders a merged file into a markdown summary (the committed
+docs/BENCHMARKS.md): one row per bench with its best-throughput scenario on
+each backend. The output is deterministic for a given input, so CI can
+regenerate it and diff against the committed file as a freshness check.
 
 `compare` gates sim rows only by default: they are deterministic, so any
 drift is a real code change. Native (threads) rows are wall-clock numbers
@@ -21,6 +27,7 @@ from whatever host ran them — they are reported but only enforced with
 """
 import argparse
 import json
+import os
 import sys
 
 SCHEMA_VERSION = 1
@@ -177,6 +184,76 @@ def cmd_compare(args):
     print("compare: OK")
 
 
+def best_row(bench):
+    """The result row with the highest throughput in a bench document."""
+    return max(bench["results"], key=lambda r: r["throughput_ops_per_ms"])
+
+
+def render_report(benches, source_name):
+    """Markdown summary of a merged file: best row per (bench, backend)."""
+    by_name = {}
+    for bench in benches:
+        entry = by_name.setdefault(bench["bench"], {"figure": bench["figure"],
+                                                    "description": bench["description"]})
+        entry[bench.get("backend", "sim")] = bench
+    lines = [
+        "# Benchmark results",
+        "",
+        "<!-- Generated file, do not edit. Regenerate with:",
+        "       bench/run_all.sh --with-native --native-cores 4",
+        f"       tools/bench_json.py report {source_name} --out docs/BENCHMARKS.md -->",
+        "",
+        "Best-throughput scenario per bench and backend, rendered from the",
+        f"committed `{source_name}`. Simulator rows are deterministic modelled",
+        "time (reproducible to the byte under a fixed seed); threads rows are",
+        "wall-clock measurements from whatever host produced the file and are",
+        "comparable only to themselves.",
+        "",
+        "| Bench | Figure | Best sim scenario | Sim ops/ms | Commit % "
+        "| Best threads scenario | Threads ops/ms |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    total_rows = 0
+    any_smoke = False
+    for name in sorted(by_name):
+        entry = by_name[name]
+        cells = [name, entry["figure"]]
+        for backend in BACKENDS:
+            bench = entry.get(backend)
+            if bench is None:
+                cells += ["—", "—"] if backend == "threads" else ["—", "—", "—"]
+                continue
+            total_rows += len(bench["results"])
+            any_smoke = any_smoke or bench.get("smoke", False)
+            best = best_row(bench)
+            cells += [f"`{best['scenario']}`", f"{best['throughput_ops_per_ms']:.2f}"]
+            if backend == "sim":
+                cells.append(f"{100.0 * best['commit_rate']:.1f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    lines += [
+        "",
+        f"{len(by_name)} benches, {total_rows} result rows in the source file.",
+    ]
+    if any_smoke:
+        lines += ["", "**Warning:** contains smoke-mode rows (CI-sized sweeps), "
+                      "not full-length runs."]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def cmd_report(args):
+    benches = load_benches(args.input)
+    for bench in benches:
+        check_bench(bench)
+    text = render_report(benches, os.path.basename(args.input))
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out} ({len(benches)} bench documents)")
+    else:
+        print(text, end="")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -196,6 +273,10 @@ def main():
     compare.add_argument("--gate-native", action="store_true",
                          help="fail on threads-backend regressions too")
     compare.set_defaults(fn=cmd_compare)
+    report = sub.add_parser("report")
+    report.add_argument("input")
+    report.add_argument("--out", help="output path (default: stdout)")
+    report.set_defaults(fn=cmd_report)
     args = parser.parse_args()
     args.fn(args)
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Check that relative links in markdown files point at existing paths.
+
+  tools/check_md_links.py README.md docs/*.md
+
+Scans `[text](target)` links (images included). External targets
+(http/https/mailto) and pure in-page anchors (#...) are skipped; a relative
+target is resolved against the markdown file's own directory, with any
+#fragment stripped, and must exist in the working tree. Fenced code blocks
+and inline code spans are ignored so documentation examples cannot trip
+the check. Exits non-zero listing every broken link.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(INLINE_CODE_RE.sub("``", line)):
+                yield lineno, match.group(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    checked = 0
+    for md in argv[1:]:
+        base = os.path.dirname(md)
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            checked += 1
+            if not os.path.exists(os.path.join(base, rel) if base else rel):
+                broken.append(f"{md}:{lineno}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"check_md_links: {checked} relative links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
