@@ -150,6 +150,9 @@ int main(int argc, char** argv) {
                  "thread-backend transport: spsc (lock-free rings, default) | mutex "
                  "(v1 mailbox baseline)");
   flags.Register("pin", &opts.pin, "pin thread-backend threads to host CPUs");
+  flags.Register("pipeline-depth", &opts.pipeline_depth,
+                 "override the acquisition pipeline depth (1 = lockstep request/reply; "
+                 "> 1 overlaps per-node batches; 0 = bench default)");
   bool native_capable_probe = false;
   flags.Register("native-capable", &native_capable_probe,
                  "exit 0 if this bench supports --backend=threads, 3 otherwise (run_all.sh "

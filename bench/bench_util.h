@@ -39,6 +39,15 @@ struct RunSpec {
   // behaviour); TmConfig's own default of 1 is the unbatched protocol
   // baseline the batching ablation sweeps from.
   uint32_t max_batch = 16;
+  // Pipelined acquisition depth (TmConfig::pipeline_depth); 1 = the
+  // lockstep request/reply protocol, larger depths overlap per-node
+  // batches. Swept by bench_ablation_pipeline, overridable everywhere via
+  // --pipeline-depth.
+  uint32_t pipeline_depth = 1;
+  // Owner-local fast path (TmConfig::local_fast_path): multitasked
+  // deployments serve own-partition acquisitions as direct lock-table
+  // calls instead of self-addressed messages.
+  bool local_fast_path = false;
   uint64_t shmem_bytes = 32ull << 20;
   uint64_t seed = 1;
   // Simulated time under the sim backend, wall-clock under threads.
@@ -67,6 +76,8 @@ inline TmSystemConfig MakeConfig(const RunSpec& spec) {
   cfg.tm.tx_mode = spec.tx_mode;
   cfg.tm.write_acquire = spec.write_acquire;
   cfg.tm.max_batch = spec.max_batch;
+  cfg.tm.pipeline_depth = spec.pipeline_depth;
+  cfg.tm.local_fast_path = spec.local_fast_path;
   cfg.backend = spec.backend;
   cfg.channel = spec.channel;
   cfg.pin_threads = spec.pin_threads;
@@ -182,6 +193,7 @@ struct BenchOptions {
   std::string backend;       // "" = sim; "threads" = native run, wall-clock
   std::string channel;       // thread transport: "" = spsc; "mutex" = v1 baseline
   bool pin = false;          // pin thread-backend threads to host CPUs
+  int pipeline_depth = 0;    // 0 = bench default; >= 1 overrides everywhere
 };
 
 // p50/p95/p99 of per-operation latency, in (simulated) microseconds.
@@ -391,7 +403,15 @@ class BenchContext {
     spec.backend = Backend();
     spec.channel = Channel();
     spec.pin_threads = opts_.pin;
+    if (opts_.pipeline_depth > 0) {
+      spec.pipeline_depth = static_cast<uint32_t>(opts_.pipeline_depth);
+    }
     return spec;
+  }
+
+  // Pipeline-depth for benches that fix it; --pipeline-depth overrides.
+  uint32_t PipelineDepth(uint32_t def = 1) const {
+    return opts_.pipeline_depth > 0 ? static_cast<uint32_t>(opts_.pipeline_depth) : def;
   }
 
   // Host-side iteration count (bench_micro): --smoke divides by 20.

@@ -20,6 +20,9 @@ std::string CheckRunConfig::Name() const {
                                              : "_eread";
   name += write_acquire == WriteAcquire::kLazy ? "" : "_eager";
   name += "_b" + std::to_string(max_batch);
+  if (pipeline_depth != 1) {
+    name += "_p" + std::to_string(pipeline_depth);
+  }
   if (fault != FaultMode::kNone) {
     name += std::string("_fault-") + FaultModeName(fault);
   }
@@ -62,6 +65,7 @@ TmSystemConfig MakeCheckedSystemConfig(const CheckRunConfig& cfg) {
   sys_cfg.tm.tx_mode = cfg.tx_mode;
   sys_cfg.tm.write_acquire = cfg.write_acquire;
   sys_cfg.tm.max_batch = cfg.max_batch;
+  sys_cfg.tm.pipeline_depth = cfg.pipeline_depth;
   sys_cfg.tm.fault = cfg.fault;
   return sys_cfg;
 }
@@ -127,7 +131,16 @@ CheckRunResult RunCheckedBankWorkload(const CheckRunConfig& cfg) {
         } else {
           // Read-only scan of the whole array (ReadMany exercises the
           // batched read path under TxMode::kNormal with max_batch > 1).
-          rt.Execute([&scan_addrs](Tx& tx) { (void)tx.ReadMany(scan_addrs); });
+          // Pipelined configurations prefetch first, so overlapping
+          // in-flight requests — and refusals landing between issue and
+          // completion — are part of the explored schedule space.
+          const bool prefetch = cfg.pipeline_depth > 1;
+          rt.Execute([&scan_addrs, prefetch](Tx& tx) {
+            if (prefetch) {
+              tx.Prefetch(scan_addrs);
+            }
+            (void)tx.ReadMany(scan_addrs);
+          });
         }
       }
       done[i] = true;

@@ -43,6 +43,10 @@ struct CheckRunConfig {
   TxMode tx_mode = TxMode::kNormal;
   WriteAcquire write_acquire = WriteAcquire::kLazy;
   uint32_t max_batch = 1;
+  // Pipelined acquisition depth (TmConfig::pipeline_depth). Depths > 1 also
+  // make the workloads issue Tx::Prefetch before their scans, so the
+  // overlapping-request window is actually exercised under chaos.
+  uint32_t pipeline_depth = 1;
   FaultMode fault = FaultMode::kNone;
   uint64_t seed = 1;
   bool chaos = true;  // apply DefaultChaos(seed); off = the one FIFO schedule

@@ -58,6 +58,40 @@ void History::OnRevocation(uint32_t service_core, uint32_t victim_core, uint64_t
   revocations_.push_back(Revocation{NextSeq(), service_core, victim_core, victim_epoch, kind});
 }
 
+namespace {
+// Request ids are per-runtime counters, so the open-acquire key must carry
+// the core too. Ids stay far below 2^48 in any bounded run.
+uint64_t AcquireKey(uint32_t core, uint64_t request_id) {
+  return (static_cast<uint64_t>(core) << 48) | request_id;
+}
+}  // namespace
+
+void History::OnAcquireIssue(uint32_t core, uint64_t request_id, uint32_t node, uint32_t n,
+                             bool is_write) {
+  Acquire acq;
+  acq.issue_seq = NextSeq();
+  acq.core = core;
+  acq.request_id = request_id;
+  acq.node = node;
+  acq.n = n;
+  acq.is_write = is_write;
+  const bool inserted = open_acquires_.emplace(AcquireKey(core, request_id), acquires_.size())
+                            .second;
+  TM2C_CHECK_MSG(inserted, "acquire request id reissued while still outstanding");
+  acquires_.push_back(acq);
+}
+
+void History::OnAcquireComplete(uint32_t core, uint64_t request_id, uint32_t granted,
+                                ConflictKind kind) {
+  auto it = open_acquires_.find(AcquireKey(core, request_id));
+  TM2C_CHECK_MSG(it != open_acquires_.end(), "acquire completion without a matching issue");
+  Acquire& acq = acquires_[it->second];
+  acq.complete_seq = NextSeq();
+  acq.granted = granted;
+  acq.kind = kind;
+  open_acquires_.erase(it);
+}
+
 std::string History::ToJson() const {
   JsonWriter w;
   w.BeginObject();
@@ -115,6 +149,24 @@ std::string History::ToJson() const {
     w.KV("victim_core", static_cast<uint64_t>(rev.victim_core));
     w.KV("victim_epoch", rev.victim_epoch);
     w.KV("kind", ConflictKindName(rev.kind));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("acquires");
+  w.BeginArray();
+  for (const Acquire& acq : acquires_) {
+    w.BeginObject();
+    w.KV("issue_seq", acq.issue_seq);
+    w.KV("complete_seq", acq.complete_seq);
+    w.KV("core", static_cast<uint64_t>(acq.core));
+    w.KV("request_id", acq.request_id);
+    w.KV("node", static_cast<uint64_t>(acq.node));
+    w.KV("n", static_cast<uint64_t>(acq.n));
+    w.KV("granted", static_cast<uint64_t>(acq.granted));
+    w.KV("is_write", acq.is_write);
+    if (acq.kind != ConflictKind::kNone) {
+      w.KV("refused_kind", ConflictKindName(acq.kind));
+    }
     w.EndObject();
   }
   w.EndArray();

@@ -55,6 +55,21 @@ class History : public TxTraceSink {
     uint64_t victim_epoch = 0;
     ConflictKind kind = ConflictKind::kNone;
   };
+  // One batch acquisition, as two separately-sequenced events: under
+  // pipelining (pipeline_depth > 1) several can be outstanding per core,
+  // and the gap between issue_seq and complete_seq is exactly the window
+  // the oracle's read/persist ordering must stay correct across.
+  struct Acquire {
+    uint64_t issue_seq = 0;
+    uint64_t complete_seq = 0;  // 0 while still outstanding (cut by horizon)
+    uint32_t core = 0;
+    uint64_t request_id = 0;
+    uint32_t node = 0;
+    uint32_t n = 0;         // stripes requested
+    uint32_t granted = 0;   // granted prefix length (valid once completed)
+    bool is_write = false;
+    ConflictKind kind = ConflictKind::kNone;  // refusal kind, kNone if granted
+  };
 
   // Registers the pre-run content of `addr`. Optional: the oracle infers
   // initial values from pre-write reads when they are not registered, but
@@ -70,9 +85,14 @@ class History : public TxTraceSink {
   void OnTxAbort(uint32_t core, SimTime now, ConflictKind reason) override;
   void OnRevocation(uint32_t service_core, uint32_t victim_core, uint64_t victim_epoch,
                     ConflictKind kind) override;
+  void OnAcquireIssue(uint32_t core, uint64_t request_id, uint32_t node, uint32_t n,
+                      bool is_write) override;
+  void OnAcquireComplete(uint32_t core, uint64_t request_id, uint32_t granted,
+                         ConflictKind kind) override;
 
   const std::vector<Tx>& transactions() const { return txs_; }
   const std::vector<Revocation>& revocations() const { return revocations_; }
+  const std::vector<Acquire>& acquires() const { return acquires_; }
   const std::unordered_map<uint64_t, uint64_t>& initial_values() const { return initial_; }
   uint64_t num_events() const { return next_seq_; }
 
@@ -89,6 +109,9 @@ class History : public TxTraceSink {
   std::unordered_map<uint32_t, size_t> open_;
   std::unordered_map<uint64_t, uint64_t> initial_;
   std::vector<Revocation> revocations_;
+  std::vector<Acquire> acquires_;
+  // (core, request_id) -> index into acquires_ of the outstanding request.
+  std::unordered_map<uint64_t, size_t> open_acquires_;
   uint64_t next_seq_ = 1;  // 0 is reserved as "before everything"
 };
 

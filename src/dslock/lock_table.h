@@ -56,6 +56,15 @@ struct BatchAcquireResult {
   std::vector<Victim> victims;                 // across the whole prefix
 };
 
+// Outcome of a homogeneous span acquisition (TryAcquireSpan). Same
+// all-or-prefix contract as BatchAcquireResult, but with no grant bitmap —
+// the caller knows the span order — and therefore no kMaxBatchEntries cap.
+struct SpanAcquireResult {
+  uint32_t granted_count = 0;                  // prefix length
+  ConflictKind refused = ConflictKind::kNone;  // why the prefix stopped
+  std::vector<Victim> victims;                 // across the whole prefix
+};
+
 // Counters for the service-side statistics the benches report.
 struct LockTableStats {
   uint64_t read_acquires = 0;
@@ -96,6 +105,15 @@ class LockTable {
   BatchAcquireResult TryAcquireMany(const TxInfo& requester, const uint64_t* addrs, uint32_t n,
                                     uint64_t write_bitmap, const ContentionManager& cm,
                                     bool committing = false);
+
+  // Homogeneous prefix acquisition for the owner-local direct path: one
+  // pass over `addrs`, all read locks or all write locks, stopping at the
+  // first refusal. Unlike TryAcquireMany there is no grant bitmap on the
+  // wire, so the span is not capped at kMaxBatchEntries — a local caller
+  // takes a whole node group in one table pass.
+  SpanAcquireResult TryAcquireSpan(const TxInfo& requester, const uint64_t* addrs, uint32_t n,
+                                   bool is_write, const ContentionManager& cm,
+                                   bool committing = false);
 
   // Releases. Idempotent; wrong-owner write releases are ignored (see the
   // correctness note above).

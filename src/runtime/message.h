@@ -45,15 +45,26 @@ enum class MsgType : uint8_t {
 
 // Batch protocol (one request/response round trip per responsible node):
 //
-//   kBatchAcquire   w0 = flags (kBatchFlagCommit marks commit-phase write
-//                   acquisitions), w1 = tx epoch, w2 = priority metric
-//                   (decoded by the CM once for the whole batch), w3 = write
-//                   bitmap (bit i set: entry i wants the write lock, clear:
-//                   the read lock), extra = stripe addresses, at most
-//                   kMaxBatchEntries of them.
+//   kBatchAcquire   w0 = flags in the low kBatchReqIdShift bits
+//                   (kBatchFlagCommit marks commit-phase write acquisitions)
+//                   with the requester's request id in the bits above, w1 =
+//                   tx epoch, w2 = priority metric (decoded by the CM once
+//                   for the whole batch), w3 = write bitmap (bit i set:
+//                   entry i wants the write lock, clear: the read lock),
+//                   extra = stripe addresses, at most kMaxBatchEntries of
+//                   them.
 //   kBatchReply     w0 = grant bitmap (bit i set: entry i acquired), w1 =
 //                   tx epoch, w2 = ConflictKind the first refused entry lost
-//                   on (kNone when fully granted), w3 = granted count.
+//                   on (kNone when fully granted), w3 = granted count in the
+//                   low kBatchReqIdShift bits, request id echoed above.
+//
+// The request id lets a runtime keep several batches in flight at once
+// (TmConfig::pipeline_depth > 1) and match interleaved replies to their
+// requests; the service is stateless about it — it only echoes the id. It
+// rides in previously-zero bits of existing words (the granted count is at
+// most kMaxBatchEntries, so it fits below the shift), keeping the message
+// size — and therefore the modelled wire timing — identical to the
+// lockstep protocol.
 //
 // Grants are all-or-prefix: the service stops at the first refused entry,
 // so the grant bitmap is always a prefix mask of the batch. The requester
@@ -61,6 +72,8 @@ enum class MsgType : uint8_t {
 // service-side rollback.
 constexpr uint32_t kMaxBatchEntries = 64;  // bitmap width
 constexpr uint64_t kBatchFlagCommit = 1;
+constexpr uint32_t kBatchReqIdShift = 8;  // flags/count below, request id above
+constexpr uint64_t kBatchReqIdMask = (uint64_t{1} << kBatchReqIdShift) - 1;
 
 // Bitmap with the low `n` bits set (n <= 64).
 constexpr uint64_t PrefixBitmap(uint32_t n) {

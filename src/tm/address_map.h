@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
@@ -92,6 +94,24 @@ class AddressMap {
 
   uint64_t stripe_bytes() const { return stripe_bytes_; }
   size_t num_owned_ranges() const { return directory_->ranges.size(); }
+
+  // Human-readable dump of the routing configuration: stripe size, the
+  // hash fallback, and every owned range with its pinned partition and
+  // owning core. For misrouting post-mortems — a batch refusal with
+  // ConflictKind::kNone means runtime and service disagreed on exactly the
+  // information printed here.
+  std::string Describe() const {
+    std::ostringstream out;
+    out << "AddressMap: stripe_bytes=" << stripe_bytes_ << ", partitions="
+        << plan_->num_service() << ", owned_ranges=" << directory_->ranges.size()
+        << " (hash fallback elsewhere)\n";
+    for (const auto& [base, range] : directory_->ranges) {
+      out << "  [0x" << std::hex << base << ", 0x" << base + range.bytes << std::dec
+          << ") -> partition " << range.partition << " (core "
+          << plan_->ServiceCore(range.partition) << ")\n";
+    }
+    return out.str();
+  }
 
  private:
   struct OwnedRange {

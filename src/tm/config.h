@@ -79,6 +79,27 @@ struct TmConfig {
   // bitmap width).
   uint32_t max_batch = 1;
 
+  // Maximum number of kBatchAcquire requests a runtime keeps in flight at
+  // once. 1 (the default) is the lockstep protocol: every batch waits for
+  // its reply before the next is issued — bit-identical to the pre-pipeline
+  // wire behaviour. Larger depths let ReadMany / commit-time acquisition
+  // overlap the per-node round trips (and enable Tx::Prefetch), hiding the
+  // message latency that bounds throughput once batching has amortized the
+  // per-message cost. Only batched acquisitions pipeline; the scalar
+  // kReadLockReq/kWriteLockReq path stays synchronous.
+  uint32_t pipeline_depth = 1;
+
+  // Owner-local fast path: when the caller's own core is the responsible
+  // node for a stripe (multitasked deployment with AddressMap owned ranges
+  // — the share-little layout), call the local LockTable directly instead
+  // of building a self-addressed message. Same CM arbitration, revocation
+  // and stale-epoch semantics, zero messages and no coroutine-switch
+  // charge. Off by default because it changes the modelled timing of
+  // multitasked runs (the depth-1 identity guarantee); benches enable it
+  // explicitly. TxStats::local_acquires vs remote_acquires records the
+  // split.
+  bool local_fast_path = false;
+
   // Elastic window: how many trailing reads stay protected/validated.
   uint32_t elastic_window = 2;
 

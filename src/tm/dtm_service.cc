@@ -168,9 +168,15 @@ Message DtmService::HandleBatchAcquire(const Message& msg) {
   ChargeProcessing(msg.extra.size());
   TM2C_CHECK_MSG(msg.extra.size() <= kMaxBatchEntries, "oversized batch request");
 
+  // The request id in the bits above the flags is opaque to the service:
+  // it is echoed in the reply so a pipelining requester can match
+  // interleaved replies to their requests.
+  const uint64_t request_id = msg.w0 >> kBatchReqIdShift;
+
   Message rsp;
   rsp.type = MsgType::kBatchReply;
   rsp.w1 = msg.w1;
+  rsp.w3 = request_id << kBatchReqIdShift;
 
   // A batch from an attempt this node already revoked is refused whole (no
   // entry granted), exactly like the scalar path.
@@ -203,15 +209,45 @@ Message DtmService::HandleBatchAcquire(const Message& msg) {
 
   const BatchAcquireResult result = table_.TryAcquireMany(
       requester, msg.extra.data(), routed, msg.w3, *cm_,
-      /*committing=*/(msg.w0 & kBatchFlagCommit) != 0);
+      /*committing=*/(msg.w0 & kBatchReqIdMask & kBatchFlagCommit) != 0);
   NotifyVictims(result.victims);
   rsp.w0 = result.granted_bitmap;
-  rsp.w3 = result.granted_count;
+  rsp.w3 |= result.granted_count;  // fits below kBatchReqIdShift (n <= 64)
   if (result.granted_count < n) {
     // Misrouted entries carry no conflict kind; CM refusals carry theirs.
     rsp.w2 = static_cast<uint64_t>(result.refused);
   }
   return rsp;
+}
+
+uint32_t DtmService::AcquireSpanDirect(uint64_t epoch, uint64_t metric_wire,
+                                       const uint64_t* addrs, uint32_t n, bool is_write,
+                                       bool committing, ConflictKind* refused) {
+  ++stats_.requests;
+  ++stats_.local_direct_requests;
+  stats_.local_direct_entries += n;
+  ChargeProcessing(n);
+  *refused = ConflictKind::kNone;
+
+  // Whole-span stale-epoch refusal: a revocation of this very attempt may
+  // have been decided by an earlier request this core served (multitasked
+  // deployment), so the check is as necessary here as on the wire path.
+  RemoteCoreState& state = remote_state_[env_.core_id()];
+  if (state.aborted_epoch == epoch) {
+    ++stats_.stale_requests_refused;
+    *refused = state.aborted_kind;
+    return 0;
+  }
+
+  TxInfo requester;
+  requester.core = env_.core_id();
+  requester.epoch = epoch;
+  requester.metric = cm_->MetricFromWire(metric_wire, env_.LocalNow());
+  const SpanAcquireResult result = table_.TryAcquireSpan(requester, addrs, n, is_write, *cm_,
+                                                         committing);
+  NotifyVictims(result.victims);
+  *refused = result.refused;
+  return result.granted_count;
 }
 
 void DtmService::HandleRelease(const Message& msg) {

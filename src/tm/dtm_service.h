@@ -29,6 +29,8 @@ struct DtmServiceStats {
   uint64_t batch_requests = 0;       // kBatchAcquire messages served
   uint64_t batch_entries = 0;        // addresses across those batches
   uint64_t misrouted_refused = 0;    // batch entries outside this partition
+  uint64_t local_direct_requests = 0;  // owner-local fast-path span calls
+  uint64_t local_direct_entries = 0;   // stripes across those spans
 };
 
 class DtmService {
@@ -52,6 +54,19 @@ class DtmService {
   // (multitasked deployment). Notifications to third parties are still
   // sent; the response is returned directly.
   Message HandleLocal(const Message& request);
+
+  // Owner-local fast path: the requesting runtime runs on this very core
+  // and skips the message layer entirely — no Message is built and no
+  // coroutine-switch cost is charged; only the service processing cost is.
+  // Semantics match a kBatchAcquire from this core: whole-span stale-epoch
+  // refusal, all-or-prefix grants, victims notified through the normal
+  // paths (including the local abort sink). The caller guarantees every
+  // stripe belongs to this partition (it grouped them with the same
+  // AddressMap the service validates against). Returns the granted prefix
+  // length; `*refused` carries the first refusal's kind (kNone when fully
+  // granted).
+  uint32_t AcquireSpanDirect(uint64_t epoch, uint64_t metric_wire, const uint64_t* addrs,
+                             uint32_t n, bool is_write, bool committing, ConflictKind* refused);
 
   // Multitasked deployment: a victim of a revocation can be a transaction
   // running on this very core; the sink delivers the abort locally instead

@@ -2,6 +2,7 @@
 #ifndef TM2C_SRC_TM_STATS_H_
 #define TM2C_SRC_TM_STATS_H_
 
+#include <array>
 #include <cstdint>
 
 #include "src/sim/time.h"
@@ -29,6 +30,18 @@ struct TxStats {
   uint64_t lock_acquires = 0;
   uint64_t batch_messages = 0;
   SimTime acquire_time = 0;
+  // Owner-local fast path split: stripes acquired by calling the caller's
+  // own LockTable directly (zero messages) vs through the message protocol.
+  // local_acquires + remote_acquires == lock_acquires always; with the fast
+  // path off (the default) everything counts as remote.
+  uint64_t local_acquires = 0;
+  uint64_t remote_acquires = 0;
+  // In-flight pipeline occupancy: bucket min(depth_at_issue, 8) - 1 counts
+  // one kBatchAcquire issued while depth_at_issue requests (itself
+  // included) were outstanding. Under the lockstep depth-1 path every batch
+  // lands in bucket 0. Local fast-path span calls are never in flight and
+  // do not count.
+  std::array<uint64_t, 8> inflight_depth_hist{};
 
   double CommitRate() const {
     const uint64_t attempts = commits + aborts;
@@ -46,7 +59,9 @@ struct TxStats {
            validation_failures == other.validation_failures && busy_time == other.busy_time &&
            max_attempts_per_tx == other.max_attempts_per_tx &&
            lock_acquires == other.lock_acquires && batch_messages == other.batch_messages &&
-           acquire_time == other.acquire_time;
+           acquire_time == other.acquire_time && local_acquires == other.local_acquires &&
+           remote_acquires == other.remote_acquires &&
+           inflight_depth_hist == other.inflight_depth_hist;
   }
   bool operator!=(const TxStats& other) const { return !(*this == other); }
 
@@ -66,6 +81,11 @@ struct TxStats {
     lock_acquires += other.lock_acquires;
     batch_messages += other.batch_messages;
     acquire_time += other.acquire_time;
+    local_acquires += other.local_acquires;
+    remote_acquires += other.remote_acquires;
+    for (size_t i = 0; i < inflight_depth_hist.size(); ++i) {
+      inflight_depth_hist[i] += other.inflight_depth_hist[i];
+    }
     if (other.max_attempts_per_tx > max_attempts_per_tx) {
       max_attempts_per_tx = other.max_attempts_per_tx;
     }

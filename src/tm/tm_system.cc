@@ -30,6 +30,8 @@ TmSystem::TmSystem(TmSystemConfig config)
   const DeploymentPlan& plan = system_->deployment();
   TM2C_CHECK_MSG(config_.tm.max_batch >= 1 && config_.tm.max_batch <= kMaxBatchEntries,
                  "max_batch must be in [1, kMaxBatchEntries]");
+  TM2C_CHECK_MSG(config_.tm.pipeline_depth >= 1 && config_.tm.pipeline_depth <= 64,
+                 "pipeline_depth must be in [1, 64]");
   // Per-core abort status words (see TmConfig::abort_status_base).
   if (config_.tm.abort_status_base == TmConfig::kNoAbortStatus) {
     config_.tm.abort_status_base =

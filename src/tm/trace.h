@@ -45,6 +45,23 @@ class TxTraceSink {
   // suppresses the delivery of the revocation to the victim.
   virtual void OnRevocation(uint32_t service_core, uint32_t victim_core, uint64_t victim_epoch,
                             ConflictKind kind) = 0;
+
+  // Pipelined acquisition visibility: the attempt on `core` issued a batch
+  // acquisition of `n` stripes (request `request_id`) towards `node`, and
+  // later completed it with `granted` stripes (refusal kind `kind`, kNone
+  // when fully granted). Issue and completion are separate events because
+  // pipelining (TmConfig::pipeline_depth > 1) widens the schedule space
+  // between them — the oracle must see requests outstanding concurrently.
+  // Owner-local fast-path spans complete at their issue instant. Default
+  // no-ops so existing sinks observe the protocol unchanged.
+  virtual void OnAcquireIssue(uint32_t core, uint64_t request_id, uint32_t node, uint32_t n,
+                              bool is_write) {
+    (void)core, (void)request_id, (void)node, (void)n, (void)is_write;
+  }
+  virtual void OnAcquireComplete(uint32_t core, uint64_t request_id, uint32_t granted,
+                                 ConflictKind kind) {
+    (void)core, (void)request_id, (void)granted, (void)kind;
+  }
 };
 
 }  // namespace tm2c

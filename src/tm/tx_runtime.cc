@@ -83,6 +83,12 @@ bool TxRuntime::TryExecute(const std::function<void(Tx&)>& body, uint64_t max_at
 
 void TxRuntime::BeginAttempt() {
   ServePending();
+  // Every path out of an attempt (commit, abort, TryExecute giving up)
+  // drains the in-flight table first; a request still outstanding here
+  // would mean a reply could be matched against the wrong attempt's locks.
+  TM2C_CHECK_MSG(inflight_.empty(), "in-flight acquisitions leaked across attempts");
+  pending_refusal_ = ConflictKind::kNone;
+  prefetch_pending_.clear();
   ++attempt_counter_;
   current_epoch_ = (static_cast<uint64_t>(env_.core_id()) << 32) | attempt_counter_;
   abort_thrown_ = false;
@@ -133,6 +139,12 @@ void TxRuntime::ServePending() {
       // A peer already reached a privatization barrier we have not entered
       // yet; remember its token for when we do.
       ++barrier_arrivals_[msg.w0];
+      continue;
+    }
+    if (msg.type == MsgType::kBatchReply) {
+      // A pipelined prefetch reply landing while this core does local
+      // work: record the grants (or the refusal) right away.
+      CompleteBatch(msg);
       continue;
     }
     if (local_service_ != nullptr) {
@@ -195,6 +207,13 @@ void TxRuntime::CheckPendingAbort() {
     ++stats_.notify_aborts;
     AbortSelf(pending_abort_kind_);
   }
+  if (pending_refusal_ != ConflictKind::kNone) {
+    // A pipelined (prefetch) batch was refused while this core was busy
+    // elsewhere; the refusal aborts at the next transactional operation.
+    const ConflictKind kind = pending_refusal_;
+    pending_refusal_ = ConflictKind::kNone;
+    AbortSelf(kind);
+  }
 }
 
 uint64_t TxRuntime::WireMetric() {
@@ -231,8 +250,13 @@ Message TxRuntime::Rpc(uint32_t dst, Message request) {
     switch (msg.type) {
       case MsgType::kLockGranted:
       case MsgType::kLockConflict:
-      case MsgType::kBatchReply:
         return msg;
+      case MsgType::kBatchReply:
+        // A still-outstanding pipelined batch (prefetch) resolving while a
+        // scalar request waits: record it and keep waiting for the scalar
+        // response.
+        CompleteBatch(msg);
+        continue;
       case MsgType::kAbortNotify:
         if (in_tx_ && msg.w1 == current_epoch_) {
           pending_abort_ = true;
@@ -259,43 +283,292 @@ Message TxRuntime::AcquireRpc(uint32_t dst, Message request, uint64_t stripes) {
   Message rsp = Rpc(dst, std::move(request));
   stats_.acquire_time += env_.LocalNow() - start;
   stats_.lock_acquires += stripes;
+  stats_.remote_acquires += stripes;
   return rsp;
 }
 
-void TxRuntime::AcquireBatchesOrAbort(uint32_t node, const std::vector<uint64_t>& stripes,
-                                      bool is_write, bool committing) {
-  for (size_t pos = 0; pos < stripes.size(); pos += config_.max_batch) {
-    const size_t len = std::min<size_t>(config_.max_batch, stripes.size() - pos);
-    Message req;
-    req.type = MsgType::kBatchAcquire;
-    req.w0 = committing ? kBatchFlagCommit : 0;
-    req.w1 = current_epoch_;
-    req.w2 = WireMetric();
-    req.w3 = is_write ? PrefixBitmap(static_cast<uint32_t>(len)) : 0;
-    req.extra = std::vector<uint64_t>(stripes.begin() + static_cast<ptrdiff_t>(pos),
-                                      stripes.begin() + static_cast<ptrdiff_t>(pos + len));
-    ++stats_.batch_messages;
-    const Message rsp = AcquireRpc(node, std::move(req), len);
-    const auto granted = static_cast<size_t>(rsp.w3);
-    TM2C_DCHECK(granted <= len);
-    for (size_t i = 0; i < granted; ++i) {
-      const uint64_t stripe = stripes[pos + i];
-      if (is_write) {
-        write_locks_.insert(stripe);
-      } else if (read_locks_.insert(stripe).second) {
-        read_lock_order_.push_back(stripe);
+void TxRuntime::IssueBatch(uint32_t node, std::vector<uint64_t> stripes, bool is_write,
+                           bool committing) {
+  const SimTime issue_start = env_.LocalNow();
+  const uint64_t request_id = next_request_id_++;
+  const auto len = static_cast<uint32_t>(stripes.size());
+  Message req;
+  req.type = MsgType::kBatchAcquire;
+  req.w0 = (committing ? kBatchFlagCommit : 0) | (request_id << kBatchReqIdShift);
+  req.w1 = current_epoch_;
+  req.w2 = WireMetric();
+  req.w3 = is_write ? PrefixBitmap(len) : 0;
+  req.extra = stripes;  // the in-flight record keeps its own copy
+  ++stats_.batch_messages;
+  ++stats_.messages_sent;
+  // Depth at issue counts this request itself; depth 1 (lockstep) lands
+  // every batch in bucket 0.
+  const size_t depth = inflight_.size() + 1;
+  ++stats_.inflight_depth_hist[std::min<size_t>(depth, stats_.inflight_depth_hist.size()) - 1];
+  if (trace_ != nullptr) {
+    trace_->OnAcquireIssue(env_.core_id(), request_id, node, len, is_write);
+  }
+  InFlightAcquire fl;
+  fl.node = node;
+  fl.stripes = std::move(stripes);
+  fl.is_write = is_write;
+  fl.issue_start = issue_start;
+  if (node == env_.core_id()) {
+    // Multitasked deployment: this core is its own responsible node. The
+    // request resolves synchronously at the issue position — exactly the
+    // lockstep ordering — so it spends no time in the in-flight table.
+    TM2C_CHECK_MSG(local_service_ != nullptr, "self-addressed request without a local service");
+    req.src = env_.core_id();
+    env_.Compute(config_.multitask_switch_cycles);  // coroutine switch
+    Message rsp = local_service_->HandleLocal(std::move(req));
+    inflight_.emplace(request_id, std::move(fl));
+    CompleteBatch(rsp);
+    return;
+  }
+  env_.Send(node, std::move(req));
+  inflight_.emplace(request_id, std::move(fl));
+}
+
+void TxRuntime::CompleteBatch(const Message& rsp) {
+  const uint64_t request_id = rsp.w3 >> kBatchReqIdShift;
+  auto it = inflight_.find(request_id);
+  TM2C_CHECK_MSG(it != inflight_.end(), "batch reply with no matching in-flight request");
+  InFlightAcquire fl = std::move(it->second);
+  inflight_.erase(it);
+  const size_t len = fl.stripes.size();
+  const auto granted = static_cast<size_t>(rsp.w3 & kBatchReqIdMask);
+  TM2C_DCHECK(granted <= len);
+  for (size_t i = 0; i < granted; ++i) {
+    const uint64_t stripe = fl.stripes[i];
+    if (fl.is_write) {
+      write_locks_.insert(stripe);
+    } else if (read_locks_.insert(stripe).second) {
+      read_lock_order_.push_back(stripe);
+    }
+  }
+  // Per-request acquire latency: overlapped requests each charge their full
+  // issue-to-completion interval (the per-request mean is the pipelining
+  // metric; wall time is tracked by busy_time).
+  stats_.acquire_time += env_.LocalNow() - fl.issue_start;
+  stats_.lock_acquires += len;
+  stats_.remote_acquires += len;
+  for (uint64_t stripe : fl.stripes) {
+    auto p = prefetch_pending_.find(stripe);
+    if (p != prefetch_pending_.end() && p->second == request_id) {
+      prefetch_pending_.erase(p);
+    }
+  }
+  const auto kind = static_cast<ConflictKind>(rsp.w2);
+  if (trace_ != nullptr) {
+    trace_->OnAcquireComplete(env_.core_id(), request_id, static_cast<uint32_t>(granted),
+                              granted < len ? kind : ConflictKind::kNone);
+  }
+  if (granted < len) {
+    // The runtime routes with the same AddressMap the service validates
+    // against, so a refusal always carries a conflict kind; a kind-less
+    // refusal means a misrouted entry (map mismatch) and retrying the
+    // identical batch would livelock silently.
+    TM2C_CHECK_MSG(kind != ConflictKind::kNone,
+                   "batch refused without a conflict kind: runtime/service AddressMap mismatch");
+    if (pending_refusal_ == ConflictKind::kNone) {
+      pending_refusal_ = kind;  // first refusal names the abort reason
+    }
+  }
+}
+
+void TxRuntime::WaitOneReply() {
+  TM2C_CHECK_MSG(!inflight_.empty(), "waiting for a batch reply with none outstanding");
+  for (;;) {
+    Message msg = env_.Recv();
+    switch (msg.type) {
+      case MsgType::kBatchReply:
+        CompleteBatch(msg);
+        return;
+      case MsgType::kAbortNotify:
+        if (in_tx_ && msg.w1 == current_epoch_) {
+          pending_abort_ = true;
+          pending_abort_kind_ = static_cast<ConflictKind>(msg.w2);
+        }
+        continue;
+      case MsgType::kBarrier:
+        ++barrier_arrivals_[msg.w0];  // peer reached a privatization barrier
+        continue;
+      default:
+        if (local_service_ != nullptr) {
+          env_.Compute(config_.multitask_switch_cycles);  // coroutine switch
+          if (local_service_->HandleMessage(msg)) {
+            continue;  // served a DTM request while waiting (Figure 2)
+          }
+        }
+        TM2C_FATAL("unexpected message while awaiting a batch reply");
+    }
+  }
+}
+
+void TxRuntime::DrainInFlight() {
+  while (!inflight_.empty()) {
+    WaitOneReply();
+  }
+}
+
+void TxRuntime::WaitForStripe(uint64_t stripe) {
+  while (prefetch_pending_.find(stripe) != prefetch_pending_.end()) {
+    WaitOneReply();
+  }
+}
+
+bool TxRuntime::LocalFastPathEligible(uint32_t node) const {
+  return config_.local_fast_path && local_service_ != nullptr && node == env_.core_id();
+}
+
+void TxRuntime::LocalAcquireSpanOrAbort(const std::vector<uint64_t>& stripes, bool is_write,
+                                        bool committing) {
+  const SimTime start = env_.LocalNow();
+  const uint64_t request_id = next_request_id_++;
+  const auto n = static_cast<uint32_t>(stripes.size());
+  if (trace_ != nullptr) {
+    trace_->OnAcquireIssue(env_.core_id(), request_id, env_.core_id(), n, is_write);
+  }
+  ConflictKind refused = ConflictKind::kNone;
+  const uint32_t granted = local_service_->AcquireSpanDirect(
+      current_epoch_, WireMetric(), stripes.data(), n, is_write, committing, &refused);
+  for (uint32_t i = 0; i < granted; ++i) {
+    const uint64_t stripe = stripes[i];
+    if (is_write) {
+      write_locks_.insert(stripe);
+    } else if (read_locks_.insert(stripe).second) {
+      read_lock_order_.push_back(stripe);
+    }
+  }
+  stats_.acquire_time += env_.LocalNow() - start;
+  stats_.lock_acquires += n;
+  stats_.local_acquires += n;
+  if (trace_ != nullptr) {
+    trace_->OnAcquireComplete(env_.core_id(), request_id, granted,
+                              granted < n ? refused : ConflictKind::kNone);
+  }
+  if (granted < n) {
+    TM2C_CHECK_MSG(refused != ConflictKind::kNone,
+                   "local span refused without a conflict kind");
+    AbortSelf(refused);
+  }
+}
+
+void TxRuntime::AcquireGroupsOrAbort(const std::map<uint32_t, std::vector<uint64_t>>& by_node,
+                                     bool is_write, bool committing) {
+  for (const auto& [node, stripes] : by_node) {
+    if (pending_refusal_ != ConflictKind::kNone) {
+      break;  // doomed: stop issuing, drain, abort below
+    }
+    if (LocalFastPathEligible(node)) {
+      // Zero-message span acquisition: no 64-entry cap, one table pass.
+      LocalAcquireSpanOrAbort(stripes, is_write, committing);
+      continue;
+    }
+    for (size_t pos = 0; pos < stripes.size(); pos += config_.max_batch) {
+      while (inflight_.size() >= config_.pipeline_depth &&
+             pending_refusal_ == ConflictKind::kNone) {
+        WaitOneReply();
       }
+      if (pending_refusal_ != ConflictKind::kNone) {
+        break;
+      }
+      const size_t len = std::min<size_t>(config_.max_batch, stripes.size() - pos);
+      IssueBatch(node,
+                 std::vector<uint64_t>(stripes.begin() + static_cast<ptrdiff_t>(pos),
+                                       stripes.begin() + static_cast<ptrdiff_t>(pos + len)),
+                 is_write, committing);
     }
-    if (granted < len) {
-      const auto kind = static_cast<ConflictKind>(rsp.w2);
-      // The runtime routes with the same AddressMap the service validates
-      // against, so a refusal always carries a conflict kind; a kind-less
-      // refusal means a misrouted entry (map mismatch) and retrying the
-      // identical batch would livelock silently.
-      TM2C_CHECK_MSG(kind != ConflictKind::kNone,
-                     "batch refused without a conflict kind: runtime/service AddressMap mismatch");
-      AbortSelf(kind);
+  }
+  // Every reply must land before the refusal takes effect: a late grant
+  // belongs to the held-lock sets so the abort (or commit) path releases it.
+  DrainInFlight();
+  if (pending_refusal_ != ConflictKind::kNone) {
+    const ConflictKind kind = pending_refusal_;
+    pending_refusal_ = ConflictKind::kNone;
+    AbortSelf(kind);
+  }
+}
+
+void TxRuntime::AcquireReadLockOrAbort(uint64_t stripe) {
+  const uint32_t node = map_.ResponsibleCore(stripe);
+  if (LocalFastPathEligible(node)) {
+    LocalAcquireSpanOrAbort({stripe}, /*is_write=*/false, /*committing=*/false);
+    return;
+  }
+  Message req;
+  req.type = MsgType::kReadLockReq;
+  req.w0 = stripe;
+  req.w1 = current_epoch_;
+  req.w2 = WireMetric();
+  Message rsp = AcquireRpc(node, std::move(req), 1);
+  if (rsp.type == MsgType::kLockConflict) {
+    AbortSelf(static_cast<ConflictKind>(rsp.w2));
+  }
+  if (read_locks_.insert(stripe).second) {
+    read_lock_order_.push_back(stripe);
+  }
+}
+
+void TxRuntime::TxPrefetch(const std::vector<uint64_t>& addrs) {
+  CheckBodyContract();
+  TM2C_CHECK_MSG(in_tx_, "tx.Prefetch outside a transaction");
+  // Scalar wire semantics have nothing to overlap, and the elastic modes
+  // keep their per-read window behaviour: both degrade to a no-op
+  // (Prefetch is a hint, never required for correctness).
+  if (config_.tx_mode != TxMode::kNormal || config_.max_batch <= 1) {
+    return;
+  }
+  CheckPendingAbort();
+  std::map<uint32_t, std::vector<uint64_t>> by_node;
+  std::unordered_set<uint64_t> requested;
+  for (uint64_t addr : addrs) {
+    TM2C_DCHECK(addr % kWordBytes == 0);
+    if (write_buffer_.find(addr) != write_buffer_.end() ||
+        read_cache_.find(addr) != read_cache_.end()) {
+      continue;
     }
+    const uint64_t stripe = map_.StripeOf(addr);
+    if (read_locks_.find(stripe) != read_locks_.end() ||
+        write_locks_.find(stripe) != write_locks_.end() ||
+        prefetch_pending_.find(stripe) != prefetch_pending_.end() ||
+        !requested.insert(stripe).second) {
+      continue;
+    }
+    by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
+  }
+  for (const auto& [node, stripes] : by_node) {
+    if (pending_refusal_ != ConflictKind::kNone) {
+      break;  // already doomed; the next transactional op aborts
+    }
+    if (LocalFastPathEligible(node)) {
+      LocalAcquireSpanOrAbort(stripes, /*is_write=*/false, /*committing=*/false);
+      continue;
+    }
+    for (size_t pos = 0; pos < stripes.size(); pos += config_.max_batch) {
+      while (inflight_.size() >= config_.pipeline_depth &&
+             pending_refusal_ == ConflictKind::kNone) {
+        WaitOneReply();
+      }
+      if (pending_refusal_ != ConflictKind::kNone) {
+        break;
+      }
+      const size_t len = std::min<size_t>(config_.max_batch, stripes.size() - pos);
+      std::vector<uint64_t> chunk(stripes.begin() + static_cast<ptrdiff_t>(pos),
+                                  stripes.begin() + static_cast<ptrdiff_t>(pos + len));
+      // Register before issuing: a self-addressed chunk resolves inside
+      // IssueBatch and its CompleteBatch must find (and clear) the entries.
+      const uint64_t request_id = next_request_id_;  // IssueBatch consumes it
+      for (uint64_t stripe : chunk) {
+        prefetch_pending_[stripe] = request_id;
+      }
+      IssueBatch(node, std::move(chunk), /*is_write=*/false, /*committing=*/false);
+    }
+  }
+  // Lockstep configurations get the synchronous ReadMany-style acquisition
+  // without the reads; a refusal surfaces at the next transactional op.
+  if (config_.pipeline_depth == 1) {
+    DrainInFlight();
   }
 }
 
@@ -356,15 +629,16 @@ std::vector<uint64_t> TxRuntime::TxReadMany(const std::vector<uint64_t>& addrs) 
       continue;
     }
     const uint64_t stripe = map_.StripeOf(addr);
+    if (prefetch_pending_.find(stripe) != prefetch_pending_.end()) {
+      WaitForStripe(stripe);  // the prefetched lock is about to land
+    }
     if (read_locks_.find(stripe) != read_locks_.end() ||
         write_locks_.find(stripe) != write_locks_.end() || !requested.insert(stripe).second) {
       continue;
     }
     by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
   }
-  for (const auto& [node, stripes] : by_node) {
-    AcquireBatchesOrAbort(node, stripes, /*is_write=*/false, /*committing=*/false);
-  }
+  AcquireGroupsOrAbort(by_node, /*is_write=*/false, /*committing=*/false);
   // Every lock is held: the per-address reads below send no messages.
   for (uint64_t addr : addrs) {
     values.push_back(ReadNormal(addr, /*elastic_early=*/false));
@@ -383,23 +657,19 @@ uint64_t TxRuntime::ReadNormal(uint64_t addr, bool elastic_early) {
   CheckPendingAbort();
 
   const uint64_t stripe = map_.StripeOf(addr);
+  if (prefetch_pending_.find(stripe) != prefetch_pending_.end()) {
+    // The stripe's lock is already on its way: wait for that reply instead
+    // of issuing a second request (a refused prefetch aborts right here).
+    WaitForStripe(stripe);
+    CheckPendingAbort();
+  }
   // FaultMode::kSkipReadLock (verification only): perform the read without
   // the visible-read lock, exactly the invisible-read bug the oracle must
   // catch.
   if (config_.fault != FaultMode::kSkipReadLock &&
       read_locks_.find(stripe) == read_locks_.end() &&
       write_locks_.find(stripe) == write_locks_.end()) {
-    Message req;
-    req.type = MsgType::kReadLockReq;
-    req.w0 = stripe;
-    req.w1 = current_epoch_;
-    req.w2 = WireMetric();
-    Message rsp = AcquireRpc(map_.ResponsibleCore(stripe), std::move(req), 1);
-    if (rsp.type == MsgType::kLockConflict) {
-      AbortSelf(static_cast<ConflictKind>(rsp.w2));
-    }
-    read_locks_.insert(stripe);
-    read_lock_order_.push_back(stripe);
+    AcquireReadLockOrAbort(stripe);
 
     if (elastic_early) {
       // Elastic-early (Section 6.1): keep only the trailing window of read
@@ -484,17 +754,7 @@ void TxRuntime::TxWrite(uint64_t addr, uint64_t value) {
     const uint64_t stripe = map_.StripeOf(addr);
     if (auto it = early_released_values_.find(stripe); it != early_released_values_.end()) {
       const uint64_t expected = it->second;
-      Message req;
-      req.type = MsgType::kReadLockReq;
-      req.w0 = stripe;
-      req.w1 = current_epoch_;
-      req.w2 = WireMetric();
-      Message rsp = AcquireRpc(map_.ResponsibleCore(stripe), std::move(req), 1);
-      if (rsp.type == MsgType::kLockConflict) {
-        AbortSelf(static_cast<ConflictKind>(rsp.w2));
-      }
-      read_locks_.insert(stripe);
-      read_lock_order_.push_back(stripe);
+      AcquireReadLockOrAbort(stripe);
       early_released_values_.erase(stripe);
       if (env_.ShmemRead(addr) != expected) {
         ++stats_.validation_failures;
@@ -518,13 +778,18 @@ void TxRuntime::TxWrite(uint64_t addr, uint64_t value) {
 }
 
 void TxRuntime::AcquireWriteLockOrAbort(uint64_t stripe, bool committing) {
+  const uint32_t node = map_.ResponsibleCore(stripe);
+  if (LocalFastPathEligible(node)) {
+    LocalAcquireSpanOrAbort({stripe}, /*is_write=*/true, committing);
+    return;
+  }
   Message req;
   req.type = MsgType::kWriteLockReq;
   req.w0 = stripe;
   req.w1 = current_epoch_;
   req.w2 = WireMetric();
   req.w3 = committing ? 1 : 0;
-  Message rsp = AcquireRpc(map_.ResponsibleCore(stripe), std::move(req), 1);
+  Message rsp = AcquireRpc(node, std::move(req), 1);
   if (rsp.type == MsgType::kLockConflict) {
     AbortSelf(static_cast<ConflictKind>(rsp.w2));
   }
@@ -532,6 +797,10 @@ void TxRuntime::AcquireWriteLockOrAbort(uint64_t stripe, bool committing) {
 }
 
 void TxRuntime::TxCommit() {
+  // Outstanding prefetches resolve first: their grants belong to the
+  // held-lock sets before any lock is released, and a refused prefetch
+  // must abort before the commit sequence starts.
+  DrainInFlight();
   CheckPendingAbort();
 
   // Algorithm 3 lines 3-12: acquire the write locks for the buffered
@@ -547,17 +816,19 @@ void TxRuntime::TxCommit() {
       }
       by_node[map_.ResponsibleCore(stripe)].push_back(stripe);
     }
-    for (const auto& [node, stripes] : by_node) {
-      if (config_.max_batch <= 1) {
-        // Unbatched wire behaviour: one round trip per stripe.
+    if (config_.max_batch <= 1) {
+      // Unbatched wire behaviour: one round trip per stripe.
+      for (const auto& [node, stripes] : by_node) {
+        (void)node;
         for (uint64_t stripe : stripes) {
           AcquireWriteLockOrAbort(stripe, /*committing=*/true);
         }
-        continue;
       }
-      // Write-lock batching (Section 3.3): all locks this node is
-      // responsible for travel in chunks of at most max_batch addresses.
-      AcquireBatchesOrAbort(node, stripes, /*is_write=*/true, /*committing=*/true);
+    } else {
+      // Write-lock batching (Section 3.3): all locks a node is responsible
+      // for travel in chunks of at most max_batch addresses, up to
+      // pipeline_depth chunks overlapped in flight.
+      AcquireGroupsOrAbort(by_node, /*is_write=*/true, /*committing=*/true);
     }
   }
 
@@ -722,6 +993,11 @@ void TxRuntime::ReleaseAllLocks() {
 }
 
 void TxRuntime::AbortSelf(ConflictKind reason) {
+  // Late grants from still-outstanding batches must be recorded before the
+  // locks are released below, or they would leak into the next attempt.
+  DrainInFlight();
+  pending_refusal_ = ConflictKind::kNone;
+  prefetch_pending_.clear();
   switch (reason) {
     case ConflictKind::kReadAfterWrite:
       ++stats_.raw_conflicts;

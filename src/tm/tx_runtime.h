@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -64,10 +65,24 @@ class Tx {
   // Visible-read batch: acquires the read locks for every address in
   // `addrs`, grouped by responsible node and flushed as kBatchAcquire
   // messages of at most TmConfig::max_batch entries, then performs the
-  // shared-memory reads. Semantically identical to calling Read() per
-  // address under TxMode::kNormal; the elastic modes and max_batch == 1
-  // fall back to exactly that.
+  // shared-memory reads. With TmConfig::pipeline_depth > 1 the per-node
+  // batches are issued before any reply is awaited, overlapping the round
+  // trips. Semantically identical to calling Read() per address under
+  // TxMode::kNormal; the elastic modes and max_batch == 1 fall back to
+  // exactly that.
   std::vector<uint64_t> ReadMany(const std::vector<uint64_t>& addrs);
+
+  // Asynchronous read-lock prefetch: issues the batch acquisitions for
+  // `addrs` like ReadMany but returns without waiting for the replies (up
+  // to pipeline_depth - 1 may stay outstanding) and without performing the
+  // shared-memory reads, letting the body overlap acquisition with
+  // compute. A later Read()/ReadMany() of a prefetched address waits for
+  // its request to resolve; a refused prefetch aborts the transaction at
+  // the next transactional operation. No-op under the elastic modes and
+  // with max_batch == 1 (scalar semantics have nothing to overlap);
+  // pipeline_depth == 1 degenerates to the synchronous ReadMany
+  // acquisition without the reads.
+  void Prefetch(const std::vector<uint64_t>& addrs);
 
  private:
   friend class TxRuntime;
@@ -123,6 +138,7 @@ class TxRuntime {
   // Transactional wrappers (Algorithms 3-4).
   uint64_t TxRead(uint64_t addr);
   std::vector<uint64_t> TxReadMany(const std::vector<uint64_t>& addrs);
+  void TxPrefetch(const std::vector<uint64_t>& addrs);
   void TxWrite(uint64_t addr, uint64_t value);
   void TxCommit();
 
@@ -152,13 +168,51 @@ class TxRuntime {
   // request carries into the acquire-latency statistics.
   Message AcquireRpc(uint32_t dst, Message request, uint64_t stripes);
 
-  // Flushes one node's pending acquisitions (all write locks or all read
-  // locks) as kBatchAcquire messages of at most max_batch addresses each.
-  // Every granted prefix is recorded in the held-lock sets before the
-  // refusal check, so an abort releases it with everything else (the
-  // protocol is all-or-prefix: no service-side rollback).
-  void AcquireBatchesOrAbort(uint32_t node, const std::vector<uint64_t>& stripes, bool is_write,
-                             bool committing);
+  // Pipelined batch acquisition. A kBatchAcquire is issued without waiting
+  // for its reply; the in-flight table keyed by a per-runtime request id
+  // matches interleaved replies back to their requests. At most
+  // TmConfig::pipeline_depth requests are outstanding at once;
+  // pipeline_depth == 1 reproduces the lockstep request/reply sequence —
+  // and its statistics — bit for bit.
+  struct InFlightAcquire {
+    uint32_t node = 0;
+    std::vector<uint64_t> stripes;  // the chunk, in request order
+    bool is_write = false;
+    SimTime issue_start = 0;  // local clock at issue, for acquire_time
+  };
+
+  // Issues one chunk towards `node`. Self-addressed requests (multitasked
+  // deployment) resolve synchronously at the issue position, preserving
+  // the lockstep ordering; everything else enters the in-flight table.
+  void IssueBatch(uint32_t node, std::vector<uint64_t> stripes, bool is_write, bool committing);
+  // Records a kBatchReply: the granted prefix enters the held-lock sets
+  // immediately (an abort releases it with everything else — the protocol
+  // is all-or-prefix, no service-side rollback); a refusal is noted in
+  // pending_refusal_ for the caller to act on.
+  void CompleteBatch(const Message& rsp);
+  // Blocks until one in-flight batch completes, serving the local DTM
+  // partition (multitasked) and recording abort notifications meanwhile.
+  void WaitOneReply();
+  void DrainInFlight();
+  // Blocks until the prefetch covering `stripe` (if any) has resolved.
+  void WaitForStripe(uint64_t stripe);
+  // Acquires every per-node group: all chunks are issued before any reply
+  // is awaited (up to pipeline_depth in flight), then the in-flight table
+  // is drained and the first refusal aborts. Owner-local groups take the
+  // fast path (LocalAcquireSpanOrAbort) instead of the wire.
+  void AcquireGroupsOrAbort(const std::map<uint32_t, std::vector<uint64_t>>& by_node,
+                            bool is_write, bool committing);
+
+  // Owner-local fast path: this core is the responsible node for the
+  // stripe and TmConfig::local_fast_path is on — call the local LockTable
+  // directly (same CM arbitration and revocation semantics, zero
+  // messages).
+  bool LocalFastPathEligible(uint32_t node) const;
+  void LocalAcquireSpanOrAbort(const std::vector<uint64_t>& stripes, bool is_write,
+                               bool committing);
+  // Scalar read-lock acquisition (fast path or kReadLockReq round trip);
+  // records the stripe in the held-read-lock sets or aborts.
+  void AcquireReadLockOrAbort(uint64_t stripe);
 
   CoreEnv& env_;
   TmConfig config_;
@@ -189,6 +243,17 @@ class TxRuntime {
   // of written locations.
   std::unordered_map<uint64_t, uint64_t> elastic_read_values_;
 
+  // Pipelined-acquisition state. The request id counter spans attempts (a
+  // stale reply can never match a live request: every abort path drains
+  // the in-flight table before releasing locks); pending_refusal_ holds
+  // the first refusal observed by a completion until an abort consumes it;
+  // prefetch_pending_ maps a prefetched stripe to the request that will
+  // deliver its lock.
+  uint64_t next_request_id_ = 0;
+  std::map<uint64_t, InFlightAcquire> inflight_;  // request id -> pending batch
+  ConflictKind pending_refusal_ = ConflictKind::kNone;
+  std::unordered_map<uint64_t, uint64_t> prefetch_pending_;  // stripe -> request id
+
   // Privatization barrier state: generation counter and early arrivals
   // from cores already in a later generation.
   uint64_t barrier_generation_ = 0;
@@ -209,6 +274,7 @@ inline void Tx::Write(uint64_t addr, uint64_t value) { rt_->TxWrite(addr, value)
 inline std::vector<uint64_t> Tx::ReadMany(const std::vector<uint64_t>& addrs) {
   return rt_->TxReadMany(addrs);
 }
+inline void Tx::Prefetch(const std::vector<uint64_t>& addrs) { rt_->TxPrefetch(addrs); }
 
 }  // namespace tm2c
 

@@ -172,6 +172,45 @@ TEST(ChaosDeterminism, SameSeedGivesByteIdenticalStats) {
   EXPECT_EQ(a.history.transactions().size(), b.history.transactions().size());
 }
 
+TEST(ChaosDeterminism, PipelinedSameSeedGivesByteIdenticalStats) {
+  CheckRunConfig cfg;
+  cfg.max_batch = 8;
+  cfg.pipeline_depth = 4;
+  cfg.seed = 3;
+  const CheckRunResult a = RunCheckedWorkload(cfg);
+  const CheckRunResult b = RunCheckedWorkload(cfg);
+  EXPECT_TRUE(a.report.ok()) << a.report.Summary();
+  EXPECT_TRUE(a.stats == b.stats);
+  EXPECT_EQ(a.history.num_events(), b.history.num_events());
+}
+
+TEST(ChaosDeterminism, PipelinedRunRecordsOverlappingAcquires) {
+  CheckRunConfig cfg;
+  cfg.max_batch = 4;  // small chunks: one scan needs several batches per node
+  cfg.pipeline_depth = 4;
+  cfg.seed = 5;
+  const CheckRunResult result = RunCheckedWorkload(cfg);
+  EXPECT_TRUE(result.report.ok()) << result.report.Summary();
+  const auto& acquires = result.history.acquires();
+  ASSERT_FALSE(acquires.empty());
+  // At depth 4 some request must have been issued while another from the
+  // same core was still outstanding — the whole point of pipelining.
+  bool overlapped = false;
+  for (const auto& a : acquires) {
+    for (const auto& b : acquires) {
+      if (a.core == b.core && a.issue_seq < b.issue_seq && b.issue_seq < a.complete_seq) {
+        overlapped = true;
+        break;
+      }
+    }
+    if (overlapped) {
+      break;
+    }
+  }
+  EXPECT_TRUE(overlapped);
+  EXPECT_NE(result.history.ToJson().find("\"acquires\""), std::string::npos);
+}
+
 TEST(ChaosDeterminism, ChaosActuallyPerturbsTheSchedule) {
   CheckRunConfig with_chaos;
   with_chaos.seed = 3;
@@ -189,11 +228,12 @@ TEST(ChaosDeterminism, ChaosActuallyPerturbsTheSchedule) {
 // Planted faults: the oracle must flag every FaultMode (proof it has teeth).
 // ---------------------------------------------------------------------------
 
-bool FaultDetected(FaultMode fault, uint32_t max_batch) {
+bool FaultDetected(FaultMode fault, uint32_t max_batch, uint32_t pipeline_depth = 1) {
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     CheckRunConfig cfg;
     cfg.cm = CmKind::kFairCm;
     cfg.max_batch = max_batch;
+    cfg.pipeline_depth = pipeline_depth;
     cfg.fault = fault;
     cfg.seed = seed;
     cfg.accounts = 6;  // extra heat: more overlap, faster detection
@@ -218,6 +258,15 @@ TEST(PlantedFaults, ReleaseBeforePersistIsDetected) {
   EXPECT_TRUE(FaultDetected(FaultMode::kReleaseBeforePersist, 1));
 }
 
+TEST(PlantedFaults, FaultsStayDetectedUnderPipelining) {
+  // Pipelining must not blunt the oracle: with depth 4, stale-epoch grants
+  // (ignore-revocation) and broken 2PL (release-before-persist) are still
+  // flagged across the same 10 seeds.
+  EXPECT_TRUE(FaultDetected(FaultMode::kIgnoreRevocation, 8, 4));
+  EXPECT_TRUE(FaultDetected(FaultMode::kReleaseBeforePersist, 8, 4));
+  EXPECT_TRUE(FaultDetected(FaultMode::kSkipReadLock, 8, 4));
+}
+
 // ---------------------------------------------------------------------------
 // Clean protocol under chaos: no violations on any explored schedule.
 // ---------------------------------------------------------------------------
@@ -236,6 +285,22 @@ TEST(CleanProtocol, SmallChaosSweepFindsNothing) {
           ASSERT_TRUE(result.report.ok())
               << cfg.Name() << "\n" << result.report.Summary();
         }
+      }
+    }
+  }
+}
+
+TEST(CleanProtocol, PipelinedChaosSweepFindsNothing) {
+  for (uint32_t depth : {uint32_t{2}, uint32_t{4}}) {
+    for (uint32_t max_batch : {uint32_t{4}, uint32_t{8}}) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        CheckRunConfig cfg;
+        cfg.max_batch = max_batch;
+        cfg.pipeline_depth = depth;
+        cfg.seed = seed;
+        const CheckRunResult result = RunCheckedWorkload(cfg);
+        ASSERT_TRUE(result.report.ok())
+            << cfg.Name() << "\n" << result.report.Summary();
       }
     }
   }

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "src/apps/kvstore.h"
 #include "src/check/checker.h"
@@ -70,9 +71,49 @@ TEST(AddressMapOwnedRangeDeathTest, RejectsOverlapAndMisalignment) {
   map.AddOwnedRange(1024, 256, 0);
   EXPECT_DEATH(map.AddOwnedRange(1152, 64, 1), "overlap");
   EXPECT_DEATH(map.AddOwnedRange(896, 256, 1), "overlap");
+  // Exact-fit neighbours on both sides are still overlaps.
+  EXPECT_DEATH(map.AddOwnedRange(1024, 8, 1), "overlap");
+  EXPECT_DEATH(map.AddOwnedRange(1272, 16, 1), "overlap");
   EXPECT_DEATH(map.AddOwnedRange(2049, 64, 1), "aligned");
   AddressMap wide(plan, 64);
   EXPECT_DEATH(wide.AddOwnedRange(4096, 96, 1), "aligned");
+}
+
+TEST(AddressMapOwnedRange, HashFallbackTakesOverExactlyAtStripeEdges) {
+  DeploymentPlan plan(8, 4, DeployStrategy::kDedicated);
+  const uint64_t stripe = 64;
+  AddressMap map(plan, stripe);
+  map.AddOwnedRange(1024, 4 * stripe, 2);
+  AddressMap hash_only(plan, stripe);
+
+  // Every byte of the last owned stripe routes to the owner; the very next
+  // byte starts a fresh stripe and falls back to the Fibonacci hash.
+  const uint64_t last_owned = 1024 + 4 * stripe - 1;
+  EXPECT_EQ(map.PartitionOf(last_owned), 2u);
+  EXPECT_EQ(map.PartitionOf(last_owned + 1), hash_only.PartitionOf(last_owned + 1));
+  // Same at the front edge: the byte before the range is hash-routed.
+  EXPECT_EQ(map.PartitionOf(1024), 2u);
+  EXPECT_EQ(map.PartitionOf(1023), hash_only.PartitionOf(1023));
+  // And a stripe is atomic: the owner answers for any offset inside it.
+  EXPECT_EQ(map.StripeOf(last_owned), 1024 + 3 * stripe);
+  EXPECT_EQ(map.PartitionOf(map.StripeOf(last_owned)), 2u);
+}
+
+TEST(AddressMapOwnedRange, DescribeListsEveryRangeAndTheFallback) {
+  DeploymentPlan plan(8, 4, DeployStrategy::kDedicated);
+  AddressMap map(plan, 64);
+  map.AddOwnedRange(0x1000, 0x400, 3);
+  map.AddOwnedRange(0x4000, 0x40, 1);
+  const std::string dump = map.Describe();
+  EXPECT_NE(dump.find("stripe_bytes=64"), std::string::npos);
+  EXPECT_NE(dump.find("owned_ranges=2"), std::string::npos);
+  EXPECT_NE(dump.find("hash fallback"), std::string::npos);
+  EXPECT_NE(dump.find("[0x1000, 0x1400) -> partition 3"), std::string::npos);
+  EXPECT_NE(dump.find("[0x4000, 0x4040) -> partition 1"), std::string::npos);
+  // The owning core is resolved through the deployment plan.
+  std::ostringstream core;
+  core << "(core " << plan.ServiceCore(3) << ")";
+  EXPECT_NE(dump.find(core.str()), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -216,5 +216,108 @@ TEST(Regression, SelfPartitionScanSeesRevocation) {
   }
 }
 
+// The async-acquisition refactor's safety net: with the default
+// pipeline_depth the runtime must reproduce the lockstep request/reply
+// path byte for byte. The constants below were captured from the
+// pre-refactor runtime (one synchronous round trip per batch) on this
+// exact workload; every field of the merged TxStats — including the
+// timing-derived busy_time and acquire_time — must stay identical, on
+// both deployments. Any drift means the depth-1 fast path is no longer
+// the old wire behaviour.
+struct GoldenStats {
+  uint64_t commits, aborts, raw, waw, war, notify_aborts, reads, writes;
+  uint64_t messages_sent, lock_acquires, batch_messages, max_attempts;
+  SimTime busy_time, acquire_time;
+};
+
+TxStats RunLockstepGoldenWorkload(DeployStrategy strategy) {
+  TmSystemConfig cfg = Config(CmKind::kFairCm, TxMode::kNormal, strategy);
+  cfg.tm.max_batch = 8;
+  TmSystem sys(std::move(cfg));
+  constexpr uint32_t kAccounts = 32;
+  const uint64_t base = sys.allocator().AllocGlobal(kAccounts * 8);
+  for (uint32_t a = 0; a < kAccounts; ++a) {
+    sys.shmem().StoreWord(base + a * 8, 100);
+  }
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [&, i](CoreEnv&, TxRuntime& rt) {
+      Rng rng(41 * (i + 1));
+      for (int k = 0; k < 30; ++k) {
+        const uint32_t pick = rng.NextBelow(100);
+        if (pick < 40) {
+          const uint64_t from = base + rng.NextBelow(kAccounts) * 8;
+          const uint64_t to = base + ((from - base) / 8 + 3) % kAccounts * 8;
+          rt.Execute([from, to](Tx& tx) {
+            tx.Write(from, tx.Read(from) - 1);
+            tx.Write(to, tx.Read(to) + 1);
+          });
+        } else if (pick < 70) {
+          // Strided ReadMany: stripes spread over every partition, so the
+          // acquisition breaks into several per-node batches.
+          const uint64_t start = rng.NextBelow(kAccounts);
+          rt.Execute([&, start](Tx& tx) {
+            std::vector<uint64_t> addrs;
+            for (uint64_t j = 0; j < 12; ++j) {
+              addrs.push_back(base + (start + j * 5) % kAccounts * 8);
+            }
+            (void)tx.ReadMany(addrs);
+          });
+        } else {
+          // Scan-then-update: batched read acquisition plus a commit-time
+          // batched write-set acquisition.
+          const uint64_t a = rng.NextBelow(kAccounts);
+          const uint64_t b = (a + 7) % kAccounts;
+          rt.Execute([&, a, b](Tx& tx) {
+            std::vector<uint64_t> addrs;
+            for (uint64_t j = 0; j < 8; ++j) {
+              addrs.push_back(base + (a + j) % kAccounts * 8);
+            }
+            const std::vector<uint64_t> vals = tx.ReadMany(addrs);
+            tx.Write(base + a * 8, vals[0] + 1);
+            tx.Write(base + b * 8, tx.Read(base + b * 8) - 1);
+          });
+        }
+      }
+    });
+  }
+  sys.Run(kHorizon);
+  uint64_t total = 0;
+  for (uint32_t a = 0; a < kAccounts; ++a) {
+    total += sys.shmem().LoadWord(base + a * 8);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kAccounts) * 100);
+  EXPECT_TRUE(sys.AllLockTablesEmpty());
+  return sys.MergedStats();
+}
+
+void ExpectGolden(const TxStats& s, const GoldenStats& g) {
+  EXPECT_EQ(s.commits, g.commits);
+  EXPECT_EQ(s.aborts, g.aborts);
+  EXPECT_EQ(s.raw_conflicts, g.raw);
+  EXPECT_EQ(s.waw_conflicts, g.waw);
+  EXPECT_EQ(s.war_conflicts, g.war);
+  EXPECT_EQ(s.notify_aborts, g.notify_aborts);
+  EXPECT_EQ(s.reads, g.reads);
+  EXPECT_EQ(s.writes, g.writes);
+  EXPECT_EQ(s.messages_sent, g.messages_sent);
+  EXPECT_EQ(s.lock_acquires, g.lock_acquires);
+  EXPECT_EQ(s.batch_messages, g.batch_messages);
+  EXPECT_EQ(s.max_attempts_per_tx, g.max_attempts);
+  EXPECT_EQ(s.busy_time, g.busy_time);
+  EXPECT_EQ(s.acquire_time, g.acquire_time);
+}
+
+TEST(Regression, LockstepGoldenStatsDedicated) {
+  const GoldenStats golden{120, 115,  28, 0,   87, 35,         1542,      287,
+                           1701, 1636, 710, 6, 8759956912ull, 7564466152ull};
+  ExpectGolden(RunLockstepGoldenWorkload(DeployStrategy::kDedicated), golden);
+}
+
+TEST(Regression, LockstepGoldenStatsMultitasked) {
+  const GoldenStats golden{240,  669,  248,  0,  421, 132,         5090,       996,
+                           7272, 4949, 3042, 56, 53730913976ull, 44215565976ull};
+  ExpectGolden(RunLockstepGoldenWorkload(DeployStrategy::kMultitasked), golden);
+}
+
 }  // namespace
 }  // namespace tm2c

@@ -291,6 +291,67 @@ void ExpectStatsIdentical(const TxStats& a, const TxStats& b) {
   EXPECT_EQ(a.lock_acquires, b.lock_acquires);
   EXPECT_EQ(a.batch_messages, b.batch_messages);
   EXPECT_EQ(a.acquire_time, b.acquire_time);
+  EXPECT_EQ(a.local_acquires, b.local_acquires);
+  EXPECT_EQ(a.remote_acquires, b.remote_acquires);
+  for (size_t i = 0; i < a.inflight_depth_hist.size(); ++i) {
+    EXPECT_EQ(a.inflight_depth_hist[i], b.inflight_depth_hist[i]) << "depth bucket " << i;
+  }
+}
+
+// The determinism regressions compare whole TxStats values, so equality and
+// Merge must see every field — in particular the pipelining additions
+// (local/remote acquire split, in-flight depth histogram). A field missed
+// here would make two genuinely different runs compare equal.
+TEST(TxStatsValue, EqualityDistinguishesPipelineFields) {
+  TxStats base;
+  base.commits = 3;
+  base.lock_acquires = 10;
+  base.remote_acquires = 10;
+  base.inflight_depth_hist[0] = 10;
+
+  TxStats same = base;
+  EXPECT_TRUE(base == same);
+
+  TxStats local_differs = base;
+  local_differs.local_acquires = 1;
+  EXPECT_TRUE(base != local_differs);
+
+  TxStats remote_differs = base;
+  remote_differs.remote_acquires = 9;
+  EXPECT_TRUE(base != remote_differs);
+
+  TxStats hist_differs = base;
+  hist_differs.inflight_depth_hist[0] = 9;
+  hist_differs.inflight_depth_hist[3] = 1;
+  EXPECT_TRUE(base != hist_differs);
+}
+
+TEST(TxStatsValue, MergeSumsPipelineFieldsAndKeepsMaxAttempts) {
+  TxStats a;
+  a.lock_acquires = 8;
+  a.local_acquires = 5;
+  a.remote_acquires = 3;
+  a.inflight_depth_hist[0] = 2;
+  a.inflight_depth_hist[2] = 1;
+  a.max_attempts_per_tx = 4;
+
+  TxStats b;
+  b.lock_acquires = 6;
+  b.local_acquires = 1;
+  b.remote_acquires = 5;
+  b.inflight_depth_hist[2] = 3;
+  b.inflight_depth_hist[7] = 2;
+  b.max_attempts_per_tx = 2;
+
+  a.Merge(b);
+  EXPECT_EQ(a.lock_acquires, 14u);
+  EXPECT_EQ(a.local_acquires, 6u);
+  EXPECT_EQ(a.remote_acquires, 8u);
+  EXPECT_EQ(a.local_acquires + a.remote_acquires, a.lock_acquires);
+  EXPECT_EQ(a.inflight_depth_hist[0], 2u);
+  EXPECT_EQ(a.inflight_depth_hist[2], 4u);
+  EXPECT_EQ(a.inflight_depth_hist[7], 2u);
+  EXPECT_EQ(a.max_attempts_per_tx, 4u);  // max, not sum
 }
 
 // Shared multi-address workload: every core runs transactions that touch

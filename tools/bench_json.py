@@ -23,7 +23,9 @@ regenerate it and diff against the committed file as a freshness check.
 `compare` gates sim rows only by default: they are deterministic, so any
 drift is a real code change. Native (threads) rows are wall-clock numbers
 from whatever host ran them — they are reported but only enforced with
---gate-native (for dedicated, quiet perf hosts).
+--gate-native (for dedicated, quiet perf hosts). Rows measured at
+pipeline_depth != 1 are excluded from the compare groups: the lockstep
+depth-1 rows are the regression baseline.
 """
 import argparse
 import json
@@ -135,12 +137,22 @@ def load_benches(path):
 
 
 def throughput_groups(benches):
-    """Mean throughput per (bench, backend, platform) across result rows."""
+    """Mean throughput per (bench, backend, platform) across result rows.
+
+    Rows swept at pipeline_depth != 1 are excluded: the lockstep depth-1
+    protocol is the regression baseline, and pipelined rows shifting (in
+    either direction) as the overlap machinery evolves must neither mask
+    nor fake a baseline regression. The depth-1 rows of the same sweep
+    still count.
+    """
     sums = {}
     for bench in benches:
         for result in bench.get("results", []):
+            params = result.get("params", {})
+            if str(params.get("pipeline_depth", "1")) != "1":
+                continue
             key = (bench["bench"], bench.get("backend", "sim"),
-                   result.get("params", {}).get("platform", "-"))
+                   params.get("platform", "-"))
             total, count = sums.get(key, (0.0, 0))
             sums[key] = (total + result["throughput_ops_per_ms"], count + 1)
     return {key: total / count for key, (total, count) in sums.items() if count > 0}

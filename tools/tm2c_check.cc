@@ -1,8 +1,8 @@
 // tm2c_check: schedule-exploration chaos sweep + serializability oracle.
 //
-// Sweeps seeds x {cm, tx_mode, max_batch, platform}, running the recorded
-// chaos workload for every combination and the offline oracle on each
-// history. Any violation is printed, the full history is dumped as JSON
+// Sweeps seeds x {cm, tx_mode, max_batch, pipeline_depth, platform},
+// running the recorded chaos workload for every combination and the offline
+// oracle on each history. Any violation is printed, the full history is dumped as JSON
 // into --dump-dir for replay, and the exit status is non-zero.
 //
 //   tm2c_check --seeds=20                         # the nightly gate
@@ -98,6 +98,7 @@ int Main(int argc, char** argv) {
   std::string cms = "wholly,faircm";
   std::string modes;  // "" -> per-workload default, resolved below
   std::string batches = "1,8";
+  std::string pipeline_depths = "1";
   std::string fault_name = "none";
   std::string workload_name = "bank";
   int cores = 8;
@@ -120,6 +121,9 @@ int Main(int argc, char** argv) {
                  "is value-serializable by eread's contract but flagged by the "
                  "order-based oracle; pass --modes=eread explicitly to see it)");
   flags.Register("batches", &batches, "comma list of max_batch values");
+  flags.Register("pipeline-depths", &pipeline_depths,
+                 "comma list of pipeline_depth values (1 = lockstep; depths > 1 "
+                 "overlap batched acquisitions and add a Prefetch to the scans)");
   flags.Register("fault", &fault_name,
                  "planted fault: none, skip-read-lock, ignore-revocation, "
                  "release-before-persist");
@@ -179,41 +183,57 @@ int Main(int argc, char** argv) {
                          batch.c_str());
             return 2;
           }
-          for (uint64_t s = 0; s < seeds; ++s) {
-            CheckRunConfig cfg;
-            cfg.platform = platform;
-            cfg.num_cores = static_cast<uint32_t>(cores);
-            cfg.num_service = static_cast<uint32_t>(service_cores);
-            cfg.cm = cm;
-            cfg.tx_mode = mode;
-            cfg.max_batch = static_cast<uint32_t>(max_batch);
-            cfg.fault = fault;
-            cfg.workload = workload;
-            cfg.seed = seed_base + s;
-            cfg.chaos = !no_chaos;
-            cfg.txs_per_core = static_cast<uint32_t>(txs_per_core);
-            cfg.accounts = static_cast<uint32_t>(accounts);
-
-            const CheckRunResult result = RunCheckedWorkload(cfg);
-            ++runs;
-            if (verbose || !result.report.ok()) {
-              std::printf("%-48s %s\n", cfg.Name().c_str(),
-                          result.report.ok() ? "ok" : "VIOLATION");
-            }
-            if (!result.report.ok()) {
-              ++failures;
-              std::printf("  %s\n", result.report.Summary().c_str());
-              if (!dump_dir_made) {
-                ::mkdir(dump_dir.c_str(), 0755);  // best effort; may exist
-                dump_dir_made = true;
+          for (const std::string& depth_str : SplitCsv(pipeline_depths)) {
+            uint64_t depth = 0;
+            for (char c : depth_str) {
+              if (c < '0' || c > '9') {
+                depth = 0;
+                break;
               }
-              const std::string path = dump_dir + "/" + cfg.Name() + ".json";
-              std::ofstream out(path);
-              if (out) {
-                out << result.history.ToJson() << "\n";
-                std::printf("  history dumped to %s\n", path.c_str());
-              } else {
-                std::fprintf(stderr, "  could not write %s\n", path.c_str());
+              depth = depth * 10 + static_cast<uint64_t>(c - '0');
+            }
+            if (depth < 1 || depth > 64) {
+              std::fprintf(stderr, "bad --pipeline-depths entry (want 1..64): %s\n",
+                           depth_str.c_str());
+              return 2;
+            }
+            for (uint64_t s = 0; s < seeds; ++s) {
+              CheckRunConfig cfg;
+              cfg.platform = platform;
+              cfg.num_cores = static_cast<uint32_t>(cores);
+              cfg.num_service = static_cast<uint32_t>(service_cores);
+              cfg.cm = cm;
+              cfg.tx_mode = mode;
+              cfg.max_batch = static_cast<uint32_t>(max_batch);
+              cfg.pipeline_depth = static_cast<uint32_t>(depth);
+              cfg.fault = fault;
+              cfg.workload = workload;
+              cfg.seed = seed_base + s;
+              cfg.chaos = !no_chaos;
+              cfg.txs_per_core = static_cast<uint32_t>(txs_per_core);
+              cfg.accounts = static_cast<uint32_t>(accounts);
+
+              const CheckRunResult result = RunCheckedWorkload(cfg);
+              ++runs;
+              if (verbose || !result.report.ok()) {
+                std::printf("%-48s %s\n", cfg.Name().c_str(),
+                            result.report.ok() ? "ok" : "VIOLATION");
+              }
+              if (!result.report.ok()) {
+                ++failures;
+                std::printf("  %s\n", result.report.Summary().c_str());
+                if (!dump_dir_made) {
+                  ::mkdir(dump_dir.c_str(), 0755);  // best effort; may exist
+                  dump_dir_made = true;
+                }
+                const std::string path = dump_dir + "/" + cfg.Name() + ".json";
+                std::ofstream out(path);
+                if (out) {
+                  out << result.history.ToJson() << "\n";
+                  std::printf("  history dumped to %s\n", path.c_str());
+                } else {
+                  std::fprintf(stderr, "  could not write %s\n", path.c_str());
+                }
               }
             }
           }
