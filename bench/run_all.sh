@@ -20,6 +20,7 @@ set -euo pipefail
 
 BENCHES=(
   bench_ablation_batching
+  bench_ablation_durability
   bench_ablation_pipeline
   bench_ablation_skew
   bench_fig4a_deployment

@@ -371,6 +371,67 @@ std::vector<KvEntry> KvStore::Scan(TxRuntime& rt, uint64_t start_key, uint32_t l
 }
 
 // ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+void KvStore::RecoverPartition(uint32_t partition,
+                               const std::vector<std::pair<uint64_t, uint64_t>>& checkpoint_pairs,
+                               const std::vector<std::pair<uint64_t, uint64_t>>& replay_pairs) {
+  TM2C_CHECK(partition < parts_.size());
+  Partition& part = *parts_[partition];
+  std::lock_guard<std::mutex> lock(part.mu);
+  // Start from a clean slab: the crash may have left arbitrary garbage, and
+  // every word the durable state does not mention must read as 0 (null).
+  for (uint64_t off = 0; off < part.slab_bytes; off += kWordBytes) {
+    mem_->StoreWord(part.slab_base + off, 0);
+  }
+  const auto apply = [&](const std::vector<std::pair<uint64_t, uint64_t>>& pairs) {
+    for (const auto& [addr, value] : pairs) {
+      TM2C_CHECK_MSG(addr >= part.slab_base && addr < part.slab_base + part.slab_bytes,
+                     "recovery pair addressed outside the partition slab");
+      TM2C_CHECK(addr % kWordBytes == 0);
+      mem_->StoreWord(addr, value);
+    }
+  };
+  apply(checkpoint_pairs);
+  apply(replay_pairs);
+
+  // Rebuild the pool bookkeeping from the recovered structure alone. A pool
+  // slot is live iff some bucket chain reaches it; slots past the highest
+  // live index were either never handed out or belong to transactions whose
+  // link-in never became durable — either way the bump allocator can reuse
+  // them. Unreachable slots below the bump point go back on the free list
+  // (ascending, so recovery order is deterministic).
+  std::vector<bool> reachable(cfg_.capacity_per_partition, false);
+  uint64_t live = 0;
+  uint32_t next_unused = 0;
+  for (uint32_t b = 0; b < cfg_.buckets_per_partition; ++b) {
+    uint64_t node = mem_->LoadWord(BucketAddrAt(partition, b));
+    uint32_t steps = 0;
+    while (node != 0 && ++steps <= cfg_.capacity_per_partition) {
+      TM2C_CHECK_MSG(node >= part.pool_base && (node - part.pool_base) % node_bytes() == 0,
+                     "recovered chain points outside the node pool");
+      const uint64_t index = (node - part.pool_base) / node_bytes();
+      TM2C_CHECK(index < cfg_.capacity_per_partition);
+      TM2C_CHECK_MSG(!reachable[index], "recovered chains share a node");
+      reachable[index] = true;
+      ++live;
+      next_unused = std::max(next_unused, static_cast<uint32_t>(index) + 1);
+      node = mem_->LoadWord(NextAddr(node));
+    }
+    TM2C_CHECK_MSG(node == 0, "recovered chain longer than the pool (cycle?)");
+  }
+  part.in_use = live;
+  part.next_unused = next_unused;
+  part.free_nodes.clear();
+  for (uint32_t i = 0; i < next_unused; ++i) {
+    if (!reachable[i]) {
+      part.free_nodes.push_back(part.pool_base + uint64_t{i} * node_bytes());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Host-side helpers
 // ---------------------------------------------------------------------------
 

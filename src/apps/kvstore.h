@@ -128,6 +128,18 @@ class KvStore {
                        const std::function<void(uint64_t*)>& fn) const;
   std::vector<KvEntry> Scan(TxRuntime& rt, uint64_t start_key, uint32_t limit) const;
 
+  // -- Crash recovery ------------------------------------------------------
+  // Rebuilds one partition from its durable state: zeroes the slab, applies
+  // the checkpoint image, replays the log suffix (both as [addr, value]
+  // pairs in append order), then reconstructs the host-side pool metadata
+  // (in_use / next_unused / free list) by walking the recovered bucket
+  // chains. Checked errors on pairs outside the slab or on structurally
+  // corrupt chains. Deterministic: recovering twice from the same inputs
+  // yields a byte-identical slab and identical pool state.
+  void RecoverPartition(uint32_t partition,
+                        const std::vector<std::pair<uint64_t, uint64_t>>& checkpoint_pairs,
+                        const std::vector<std::pair<uint64_t, uint64_t>>& replay_pairs);
+
   // -- Host-side helpers (zero simulated cost; load phase + verification) --
   bool HostPut(uint64_t key, const uint64_t* value);  // insert-or-update
   bool HostGet(uint64_t key, uint64_t* value) const;

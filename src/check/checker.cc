@@ -1,8 +1,10 @@
 #include "src/check/checker.h"
 
+#include <utility>
 #include <vector>
 
 #include "src/apps/kvstore.h"
+#include "src/check/crash.h"
 #include "src/common/rng.h"
 
 namespace tm2c {
@@ -25,6 +27,18 @@ std::string CheckRunConfig::Name() const {
   }
   if (fault != FaultMode::kNone) {
     name += std::string("_fault-") + FaultModeName(fault);
+  }
+  if (durability != DurabilityMode::kOff) {
+    name += std::string("_dur-") + DurabilityModeName(durability);
+    if (group_commit_txs != 1) {
+      name += "_g" + std::to_string(group_commit_txs);
+    }
+    if (checkpoint_every_records != 0) {
+      name += "_ck" + std::to_string(checkpoint_every_records);
+    }
+  }
+  if (crash) {
+    name += "_crash";
   }
   if (!chaos) {
     name += "_nochaos";
@@ -67,6 +81,9 @@ TmSystemConfig MakeCheckedSystemConfig(const CheckRunConfig& cfg) {
   sys_cfg.tm.max_batch = cfg.max_batch;
   sys_cfg.tm.pipeline_depth = cfg.pipeline_depth;
   sys_cfg.tm.fault = cfg.fault;
+  sys_cfg.tm.durability = cfg.durability;
+  sys_cfg.tm.group_commit_txs = cfg.group_commit_txs;
+  sys_cfg.tm.checkpoint_every_records = cfg.checkpoint_every_records;
   return sys_cfg;
 }
 
@@ -89,6 +106,11 @@ CheckRunResult RunCheckedBankWorkload(const CheckRunConfig& cfg) {
     const uint64_t addr = base + a * kWordBytes;
     sys.shmem().StoreWord(addr, kInitial);
     result.history.RecordInitial(addr, kInitial);
+  }
+  if (cfg.durability != DurabilityMode::kOff) {
+    // The bank array is hash-mapped, not an owned range, so checkpoint 0 is
+    // empty — the logging/group-commit path still runs under chaos.
+    sys.CaptureDurableCheckpoint0();
   }
 
   const uint32_t n = sys.num_app_cores();
@@ -193,6 +215,114 @@ CheckRunResult RunCheckedBankWorkload(const CheckRunConfig& cfg) {
   return result;
 }
 
+// Post-hoc crash simulation over a completed checked run: pick a seeded
+// cut in the recorded event order, keep only what each partition's
+// durability layer had made durable by then (truncating the log image,
+// with a torn fragment of the next frame when one was buffered), clobber
+// the slabs, recover the store from checkpoint + log suffix, and run the
+// crash-restart oracle (src/check/crash.h) plus structural accounting on
+// the result.
+void RunKvCrashRestart(const CheckRunConfig& cfg, TmSystem& sys, KvStore& store,
+                       CheckRunResult* result) {
+  const uint32_t num_partitions = store.num_partitions();
+  const History& history = result->history;
+
+  // The cut rng is independent of the workload rng streams, so replaying a
+  // failing seed reproduces both the schedule and the crash point.
+  Rng rng(cfg.seed * 9176 + 31);
+  const uint64_t num_events = history.num_events();
+  const uint64_t cut_seq = num_events > 1 ? 1 + rng.NextBelow(num_events - 1) : 0;
+  const CrashCutReport cut = AnalyzeCrashCut(history, cut_seq, num_partitions);
+
+  // Build each partition's surviving log image: the durable prefix plus,
+  // when more had been appended, a torn fragment strictly inside the next
+  // frame — the way a real crash tears a buffered tail. The parse must
+  // come back clean apart from that torn tail.
+  std::vector<std::vector<CommitRecord>> durable_log(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const std::vector<uint8_t>& image = sys.DurabilityAt(p).wal().image();
+    const uint64_t durable_bytes = cut.partitions[p].durable_bytes;
+    TM2C_CHECK(durable_bytes <= image.size());
+    std::vector<uint8_t> surviving(image.begin(),
+                                   image.begin() + static_cast<size_t>(durable_bytes));
+    if (image.size() > durable_bytes) {
+      const uint32_t payload_len =
+          static_cast<uint32_t>(image[durable_bytes]) |
+          (static_cast<uint32_t>(image[durable_bytes + 1]) << 8) |
+          (static_cast<uint32_t>(image[durable_bytes + 2]) << 16) |
+          (static_cast<uint32_t>(image[durable_bytes + 3]) << 24);
+      const uint64_t frame = kWalFrameOverheadBytes + payload_len;
+      const uint64_t torn = 1 + rng.NextBelow(frame - 1);
+      surviving.insert(surviving.end(), image.begin() + static_cast<size_t>(durable_bytes),
+                       image.begin() + static_cast<size_t>(durable_bytes + torn));
+    }
+    const WalReadResult parsed = ReadWal(surviving);
+    if (parsed.bad_magic || parsed.crc_mismatch) {
+      result->report.violations.push_back(OracleViolation{
+          "torn-log", "partition " + std::to_string(p) +
+                          ": surviving log image fails to parse cleanly (" +
+                          (parsed.bad_magic ? "bad magic" : "crc mismatch") + ")"});
+    }
+    if (parsed.valid_bytes != durable_bytes) {
+      result->report.violations.push_back(OracleViolation{
+          "torn-log", "partition " + std::to_string(p) + ": surviving log replays " +
+                          std::to_string(parsed.valid_bytes) + " valid bytes, durable prefix is " +
+                          std::to_string(durable_bytes)});
+    }
+    for (const WalRecord& rec : parsed.records) {
+      CommitRecord commit;
+      if (!ParseCommitRecord(rec, &commit)) {
+        result->report.violations.push_back(OracleViolation{
+            "torn-log", "partition " + std::to_string(p) + ": durable record " +
+                            std::to_string(durable_log[p].size()) +
+                            " is not a well-formed commit record"});
+        break;
+      }
+      durable_log[p].push_back(std::move(commit));
+    }
+  }
+
+  // Crash. Nothing volatile survives: every slab word is clobbered before
+  // recovery, so anything correct afterwards came from the durable state.
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const auto [base, bytes] = store.SlabRange(p);
+    for (uint64_t addr = base; addr < base + bytes; addr += kWordBytes) {
+      sys.shmem().StoreWord(addr, 0xDEADDEADDEADDEADull);
+    }
+  }
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const PartitionCut& pcut = cut.partitions[p];
+    const PartitionDurability& dur = sys.DurabilityAt(p);
+    TM2C_CHECK(pcut.checkpoint_index < dur.checkpoints().size());
+    const CheckpointImage& ckpt = dur.checkpoints()[pcut.checkpoint_index];
+    TM2C_CHECK(ckpt.records_covered == pcut.checkpoint_records);
+    std::vector<std::pair<uint64_t, uint64_t>> replay;
+    for (uint64_t i = pcut.checkpoint_records; i < durable_log[p].size(); ++i) {
+      replay.insert(replay.end(), durable_log[p][i].pairs.begin(), durable_log[p][i].pairs.end());
+    }
+    store.RecoverPartition(p, ckpt.pairs, replay);
+  }
+
+  CheckCrashRestartHistory(
+      history, cut, durable_log,
+      [&sys](uint64_t addr) { return sys.shmem().LoadWord(addr); },
+      [&sys](uint64_t addr) { return sys.address_map().PartitionOf(addr); },
+      &result->report);
+
+  // The recovery's rebuilt pool bookkeeping must agree with a fresh walk
+  // of the recovered chains.
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const uint64_t chains = store.HostSizeOfPartition(p);
+    const uint64_t pool = store.NodesInUse(p);
+    if (chains != pool) {
+      result->report.violations.push_back(OracleViolation{
+          "node-accounting", "recovered partition " + std::to_string(p) + " pool says " +
+                                 std::to_string(pool) + " live nodes, chains hold " +
+                                 std::to_string(chains)});
+    }
+  }
+}
+
 // The KV-store chaos mix. Every value word is (unique write tag << 32) |
 // counter, the same attribution discipline as the bank workload: the low
 // half carries the conserved counter, the high half makes every committed
@@ -229,6 +359,11 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
     for (uint64_t addr = base; addr < base + bytes; addr += kWordBytes) {
       result.history.RecordInitial(addr, sys.shmem().LoadWord(addr));
     }
+  }
+  if (cfg.durability != DurabilityMode::kOff) {
+    // Snapshot the loaded slabs as checkpoint 0: recovery replays the log
+    // on top of exactly this image.
+    sys.CaptureDurableCheckpoint0();
   }
 
   const uint32_t n = sys.num_app_cores();
@@ -335,12 +470,19 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
     }
   }
 
+  if (cfg.crash) {
+    RunKvCrashRestart(cfg, sys, store, &result);
+  }
+
   return result;
 }
 
 }  // namespace
 
 CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
+  TM2C_CHECK_MSG(!cfg.crash || (cfg.workload == CheckWorkload::kKv &&
+                                cfg.durability != DurabilityMode::kOff),
+                 "crash-restart checking needs the kv workload with durability on");
   return cfg.workload == CheckWorkload::kKv ? RunCheckedKvWorkload(cfg)
                                             : RunCheckedBankWorkload(cfg);
 }

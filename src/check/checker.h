@@ -53,6 +53,17 @@ struct CheckRunConfig {
 
   CheckWorkload workload = CheckWorkload::kBank;
 
+  // Durability knobs (dedicated deployment only). With durability on, every
+  // commit additionally appends to its partitions' write-ahead logs; with
+  // `crash` on (kKv only) the harness then picks a seeded cut point,
+  // truncates each log to its durable watermark, clobbers and recovers the
+  // store, and runs the crash-restart oracle (src/check/crash.h) on top of
+  // the usual checks.
+  DurabilityMode durability = DurabilityMode::kOff;
+  uint32_t group_commit_txs = 1;
+  uint64_t checkpoint_every_records = 0;
+  bool crash = false;
+
   // Workload shape: each app core runs txs_per_core transactions over a
   // deliberately small, hot key/account space (kBank: increments +
   // transfers + full scans; kKv: RMW/delete/reinsert/get/scan).

@@ -40,6 +40,7 @@ void History::OnTxCommit(uint32_t core, SimTime now) {
   Tx* tx = OpenTx(core);
   tx->committed = true;
   tx->finished = true;
+  tx->end_seq = NextSeq();
   tx->end_time = now;
   open_.erase(core);
 }
@@ -48,6 +49,7 @@ void History::OnTxAbort(uint32_t core, SimTime now, ConflictKind reason) {
   Tx* tx = OpenTx(core);
   tx->committed = false;
   tx->finished = true;
+  tx->end_seq = NextSeq();
   tx->abort_reason = reason;
   tx->end_time = now;
   open_.erase(core);
@@ -91,6 +93,69 @@ void History::OnAcquireComplete(uint32_t core, uint64_t request_id, uint32_t gra
   acq.kind = kind;
   open_acquires_.erase(it);
 }
+
+void History::OnWalAppend(uint32_t partition, uint32_t core, uint64_t epoch,
+                          uint64_t record_index,
+                          const std::vector<std::pair<uint64_t, uint64_t>>& pairs) {
+  DurabilityEvent ev;
+  ev.kind = DurabilityEvent::Kind::kAppend;
+  ev.seq = NextSeq();
+  ev.partition = partition;
+  ev.core = core;
+  ev.epoch = epoch;
+  ev.record_index = record_index;
+  ev.pairs = pairs;
+  durability_events_.push_back(std::move(ev));
+}
+
+void History::OnCommitLogAck(uint32_t partition, uint32_t core, uint64_t epoch,
+                             uint64_t record_index) {
+  DurabilityEvent ev;
+  ev.kind = DurabilityEvent::Kind::kAck;
+  ev.seq = NextSeq();
+  ev.partition = partition;
+  ev.core = core;
+  ev.epoch = epoch;
+  ev.record_index = record_index;
+  durability_events_.push_back(std::move(ev));
+}
+
+void History::OnWalFlush(uint32_t partition, uint64_t durable_records, uint64_t durable_bytes) {
+  DurabilityEvent ev;
+  ev.kind = DurabilityEvent::Kind::kFlush;
+  ev.seq = NextSeq();
+  ev.partition = partition;
+  ev.durable_records = durable_records;
+  ev.durable_bytes = durable_bytes;
+  durability_events_.push_back(std::move(ev));
+}
+
+void History::OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
+                           uint64_t records_covered) {
+  DurabilityEvent ev;
+  ev.kind = DurabilityEvent::Kind::kCheckpoint;
+  ev.seq = NextSeq();
+  ev.partition = partition;
+  ev.checkpoint_index = checkpoint_index;
+  ev.records_covered = records_covered;
+  durability_events_.push_back(std::move(ev));
+}
+
+namespace {
+const char* DurabilityEventKindName(History::DurabilityEvent::Kind kind) {
+  switch (kind) {
+    case History::DurabilityEvent::Kind::kAppend:
+      return "append";
+    case History::DurabilityEvent::Kind::kAck:
+      return "ack";
+    case History::DurabilityEvent::Kind::kFlush:
+      return "flush";
+    case History::DurabilityEvent::Kind::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+}  // namespace
 
 std::string History::ToJson() const {
   JsonWriter w;
@@ -166,6 +231,46 @@ std::string History::ToJson() const {
     w.KV("is_write", acq.is_write);
     if (acq.kind != ConflictKind::kNone) {
       w.KV("refused_kind", ConflictKindName(acq.kind));
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("durability_events");
+  w.BeginArray();
+  for (const DurabilityEvent& ev : durability_events_) {
+    w.BeginObject();
+    w.KV("kind", DurabilityEventKindName(ev.kind));
+    w.KV("seq", ev.seq);
+    w.KV("partition", static_cast<uint64_t>(ev.partition));
+    switch (ev.kind) {
+      case DurabilityEvent::Kind::kAppend: {
+        w.KV("core", static_cast<uint64_t>(ev.core));
+        w.KV("epoch", ev.epoch);
+        w.KV("record_index", ev.record_index);
+        w.Key("pairs");
+        w.BeginArray();
+        for (const auto& [addr, value] : ev.pairs) {
+          w.BeginObject();
+          w.KV("addr", addr);
+          w.KV("value", value);
+          w.EndObject();
+        }
+        w.EndArray();
+        break;
+      }
+      case DurabilityEvent::Kind::kAck:
+        w.KV("core", static_cast<uint64_t>(ev.core));
+        w.KV("epoch", ev.epoch);
+        w.KV("record_index", ev.record_index);
+        break;
+      case DurabilityEvent::Kind::kFlush:
+        w.KV("durable_records", ev.durable_records);
+        w.KV("durable_bytes", ev.durable_bytes);
+        break;
+      case DurabilityEvent::Kind::kCheckpoint:
+        w.KV("checkpoint_index", ev.checkpoint_index);
+        w.KV("records_covered", ev.records_covered);
+        break;
     }
     w.EndObject();
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/tm/trace.h"
@@ -41,6 +42,7 @@ class History : public TxTraceSink {
     SimTime end_time = 0;
     bool committed = false;
     bool finished = false;  // saw a commit or abort (false: cut by a horizon)
+    uint64_t end_seq = 0;   // global event order of the outcome (0: unfinished)
     ConflictKind abort_reason = ConflictKind::kNone;
     std::vector<Read> reads;
     std::vector<Write> writes;
@@ -70,6 +72,24 @@ class History : public TxTraceSink {
     bool is_write = false;
     ConflictKind kind = ConflictKind::kNone;  // refusal kind, kNone if granted
   };
+  // One durability-layer event on a partition's commit log. The crash
+  // oracle replays these in seq order to find each partition's durable
+  // watermark at an arbitrary cut, and to prove every commit ack was
+  // preceded by a flush (or checkpoint) covering its record.
+  struct DurabilityEvent {
+    enum class Kind { kAppend, kAck, kFlush, kCheckpoint };
+    Kind kind = Kind::kAppend;
+    uint64_t seq = 0;
+    uint32_t partition = 0;
+    uint32_t core = 0;          // kAppend/kAck: committing app core
+    uint64_t epoch = 0;         // kAppend/kAck: committing tx epoch
+    uint64_t record_index = 0;  // kAppend/kAck: 0-based index in the log
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;  // kAppend: [addr, value]
+    uint64_t durable_records = 0;   // kFlush: records durable after the flush
+    uint64_t durable_bytes = 0;     // kFlush: bytes durable after the flush
+    uint64_t checkpoint_index = 0;  // kCheckpoint
+    uint64_t records_covered = 0;   // kCheckpoint: log prefix the image covers
+  };
 
   // Registers the pre-run content of `addr`. Optional: the oracle infers
   // initial values from pre-write reads when they are not registered, but
@@ -89,10 +109,18 @@ class History : public TxTraceSink {
                       bool is_write) override;
   void OnAcquireComplete(uint32_t core, uint64_t request_id, uint32_t granted,
                          ConflictKind kind) override;
+  void OnWalAppend(uint32_t partition, uint32_t core, uint64_t epoch, uint64_t record_index,
+                   const std::vector<std::pair<uint64_t, uint64_t>>& pairs) override;
+  void OnCommitLogAck(uint32_t partition, uint32_t core, uint64_t epoch,
+                      uint64_t record_index) override;
+  void OnWalFlush(uint32_t partition, uint64_t durable_records, uint64_t durable_bytes) override;
+  void OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
+                    uint64_t records_covered) override;
 
   const std::vector<Tx>& transactions() const { return txs_; }
   const std::vector<Revocation>& revocations() const { return revocations_; }
   const std::vector<Acquire>& acquires() const { return acquires_; }
+  const std::vector<DurabilityEvent>& durability_events() const { return durability_events_; }
   const std::unordered_map<uint64_t, uint64_t>& initial_values() const { return initial_; }
   uint64_t num_events() const { return next_seq_; }
 
@@ -112,6 +140,7 @@ class History : public TxTraceSink {
   std::vector<Acquire> acquires_;
   // (core, request_id) -> index into acquires_ of the outstanding request.
   std::unordered_map<uint64_t, size_t> open_acquires_;
+  std::vector<DurabilityEvent> durability_events_;
   uint64_t next_seq_ = 1;  // 0 is reserved as "before everything"
 };
 

@@ -1,0 +1,108 @@
+// Append-only write-ahead log with length+CRC framed records.
+//
+// A log is a byte image that starts with an 8-byte magic header and is
+// followed by zero or more frames:
+//
+//   [u32 payload_len_bytes][u32 crc32(payload)][payload: len/8 u64 words]
+//
+// The writer (Wal) always maintains the image in memory; an optional file
+// sink mirrors every append so the fsync path can be exercised for real.
+// Flush() advances the durable watermark (durable_records / durable_bytes):
+// everything at or below the watermark is what a crash is allowed to keep,
+// everything above it is what a crash may lose. In fsync mode Flush() also
+// fsyncs the backing file.
+//
+// The reader (ReadWal / ReadWalFile) scans frames until the first problem
+// and classifies it: an incomplete header or payload at the end of the
+// image is a torn tail (the expected shape after a crash mid-append); a
+// CRC or length-field mismatch on a complete frame is corruption. Both
+// stop the scan — recovery replays exactly the valid prefix.
+#ifndef TM2C_SRC_DURABILITY_WAL_H_
+#define TM2C_SRC_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tm2c {
+
+// Bytes of the magic header at the start of every log image.
+constexpr uint64_t kWalHeaderBytes = 8;
+
+// Bytes of framing (length + CRC) preceding every record payload.
+constexpr uint64_t kWalFrameOverheadBytes = 8;
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), over a byte range.
+uint32_t Crc32(const uint8_t* data, uint64_t size);
+
+struct WalRecord {
+  std::vector<uint64_t> payload;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  // Bytes of the valid prefix: magic header plus every complete,
+  // CRC-clean frame before the first problem.
+  uint64_t valid_bytes = 0;
+  // Trailing bytes formed an incomplete frame (crash mid-append).
+  bool torn_tail = false;
+  // A complete frame failed its CRC or carried an impossible length.
+  bool crc_mismatch = false;
+  // The image is shorter than the magic header or the magic differs.
+  bool bad_magic = false;
+
+  bool clean() const { return !crc_mismatch && !bad_magic; }
+};
+
+// Scans a log image (see the framing above). Stops at the first torn or
+// corrupt frame; the records vector holds the valid prefix.
+WalReadResult ReadWal(const std::vector<uint8_t>& bytes);
+
+// Reads `path` fully and scans it. A missing/unreadable file reads as an
+// empty image (bad_magic = true).
+WalReadResult ReadWalFile(const std::string& path);
+
+class Wal {
+ public:
+  struct Options {
+    // fsync the backing file on every Flush() (no-op without a path).
+    bool fsync_on_flush = false;
+    // Mirror the image into this file; empty = in-memory only.
+    std::string path;
+  };
+
+  explicit Wal(Options options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends one framed record; returns its zero-based record index.
+  uint64_t Append(const uint64_t* payload, uint64_t words);
+
+  // Makes every appended record durable: flushes (and in fsync mode syncs)
+  // the backing file and advances the durable watermark.
+  void Flush();
+
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t durable_records() const { return durable_records_; }
+  uint64_t durable_bytes() const { return durable_bytes_; }
+  uint64_t unflushed_records() const { return appended_records_ - durable_records_; }
+
+  // The full appended image, including not-yet-flushed frames. A crash at
+  // the current moment keeps only the first durable_bytes() of it.
+  const std::vector<uint8_t>& image() const { return image_; }
+
+ private:
+  Options options_;
+  std::vector<uint8_t> image_;
+  std::FILE* file_ = nullptr;
+  uint64_t appended_records_ = 0;
+  uint64_t durable_records_ = 0;
+  uint64_t durable_bytes_ = kWalHeaderBytes;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_DURABILITY_WAL_H_

@@ -35,6 +35,14 @@ enum class MsgType : uint8_t {
   // revoked this transaction's locks in favour of a higher-priority one.
   kAbortNotify,  // w1=victim tx epoch, w2=conflict kind
 
+  // Durability (src/durability/): the committer ships its persisted
+  // (addr, value) pairs for one partition to that partition's service,
+  // which appends them to the commit log and acknowledges once the record
+  // is covered by a group-commit flush. Write locks stay held until every
+  // ack arrives, so per-address record order equals persist order.
+  kCommitLog,     // w1=tx epoch, extra=[addr0, val0, addr1, val1, ...]
+  kCommitLogAck,  // w1=tx epoch
+
   // Infrastructure.
   kEcho,      // latency bench: request
   kEchoRsp,   // latency bench: response

@@ -23,6 +23,7 @@
 #define TM2C_SRC_TM_ADDRESS_MAP_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -94,6 +95,15 @@ class AddressMap {
 
   uint64_t stripe_bytes() const { return stripe_bytes_; }
   size_t num_owned_ranges() const { return directory_->ranges.size(); }
+
+  // Enumerates the registered owned ranges in address order (durability
+  // uses this to capture each partition's initial image for checkpoint 0).
+  void ForEachOwnedRange(
+      const std::function<void(uint64_t base, uint64_t bytes, uint32_t partition)>& fn) const {
+    for (const auto& [base, range] : directory_->ranges) {
+      fn(base, range.bytes, range.partition);
+    }
+  }
 
   // Human-readable dump of the routing configuration: stripe size, the
   // hash fallback, and every owned range with its pinned partition and

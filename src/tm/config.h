@@ -45,6 +45,12 @@ enum class FaultMode : uint8_t {
   // write-back buffer (word at a time), opening a window in which other
   // transactions lock, read and overwrite stale data.
   kReleaseBeforePersist = 3,
+  // Durability only: the DTM service acknowledges a kCommitLog append
+  // IMMEDIATELY, before the group-commit flush makes the record durable.
+  // The commit completes against a volatile log tail; a crash between the
+  // ack and the flush silently loses an acknowledged commit. The
+  // crash-restart oracle (CheckCrashRestartHistory) must flag it.
+  kAckBeforeLogFlush = 4,
 };
 
 inline const char* FaultModeName(FaultMode f) {
@@ -57,6 +63,31 @@ inline const char* FaultModeName(FaultMode f) {
       return "ignore-revocation";
     case FaultMode::kReleaseBeforePersist:
       return "release-before-persist";
+    case FaultMode::kAckBeforeLogFlush:
+      return "ack-before-log-flush";
+  }
+  return "?";
+}
+
+// Durability of the per-partition commit log (src/durability/). kOff is
+// the paper's in-memory DTM and leaves the commit path byte-identical to
+// the pre-durability protocol; kBuffered appends and flushes to the OS
+// (library) buffer only; kFsync additionally fsyncs the backing file on
+// every group-commit flush.
+enum class DurabilityMode : uint8_t {
+  kOff = 0,
+  kBuffered = 1,
+  kFsync = 2,
+};
+
+inline const char* DurabilityModeName(DurabilityMode m) {
+  switch (m) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kBuffered:
+      return "buffered";
+    case DurabilityMode::kFsync:
+      return "fsync";
   }
   return "?";
 }
@@ -132,6 +163,28 @@ struct TmConfig {
 
   // Planted protocol mutation (verification only; see FaultMode above).
   FaultMode fault = FaultMode::kNone;
+
+  // Commit-log durability (dedicated deployment only; see src/durability/).
+  // kOff keeps the commit path — and therefore every modelled timing —
+  // byte-identical to the pre-durability protocol.
+  DurabilityMode durability = DurabilityMode::kOff;
+
+  // Group commit: the service defers kCommitLogAck and the log flush until
+  // this many transactions' records are buffered (or its inbox drains).
+  // 1 = flush per transaction, the no-grouping baseline.
+  uint32_t group_commit_txs = 1;
+
+  // Take a checkpoint of the partition image every N appended records so
+  // recovery replays a bounded suffix; 0 = log only, never checkpoint.
+  uint64_t checkpoint_every_records = 0;
+
+  // Simulated costs of the durability path, charged on the service core:
+  // per payload word appended, and per flush in each mode. Calibrated so
+  // the ablation's expected ordering (off >= buffered >= fsync) is the
+  // model's behaviour, not an accident: an fsync is ~a disk round trip.
+  uint64_t log_append_cycles_per_word = 30;
+  uint64_t log_flush_buffered_cycles = 400;
+  uint64_t log_flush_fsync_cycles = 20000;
 };
 
 }  // namespace tm2c

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/cm/contention_manager.h"
 #include "src/dslock/lock_table.h"
@@ -20,6 +21,8 @@
 #include "src/tm/trace.h"
 
 namespace tm2c {
+
+class PartitionDurability;
 
 struct DtmServiceStats {
   uint64_t requests = 0;
@@ -31,6 +34,8 @@ struct DtmServiceStats {
   uint64_t misrouted_refused = 0;    // batch entries outside this partition
   uint64_t local_direct_requests = 0;  // owner-local fast-path span calls
   uint64_t local_direct_entries = 0;   // stripes across those spans
+  uint64_t commit_records = 0;         // kCommitLog records appended
+  uint64_t log_flushes = 0;            // group-commit flushes performed
 };
 
 class DtmService {
@@ -75,12 +80,25 @@ class DtmService {
     local_abort_sink_ = std::move(sink);
   }
 
+  // Attaches this partition's durability object (dedicated deployment
+  // only). Commits then ship their write sets here as kCommitLog messages;
+  // the service appends them, group-commits, and acknowledges. The service
+  // does not own the object (TmSystem does — checkpoints and the log image
+  // outlive the service for recovery).
+  void AttachDurability(PartitionDurability* durability);
+
+  // Group commit: flushes every appended-but-unflushed record and sends
+  // the deferred kCommitLogAck responses. Called when the group fills,
+  // when the inbox drains (flush-before-block), at checkpoints and at
+  // shutdown. No-op without durability or with nothing unflushed.
+  void FlushCommitLog();
+
   const LockTable& lock_table() const { return table_; }
   const DtmServiceStats& stats() const { return stats_; }
 
   // Attaches the execution-trace recorder (verification harnesses only);
-  // the service reports revocations through it.
-  void set_trace(TxTraceSink* trace) { trace_ = trace; }
+  // the service reports revocations — and durability events — through it.
+  void set_trace(TxTraceSink* trace);
 
  private:
   struct RemoteCoreState {
@@ -94,6 +112,8 @@ class DtmService {
 
   Message HandleAcquire(const Message& msg, bool is_write);
   Message HandleBatchAcquire(const Message& msg);
+  void HandleCommitLog(const Message& msg);
+  void SendCommitLogAck(uint32_t core, uint64_t epoch, uint64_t record_index);
   void HandleRelease(const Message& msg);
   void NotifyVictims(const std::vector<Victim>& victims);
   TxInfo DecodeRequester(const Message& msg) const;
@@ -107,6 +127,14 @@ class DtmService {
   std::unordered_map<uint32_t, RemoteCoreState> remote_state_;
   std::function<void(uint64_t, ConflictKind)> local_abort_sink_;
   TxTraceSink* trace_ = nullptr;
+  PartitionDurability* durability_ = nullptr;
+  // Acks deferred by group commit; drained by FlushCommitLog().
+  struct PendingAck {
+    uint32_t core;
+    uint64_t epoch;
+    uint64_t record_index;
+  };
+  std::vector<PendingAck> pending_acks_;
   DtmServiceStats stats_;
 };
 

@@ -36,6 +36,10 @@ struct TxStats {
   // path off (the default) everything counts as remote.
   uint64_t local_acquires = 0;
   uint64_t remote_acquires = 0;
+  // Durability: kCommitLog messages sent at commit time and the local time
+  // spent waiting for their acks (zero with durability off).
+  uint64_t commit_log_msgs = 0;
+  SimTime commit_log_wait = 0;
   // In-flight pipeline occupancy: bucket min(depth_at_issue, 8) - 1 counts
   // one kBatchAcquire issued while depth_at_issue requests (itself
   // included) were outstanding. Under the lockstep depth-1 path every batch
@@ -61,6 +65,8 @@ struct TxStats {
            lock_acquires == other.lock_acquires && batch_messages == other.batch_messages &&
            acquire_time == other.acquire_time && local_acquires == other.local_acquires &&
            remote_acquires == other.remote_acquires &&
+           commit_log_msgs == other.commit_log_msgs &&
+           commit_log_wait == other.commit_log_wait &&
            inflight_depth_hist == other.inflight_depth_hist;
   }
   bool operator!=(const TxStats& other) const { return !(*this == other); }
@@ -83,6 +89,8 @@ struct TxStats {
     acquire_time += other.acquire_time;
     local_acquires += other.local_acquires;
     remote_acquires += other.remote_acquires;
+    commit_log_msgs += other.commit_log_msgs;
+    commit_log_wait += other.commit_log_wait;
     for (size_t i = 0; i < inflight_depth_hist.size(); ++i) {
       inflight_depth_hist[i] += other.inflight_depth_hist[i];
     }

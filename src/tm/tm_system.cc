@@ -47,9 +47,19 @@ TmSystem::TmSystem(TmSystemConfig config)
     // Service cores run the DTM loop; app cores run their body with a
     // TxRuntime that has no local partition.
     services_.reserve(plan.num_service());
+    if (config_.tm.durability != DurabilityMode::kOff) {
+      durability_.reserve(plan.num_service());
+    }
     for (uint32_t p = 0; p < plan.num_service(); ++p) {
       const uint32_t core = plan.ServiceCore(p);
       auto service = std::make_unique<DtmService>(system_->env(core), config_.tm, &map_);
+      if (config_.tm.durability != DurabilityMode::kOff) {
+        PartitionDurability::Options opts;
+        opts.mode = config_.tm.durability;
+        opts.checkpoint_every_records = config_.tm.checkpoint_every_records;
+        durability_.push_back(std::make_unique<PartitionDurability>(p, opts));
+        service->AttachDurability(durability_.back().get());
+      }
       DtmService* svc = service.get();
       system_->SetCoreMain(core, [svc](CoreEnv&) { svc->RunLoop(); });
       services_.push_back(std::move(service));
@@ -71,6 +81,11 @@ TmSystem::TmSystem(TmSystemConfig config)
   }
 
   // Multitasked: every core hosts a DTM partition and an application task.
+  // Durability is dedicated-only: a self-addressed kCommitLog (or two
+  // cores awaiting each other's deferred group-commit acks) would
+  // deadlock the multitasked serve loops.
+  TM2C_CHECK_MSG(config_.tm.durability == DurabilityMode::kOff,
+                 "durability requires the dedicated deployment");
   services_.reserve(plan.num_cores());
   runtimes_.reserve(plan.num_cores());
   for (uint32_t core = 0; core < plan.num_cores(); ++core) {
@@ -146,6 +161,25 @@ void TmSystem::AttachTrace(TxTraceSink* trace) {
   }
   for (auto& service : services_) {
     service->set_trace(trace);
+  }
+}
+
+PartitionDurability& TmSystem::DurabilityAt(uint32_t partition) {
+  TM2C_CHECK_MSG(partition < durability_.size(),
+                 "DurabilityAt: durability off or bad partition index");
+  return *durability_[partition];
+}
+
+void TmSystem::CaptureDurableCheckpoint0() {
+  TM2C_CHECK_MSG(!durability_.empty(), "durability is off");
+  map_.ForEachOwnedRange([this](uint64_t base, uint64_t bytes, uint32_t partition) {
+    PartitionDurability& dur = *durability_[partition];
+    for (uint64_t addr = base; addr < base + bytes; addr += kWordBytes) {
+      dur.CaptureInitial(addr, system_->shmem().LoadWord(addr));
+    }
+  });
+  for (auto& dur : durability_) {
+    dur->SealInitialCheckpoint();
   }
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/durability/partition_log.h"
 #include "src/runtime/backend.h"
 #include "src/runtime/sim_system.h"
 #include "src/runtime/thread_system.h"
@@ -85,6 +86,17 @@ class TmSystem {
   // only valid when backend() == BackendKind::kSim.
   SimSystem& sim();
 
+  // Durability handles (only valid when config.tm.durability != kOff;
+  // one PartitionDurability per service partition, owned here so the log
+  // image and checkpoints outlive the run for recovery).
+  PartitionDurability& DurabilityAt(uint32_t partition);
+  bool durability_enabled() const { return !durability_.empty(); }
+
+  // Captures every registered owned range's current slab words as each
+  // partition's checkpoint 0 (the post-load baseline image). Call after
+  // the host-side load phase and before Run().
+  void CaptureDurableCheckpoint0();
+
   const AddressMap& address_map() const { return map_; }
   // Mutable for setup-time AddressMap::AddOwnedRange registration (the
   // runtimes' and services' map copies share the ownership directory).
@@ -100,6 +112,8 @@ class TmSystem {
   std::unique_ptr<SystemBackend> system_;
   AddressMap map_;
   std::vector<std::unique_ptr<DtmService>> services_;   // per service core
+  // Per-partition durability (empty when config.tm.durability == kOff).
+  std::vector<std::unique_ptr<PartitionDurability>> durability_;
   std::vector<std::unique_ptr<TxRuntime>> runtimes_;    // per app core
   std::vector<AppBody> bodies_;                         // per app core
   std::atomic<uint32_t> apps_running_{0};

@@ -14,6 +14,8 @@
 #define TM2C_SRC_TM_TRACE_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/runtime/message.h"
 #include "src/sim/time.h"
@@ -61,6 +63,35 @@ class TxTraceSink {
   virtual void OnAcquireComplete(uint32_t core, uint64_t request_id, uint32_t granted,
                                  ConflictKind kind) {
     (void)core, (void)request_id, (void)granted, (void)kind;
+  }
+
+  // Durability visibility (src/durability/): the crash-restart oracle
+  // reconstructs per-partition durable watermarks from these events.
+  // Default no-ops so durability-off runs record identical histories.
+  //
+  // The service appended (core, epoch)'s write set as log record
+  // `record_index` of `partition`.
+  virtual void OnWalAppend(uint32_t partition, uint32_t core, uint64_t epoch,
+                           uint64_t record_index,
+                           const std::vector<std::pair<uint64_t, uint64_t>>& pairs) {
+    (void)partition, (void)core, (void)epoch, (void)record_index, (void)pairs;
+  }
+  // The service acknowledged record `record_index` back to the committer.
+  // With a correct protocol this happens only after the covering flush;
+  // FaultMode::kAckBeforeLogFlush inverts the order.
+  virtual void OnCommitLogAck(uint32_t partition, uint32_t core, uint64_t epoch,
+                              uint64_t record_index) {
+    (void)partition, (void)core, (void)epoch, (void)record_index;
+  }
+  // The group-commit flush advanced `partition`'s durable watermark.
+  virtual void OnWalFlush(uint32_t partition, uint64_t durable_records,
+                          uint64_t durable_bytes) {
+    (void)partition, (void)durable_records, (void)durable_bytes;
+  }
+  // A periodic checkpoint covering the first `records_covered` records.
+  virtual void OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
+                            uint64_t records_covered) {
+    (void)partition, (void)checkpoint_index, (void)records_covered;
   }
 };
 

@@ -956,11 +956,69 @@ void TxRuntime::TxCommit() {
     }
   }
 
+  // Durability: the persisted write set becomes a commit-log record on
+  // every owner partition BEFORE any lock is released. The acks gate the
+  // release, so the partition's record order equals its persist order.
+  if (config_.durability != DurabilityMode::kOff) {
+    LogCommitDurable();
+  }
+
   // Algorithm 3 lines 16-17: release all locks.
   ReleaseAllLocks();
   if (trace_ != nullptr) {
     trace_->OnTxCommit(env_.core_id(), env_.GlobalNow());
   }
+}
+
+void TxRuntime::LogCommitDurable() {
+  if (write_order_.empty()) {
+    return;  // read-only commits leave no durable trace
+  }
+  // Group the persisted (addr, value) pairs by owner partition's service
+  // core, preserving persist order within each group.
+  std::map<uint32_t, std::vector<uint64_t>> by_node;
+  for (uint64_t addr : write_order_) {
+    const uint32_t node = map_.ResponsibleCore(map_.StripeOf(addr));
+    // Durability is restricted to the dedicated deployment: a self-
+    // addressed kCommitLog would deadlock the ack wait (and the group-
+    // commit flush of a peer could deadlock distributed waits).
+    TM2C_CHECK_MSG(node != env_.core_id(),
+                   "durability requires the dedicated deployment");
+    std::vector<uint64_t>& flat = by_node[node];
+    flat.push_back(addr);
+    flat.push_back(write_buffer_[addr]);
+  }
+  const SimTime wait_start = env_.LocalNow();
+  uint32_t awaiting = 0;
+  for (auto& [node, flat] : by_node) {
+    Message msg;
+    msg.type = MsgType::kCommitLog;
+    msg.w1 = current_epoch_;
+    msg.extra = std::move(flat);
+    env_.Send(node, std::move(msg));
+    ++stats_.messages_sent;
+    ++stats_.commit_log_msgs;
+    ++awaiting;
+  }
+  while (awaiting > 0) {
+    Message msg = env_.Recv();
+    switch (msg.type) {
+      case MsgType::kCommitLogAck:
+        TM2C_CHECK(msg.w1 == current_epoch_);
+        --awaiting;
+        break;
+      case MsgType::kAbortNotify:
+        // Too late: the write set is already persisted and logged — this
+        // commit wins; the revoker's refusal bounced it already.
+        break;
+      case MsgType::kBarrier:
+        ++barrier_arrivals_[msg.w0];
+        break;
+      default:
+        TM2C_FATAL("unexpected message while awaiting kCommitLogAck");
+    }
+  }
+  stats_.commit_log_wait += env_.LocalNow() - wait_start;
 }
 
 void TxRuntime::ReleaseAllLocks() {

@@ -148,6 +148,12 @@ class TxRuntime {
 
   void BeginAttempt();
   [[noreturn]] void AbortSelf(ConflictKind reason);
+  // Durability (dedicated deployment only): after the write-back persist
+  // and before releasing the write locks, ships the persisted (addr,
+  // value) pairs to each owner partition's service as one kCommitLog and
+  // waits for every kCommitLogAck. Holding the locks across the wait makes
+  // per-address record order equal persist order.
+  void LogCommitDurable();
   void ReleaseAllLocks();
   void CheckPendingAbort();
   // Fatal at the first transactional op after a contract violation: the

@@ -158,7 +158,25 @@ def throughput_groups(benches):
     return {key: total / count for key, (total, count) in sums.items() if count > 0}
 
 
+def file_schema_version(path):
+    with open(path) as f:
+        return json.load(f).get("schema_version")
+
+
 def cmd_compare(args):
+    # A baseline written under an older schema predates whatever field the
+    # current reader expects; comparing against it would die in a KeyError
+    # deep in throughput_groups. The baseline is historical data — skip the
+    # compare (success: there is nothing to gate against yet). The NEW file
+    # was produced by this checkout, so a mismatch there is a real bug.
+    old_version = file_schema_version(args.old)
+    if old_version != SCHEMA_VERSION:
+        print(f"compare: baseline {args.old} incompatible "
+              f"(schema_version {old_version} != {SCHEMA_VERSION}), skipping")
+        sys.exit(0)
+    new_version = file_schema_version(args.new)
+    if new_version != SCHEMA_VERSION:
+        fail(f"{args.new}: schema_version {new_version} != {SCHEMA_VERSION}")
     old = throughput_groups(load_benches(args.old))
     new = throughput_groups(load_benches(args.new))
     regressions = []

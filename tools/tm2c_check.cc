@@ -7,6 +7,9 @@
 //
 //   tm2c_check --seeds=20                         # the nightly gate
 //   tm2c_check --seeds=8 --fault=skip-read-lock   # watch the oracle bite
+//   tm2c_check --crash --seeds=10                 # crash-restart recovery sweep
+//   tm2c_check --crash --fault=ack-before-log-flush --seeds=5
+//                                                 # the write-ahead rule bites
 //   tm2c_check --seeds=1 --seed-base=17 --cms=faircm --modes=normal
 //       --batches=8 --platforms=scc               # replay one failure
 #include <sys/stat.h>
@@ -74,6 +77,21 @@ bool ParseFault(const std::string& name, FaultMode* out) {
     *out = FaultMode::kIgnoreRevocation;
   } else if (name == "release-before-persist") {
     *out = FaultMode::kReleaseBeforePersist;
+  } else if (name == "ack-before-log-flush") {
+    *out = FaultMode::kAckBeforeLogFlush;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseDurability(const std::string& name, DurabilityMode* out) {
+  if (name == "off") {
+    *out = DurabilityMode::kOff;
+  } else if (name == "buffered") {
+    *out = DurabilityMode::kBuffered;
+  } else if (name == "fsync") {
+    *out = DurabilityMode::kFsync;
   } else {
     return false;
   }
@@ -101,6 +119,10 @@ int Main(int argc, char** argv) {
   std::string pipeline_depths = "1";
   std::string fault_name = "none";
   std::string workload_name = "bank";
+  std::string durability_name;  // "" -> off, or buffered when --crash is set
+  uint64_t group_commit = 1;
+  uint64_t checkpoint_every = 0;
+  bool crash = false;
   int cores = 8;
   int service_cores = 4;
   int txs_per_core = 30;
@@ -126,7 +148,18 @@ int Main(int argc, char** argv) {
                  "overlap batched acquisitions and add a Prefetch to the scans)");
   flags.Register("fault", &fault_name,
                  "planted fault: none, skip-read-lock, ignore-revocation, "
-                 "release-before-persist");
+                 "release-before-persist, ack-before-log-flush");
+  flags.Register("durability", &durability_name,
+                 "per-partition commit logging: off, buffered, fsync "
+                 "(default: off, or buffered when --crash is set)");
+  flags.Register("group-commit", &group_commit,
+                 "acks deferred until this many unflushed records (1 = flush per tx)");
+  flags.Register("checkpoint-every", &checkpoint_every,
+                 "take a partition checkpoint every N log records (0 = never)");
+  flags.Register("crash", &crash,
+                 "after each run, crash at a seeded event, truncate the logs to "
+                 "their durable watermark, recover the store and run the "
+                 "crash-restart oracle (forces --workload=kv)");
   flags.Register("workload", &workload_name,
                  "adversarial workload: bank (hot accounts, default) or kv "
                  "(KV store delete/reinsert mix)");
@@ -147,6 +180,21 @@ int Main(int argc, char** argv) {
   CheckWorkload workload = CheckWorkload::kBank;
   if (!ParseWorkload(workload_name, &workload)) {
     std::fprintf(stderr, "unknown --workload value: %s\n", workload_name.c_str());
+    return 2;
+  }
+  if (crash) {
+    workload = CheckWorkload::kKv;  // recovery needs the recoverable store
+  }
+  if (durability_name.empty()) {
+    durability_name = crash ? "buffered" : "off";
+  }
+  DurabilityMode durability = DurabilityMode::kOff;
+  if (!ParseDurability(durability_name, &durability)) {
+    std::fprintf(stderr, "unknown --durability value: %s\n", durability_name.c_str());
+    return 2;
+  }
+  if (crash && durability == DurabilityMode::kOff) {
+    std::fprintf(stderr, "--crash needs --durability=buffered or fsync\n");
     return 2;
   }
   if (modes.empty()) {
@@ -212,6 +260,10 @@ int Main(int argc, char** argv) {
               cfg.chaos = !no_chaos;
               cfg.txs_per_core = static_cast<uint32_t>(txs_per_core);
               cfg.accounts = static_cast<uint32_t>(accounts);
+              cfg.durability = durability;
+              cfg.group_commit_txs = static_cast<uint32_t>(group_commit);
+              cfg.checkpoint_every_records = checkpoint_every;
+              cfg.crash = crash;
 
               const CheckRunResult result = RunCheckedWorkload(cfg);
               ++runs;
