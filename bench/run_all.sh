@@ -23,6 +23,7 @@ BENCHES=(
   bench_ablation_durability
   bench_ablation_pipeline
   bench_ablation_skew
+  bench_elastic
   bench_fig4a_deployment
   bench_fig4b_speedup
   bench_fig4c_eager_lazy

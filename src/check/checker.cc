@@ -37,6 +37,9 @@ std::string CheckRunConfig::Name() const {
       name += "_ck" + std::to_string(checkpoint_every_records);
     }
   }
+  if (migrate) {
+    name += "_migrate";
+  }
   if (crash) {
     name += "_crash";
   }
@@ -179,6 +182,7 @@ CheckRunResult RunCheckedBankWorkload(const CheckRunConfig& cfg) {
   OracleOptions opts;
   opts.elastic_relaxed = cfg.tx_mode != TxMode::kNormal;
   result.report = CheckHistory(result.history, opts);
+  CheckMigrationHistory(result.history, &result.report);  // vacuous without migrations
 
   bool all_done = true;
   for (uint32_t i = 0; i < n; ++i) {
@@ -370,10 +374,18 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
   std::vector<bool> done(n, false);
   std::vector<uint64_t> increments(n, 0);    // applied RMW increments
   std::vector<uint64_t> removed_sum(n, 0);   // counters carried off by deletes
+  const std::pair<uint64_t, uint64_t> slab0 = store.SlabRange(0);
   for (uint32_t i = 0; i < n; ++i) {
     sys.SetAppBody(i, [&, i](CoreEnv&, TxRuntime& rt) {
       Rng rng(cfg.seed * 131 + 17 * (i + 1));
       for (uint32_t k = 0; k < cfg.txs_per_core; ++k) {
+        if (cfg.migrate && i == 0 && k == cfg.txs_per_core / 2) {
+          // Live handoff under load: hand the partition-0 slab's lock
+          // ownership to partition 1 while every core keeps issuing the
+          // chaos mix. Fire-and-forget — the drain, the flip and the
+          // kOwnershipUpdate broadcast land wherever chaos schedules them.
+          rt.RequestMigration(slab0.first, slab0.second, 1);
+        }
         // Unique per (core, transaction); each op persists at most one
         // value word, so the tag disambiguates every committed value.
         const uint64_t tag = static_cast<uint64_t>(i + 1) * cfg.txs_per_core + k;
@@ -418,6 +430,7 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
   OracleOptions opts;
   opts.elastic_relaxed = cfg.tx_mode != TxMode::kNormal;
   result.report = CheckHistory(result.history, opts);
+  CheckMigrationHistory(result.history, &result.report);
 
   bool all_done = true;
   for (uint32_t i = 0; i < n; ++i) {
@@ -483,6 +496,8 @@ CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
   TM2C_CHECK_MSG(!cfg.crash || (cfg.workload == CheckWorkload::kKv &&
                                 cfg.durability != DurabilityMode::kOff),
                  "crash-restart checking needs the kv workload with durability on");
+  TM2C_CHECK_MSG(!cfg.migrate || (cfg.workload == CheckWorkload::kKv && cfg.num_service >= 2),
+                 "migration checking needs the kv workload and at least two partitions");
   return cfg.workload == CheckWorkload::kKv ? RunCheckedKvWorkload(cfg)
                                             : RunCheckedBankWorkload(cfg);
 }

@@ -51,6 +51,13 @@ struct CheckRunConfig {
   uint64_t seed = 1;
   bool chaos = true;  // apply DefaultChaos(seed); off = the one FIFO schedule
 
+  // Mid-run live migration (kKv only, needs num_service >= 2): halfway
+  // through app core 0's workload the partition-0 slab's lock ownership is
+  // handed off to partition 1 while every core keeps running the chaos mix.
+  // The migration oracle (CheckMigrationHistory) then replays the recorded
+  // grant/migration events against the drain windows and ownership flips.
+  bool migrate = false;
+
   CheckWorkload workload = CheckWorkload::kBank;
 
   // Durability knobs (dedicated deployment only). With durability on, every

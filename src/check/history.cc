@@ -141,6 +141,35 @@ void History::OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
   durability_events_.push_back(std::move(ev));
 }
 
+void History::OnLockGrant(uint32_t service_core, uint32_t requester_core, uint64_t stripe) {
+  grants_.push_back(GrantEvent{NextSeq(), service_core, requester_core, stripe});
+}
+
+void History::OnMigrationBegin(uint32_t from_core, uint32_t to_core, uint64_t base,
+                               uint64_t bytes) {
+  MigrationEvent ev;
+  ev.kind = MigrationEvent::Kind::kBegin;
+  ev.seq = NextSeq();
+  ev.from_core = from_core;
+  ev.to_core = to_core;
+  ev.base = base;
+  ev.bytes = bytes;
+  migrations_.push_back(ev);
+}
+
+void History::OnMigrationComplete(uint32_t from_core, uint32_t to_core, uint64_t base,
+                                  uint64_t bytes, uint64_t version) {
+  MigrationEvent ev;
+  ev.kind = MigrationEvent::Kind::kComplete;
+  ev.seq = NextSeq();
+  ev.from_core = from_core;
+  ev.to_core = to_core;
+  ev.base = base;
+  ev.bytes = bytes;
+  ev.version = version;
+  migrations_.push_back(ev);
+}
+
 namespace {
 const char* DurabilityEventKindName(History::DurabilityEvent::Kind kind) {
   switch (kind) {
@@ -271,6 +300,33 @@ std::string History::ToJson() const {
         w.KV("checkpoint_index", ev.checkpoint_index);
         w.KV("records_covered", ev.records_covered);
         break;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("grants");
+  w.BeginArray();
+  for (const GrantEvent& g : grants_) {
+    w.BeginObject();
+    w.KV("seq", g.seq);
+    w.KV("service_core", static_cast<uint64_t>(g.service_core));
+    w.KV("requester_core", static_cast<uint64_t>(g.requester_core));
+    w.KV("stripe", g.stripe);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("migrations");
+  w.BeginArray();
+  for (const MigrationEvent& m : migrations_) {
+    w.BeginObject();
+    w.KV("kind", m.kind == MigrationEvent::Kind::kBegin ? "begin" : "complete");
+    w.KV("seq", m.seq);
+    w.KV("from_core", static_cast<uint64_t>(m.from_core));
+    w.KV("to_core", static_cast<uint64_t>(m.to_core));
+    w.KV("base", m.base);
+    w.KV("bytes", m.bytes);
+    if (m.kind == MigrationEvent::Kind::kComplete) {
+      w.KV("version", m.version);
     }
     w.EndObject();
   }

@@ -90,6 +90,27 @@ class History : public TxTraceSink {
     uint64_t checkpoint_index = 0;  // kCheckpoint
     uint64_t records_covered = 0;   // kCheckpoint: log prefix the image covers
   };
+  // One service-side lock grant, per granted stripe. The migration oracle
+  // (CheckMigrationHistory) replays these in seq order against the
+  // migration windows below.
+  struct GrantEvent {
+    uint64_t seq = 0;
+    uint32_t service_core = 0;
+    uint32_t requester_core = 0;
+    uint64_t stripe = 0;
+  };
+  // One end of a stripe-ownership migration: kBegin opens the old owner's
+  // drain window, kComplete closes it at the directory flip.
+  struct MigrationEvent {
+    enum class Kind { kBegin, kComplete };
+    Kind kind = Kind::kBegin;
+    uint64_t seq = 0;
+    uint32_t from_core = 0;
+    uint32_t to_core = 0;
+    uint64_t base = 0;
+    uint64_t bytes = 0;
+    uint64_t version = 0;  // kComplete: directory version after the flip
+  };
 
   // Registers the pre-run content of `addr`. Optional: the oracle infers
   // initial values from pre-write reads when they are not registered, but
@@ -116,11 +137,18 @@ class History : public TxTraceSink {
   void OnWalFlush(uint32_t partition, uint64_t durable_records, uint64_t durable_bytes) override;
   void OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
                     uint64_t records_covered) override;
+  void OnLockGrant(uint32_t service_core, uint32_t requester_core, uint64_t stripe) override;
+  void OnMigrationBegin(uint32_t from_core, uint32_t to_core, uint64_t base,
+                        uint64_t bytes) override;
+  void OnMigrationComplete(uint32_t from_core, uint32_t to_core, uint64_t base, uint64_t bytes,
+                           uint64_t version) override;
 
   const std::vector<Tx>& transactions() const { return txs_; }
   const std::vector<Revocation>& revocations() const { return revocations_; }
   const std::vector<Acquire>& acquires() const { return acquires_; }
   const std::vector<DurabilityEvent>& durability_events() const { return durability_events_; }
+  const std::vector<GrantEvent>& grants() const { return grants_; }
+  const std::vector<MigrationEvent>& migrations() const { return migrations_; }
   const std::unordered_map<uint64_t, uint64_t>& initial_values() const { return initial_; }
   uint64_t num_events() const { return next_seq_; }
 
@@ -141,6 +169,8 @@ class History : public TxTraceSink {
   // (core, request_id) -> index into acquires_ of the outstanding request.
   std::unordered_map<uint64_t, size_t> open_acquires_;
   std::vector<DurabilityEvent> durability_events_;
+  std::vector<GrantEvent> grants_;
+  std::vector<MigrationEvent> migrations_;
   uint64_t next_seq_ = 1;  // 0 is reserved as "before everything"
 };
 

@@ -77,6 +77,15 @@ OracleReport CheckHistory(const History& history, const OracleOptions& options =
 void CheckFinalState(const History& history, const std::function<uint64_t(uint64_t)>& load,
                      OracleReport* report);
 
+// Migration-safety check over the recorded grant and migration events:
+// replayed in seq order, no service core may grant a lock on a stripe of a
+// range it is currently draining ("grant-during-migration"), and after a
+// migration completes only the new owner may grant stripes of the moved
+// range ("grant-by-non-owner"). Structural defects (a complete without a
+// begin, mismatched cores) are reported too. Violations are appended to
+// `report`. A history with no migration events passes vacuously.
+void CheckMigrationHistory(const History& history, OracleReport* report);
+
 }  // namespace tm2c
 
 #endif  // TM2C_SRC_CHECK_ORACLE_H_

@@ -217,6 +217,62 @@ void LockTable::ReleaseAllOf(uint32_t core) {
   }
 }
 
+std::vector<Victim> LockTable::DrainRange(uint64_t base, uint64_t bytes, uint64_t* remaining) {
+  std::vector<Victim> victims;
+  std::vector<uint64_t> to_erase;
+  uint64_t held = 0;
+  for (auto& [addr, entry] : entries_) {
+    if (addr - base >= bytes) {
+      continue;
+    }
+    if (entry.writer != kNoWriter && entry.writer_committing) {
+      // A committing writer keeps the entry; its release finishes the drain.
+      ++held;
+      continue;
+    }
+    if (entry.writer != kNoWriter) {
+      auto it = entry.holder_info.find(entry.writer);
+      TM2C_CHECK_MSG(it != entry.holder_info.end(), "writer without holder TxInfo");
+      victims.push_back(Victim{it->second, ConflictKind::kMigrating});
+      // The writer's upgrade read bit goes with it, as on the CM paths.
+      entry.readers.Erase(entry.writer);
+      entry.holder_info.erase(entry.writer);
+      entry.writer = kNoWriter;
+      entry.writer_epoch = 0;
+      entry.writer_committing = false;
+      ++stats_.revocations;
+    }
+    entry.readers.ForEach([&](uint32_t reader) {
+      auto it = entry.holder_info.find(reader);
+      TM2C_CHECK_MSG(it != entry.holder_info.end(), "reader bit without holder TxInfo");
+      victims.push_back(Victim{it->second, ConflictKind::kMigrating});
+      ++stats_.revocations;
+    });
+    entry.readers.ForEach([&](uint32_t reader) { entry.holder_info.erase(reader); });
+    entry.readers = CoreSet();
+    if (entry.readers.Empty() && entry.writer == kNoWriter) {
+      to_erase.push_back(addr);
+    }
+  }
+  for (uint64_t addr : to_erase) {
+    entries_.erase(addr);
+  }
+  if (remaining != nullptr) {
+    *remaining = held;
+  }
+  return victims;
+}
+
+uint64_t LockTable::EntriesInRange(uint64_t base, uint64_t bytes) const {
+  uint64_t held = 0;
+  for (const auto& [addr, entry] : entries_) {
+    if (addr - base < bytes) {
+      ++held;
+    }
+  }
+  return held;
+}
+
 bool LockTable::HasWriter(uint64_t addr, uint32_t* writer) const {
   auto it = entries_.find(addr);
   if (it == entries_.end() || it->second.writer == kNoWriter) {

@@ -125,6 +125,20 @@ class LockTable {
   // used by tests and recovery paths, not the hot protocol.
   void ReleaseAllOf(uint32_t core);
 
+  // Migration drain pass over [base, base + bytes): revokes every revocable
+  // holder (readers, and writers not in their commit phase) and reports
+  // them as victims for the caller's notification path. Commit-phase
+  // writers are left in place — revoking a committer would waste its whole
+  // persisted write set; the drain instead waits for its release. Returns
+  // the victims; `remaining` (if non-null) receives the number of entries
+  // still held in the range after the pass (0 == drained). Linear in table
+  // size, like ReleaseAllOf: migration is a rare, cold operation.
+  std::vector<Victim> DrainRange(uint64_t base, uint64_t bytes, uint64_t* remaining);
+
+  // Entries currently held in [base, base + bytes) — the drain's progress
+  // gauge: a migration completes when this reaches zero.
+  uint64_t EntriesInRange(uint64_t base, uint64_t bytes) const;
+
   // Introspection for tests and invariant checks.
   bool HasWriter(uint64_t addr, uint32_t* writer = nullptr) const;
   bool HasReader(uint64_t addr, uint32_t core) const;

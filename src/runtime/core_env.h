@@ -41,6 +41,13 @@ class CoreEnv {
   // Non-blocking receive. Returns false when no message is pending.
   virtual bool TryRecv(Message* out) = 0;
 
+  // Number of messages currently pending for this core — the admission
+  // controller's load signal (TmConfig::overload_high_water). Advisory: on
+  // the thread backend it is a racy snapshot of the incoming rings; on the
+  // simulator it is exact. The default (0) keeps admission control inert
+  // for harnesses that never queue.
+  virtual size_t InboxDepth() const { return 0; }
+
   // Local clock. Per-core constant offset (and optional drift) model the
   // absence of a synchronized global clock, which is what breaks the
   // Offset-Greedy contention manager (Section 4.3).

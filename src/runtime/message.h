@@ -43,6 +43,18 @@ enum class MsgType : uint8_t {
   kCommitLog,     // w1=tx epoch, extra=[addr0, val0, addr1, val1, ...]
   kCommitLogAck,  // w1=tx epoch
 
+  // Stripe-ownership migration (src/tm/dtm_service.cc). A migration drains
+  // the range on the old owner (new acquires are refused with
+  // ConflictKind::kMigrating until the lock table holds no entry in the
+  // range), then flips the shared ownership directory and broadcasts the
+  // flip. kOwnershipUpdate is a pure notification: the directory itself is
+  // shared state, so receivers only need to observe that a new version
+  // exists — stale batches already in flight are refused by the owner
+  // checks on both ends of the flip.
+  kMigrateRange,     // w0=range base, w1=range bytes, w2=target partition
+  kOwnershipUpdate,  // w0=range base, w1=range bytes, w2=new partition,
+                     // w3=directory version after the flip
+
   // Infrastructure.
   kEcho,      // latency bench: request
   kEchoRsp,   // latency bench: response
@@ -103,12 +115,18 @@ struct Message {
 };
 
 // Conflict kinds, matching the paper's RAW/WAW/WAR terminology. NO_CONFLICT
-// mirrors Algorithm 1/2's success return.
+// mirrors Algorithm 1/2's success return. kMigrating and kOverload are not
+// data conflicts: they are service-side refusals (a draining range, an
+// admission-controlled inbox) that ride the same refusal words so the
+// runtime's retry path handles them uniformly — both mean "back off and
+// retry", never "another transaction beat you".
 enum class ConflictKind : uint8_t {
   kNone = 0,
   kReadAfterWrite = 1,   // RAW: reader found an existing writer
   kWriteAfterWrite = 2,  // WAW: writer found an existing writer
   kWriteAfterRead = 3,   // WAR: writer found existing readers
+  kMigrating = 4,        // stripe's range is draining for ownership migration
+  kOverload = 5,         // service inbox above the admission high-water mark
 };
 
 inline const char* ConflictKindName(ConflictKind k) {
@@ -121,6 +139,10 @@ inline const char* ConflictKindName(ConflictKind k) {
       return "WAW";
     case ConflictKind::kWriteAfterRead:
       return "WAR";
+    case ConflictKind::kMigrating:
+      return "MIGRATING";
+    case ConflictKind::kOverload:
+      return "OVERLOAD";
   }
   return "?";
 }

@@ -74,6 +74,8 @@ class SimSystem::Core : public CoreEnv {
     return true;
   }
 
+  size_t InboxDepth() const override { return inbox_.size(); }
+
   SimTime LocalNow() const override {
     const double global = static_cast<double>(sys_->engine_.now());
     return static_cast<SimTime>(global * drift_factor_) + clock_offset_ps_;

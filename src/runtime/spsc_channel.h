@@ -85,6 +85,15 @@ class SpscChannel {
     return head_.load(std::memory_order_relaxed) == tail_.load(std::memory_order_acquire);
   }
 
+  // Racy occupancy snapshot (either side). Only advisory — the admission
+  // controller sums it across a core's incoming rings as a load signal; a
+  // concurrent push/pop skews it by at most the in-flight operations.
+  size_t ApproxSize() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
   uint32_t capacity() const { return mask_ + 1; }
 
  private:

@@ -169,6 +169,19 @@ class ThreadSystem::Core : public CoreEnv {
     return PollRings(out);
   }
 
+  size_t InboxDepth() const override {
+    if (sys_->config_.channel == ChannelKind::kMutexMailbox) {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      return inbox_.size();
+    }
+    size_t depth = 0;
+    const uint32_t n = sys_->plan_.num_cores();
+    for (uint32_t src = 0; src < n; ++src) {
+      depth += sys_->ring(src, id_).ApproxSize();
+    }
+    return depth;
+  }
+
   SimTime LocalNow() const override { return HostNowPs(); }
   SimTime GlobalNow() const override { return HostNowPs(); }
 
@@ -292,7 +305,7 @@ class ThreadSystem::Core : public CoreEnv {
 
   // Mutex-mailbox transport (ChannelKind::kMutexMailbox).
   std::deque<Message> inbox_;
-  std::mutex inbox_mu_;
+  mutable std::mutex inbox_mu_;  // InboxDepth() is a const observer
   std::condition_variable inbox_cv_;
 
   // Injection lane for messages produced outside any core thread

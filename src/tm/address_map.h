@@ -17,11 +17,22 @@
 // AddressMap is copied freely (TxRuntime holds one by value, DtmService
 // points at TmSystem's); the ownership directory is shared state behind a
 // shared_ptr, so ranges registered through any copy are visible to all of
-// them. Registration is setup-time only: call AddOwnedRange before the
-// system runs — the directory is read without synchronization afterwards.
+// them. Range registration is setup-time only (call AddOwnedRange before
+// the system runs), but the *owner* of a registered range may move at
+// runtime: MoveOwnedRange flips the range's partition in place — the map
+// structure itself never changes after setup, so concurrent lookups only
+// race on the atomic partition field and the directory version counter.
+//
+// Two partitions per range:
+//  - `partition` is the current lock owner, flipped by migration.
+//  - `home_partition` is frozen at registration and names the durability
+//    partition: the WAL/checkpoint image that covers the range's slab.
+//    Commit records keep routing to the home even after the lock traffic
+//    migrated away, so recovery never has to merge logs across partitions.
 #ifndef TM2C_SRC_TM_ADDRESS_MAP_H_
 #define TM2C_SRC_TM_ADDRESS_MAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -67,25 +78,61 @@ class AddressMap {
       TM2C_CHECK_MSG(prev->first + prev->second.bytes <= base,
                      "owned ranges must not overlap");
     }
-    ranges.emplace(base, OwnedRange{bytes, partition});
+    ranges.try_emplace(base, bytes, partition);
+  }
+
+  // Flips the owner of an exact registered range. Runtime-safe: the map
+  // structure is untouched, only the range's atomic partition field and the
+  // directory version move. Returns the directory version after the flip.
+  // The caller (the migration protocol in DtmService) is responsible for
+  // having drained the range first. Const: the directory is shared mutable
+  // state (see header comment), and the flipping service only holds a
+  // const view of the map.
+  uint64_t MoveOwnedRange(uint64_t base, uint64_t bytes, uint32_t new_partition) const {
+    TM2C_CHECK(new_partition < plan_->num_service());
+    auto it = directory_->ranges.find(base);
+    TM2C_CHECK_MSG(it != directory_->ranges.end() && it->second.bytes == bytes,
+                   "MoveOwnedRange must name an exact registered range");
+    it->second.partition.store(new_partition, std::memory_order_relaxed);
+    return directory_->version.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  // Looks up the registered range containing `addr`. Returns false when the
+  // address is hash-routed. Out-params are optional.
+  bool FindOwnedRange(uint64_t addr, uint64_t* base, uint64_t* bytes,
+                      uint32_t* partition) const {
+    const auto& ranges = directory_->ranges;
+    if (ranges.empty()) {
+      return false;
+    }
+    auto it = ranges.upper_bound(addr);
+    if (it == ranges.begin()) {
+      return false;
+    }
+    --it;
+    if (addr - it->first >= it->second.bytes) {
+      return false;
+    }
+    if (base != nullptr) {
+      *base = it->first;
+    }
+    if (bytes != nullptr) {
+      *bytes = it->second.bytes;
+    }
+    if (partition != nullptr) {
+      *partition = it->second.partition.load(std::memory_order_relaxed);
+    }
+    return true;
   }
 
   // Partition index responsible for the stripe: the owning partition if the
   // address falls in a registered range, the stripe hash otherwise.
   uint32_t PartitionOf(uint64_t addr) const {
-    const auto& ranges = directory_->ranges;
-    if (!ranges.empty()) {
-      auto it = ranges.upper_bound(addr);
-      if (it != ranges.begin()) {
-        --it;
-        if (addr - it->first < it->second.bytes) {
-          return it->second.partition;
-        }
-      }
+    uint32_t partition = 0;
+    if (FindOwnedRange(addr, nullptr, nullptr, &partition)) {
+      return partition;
     }
-    const uint64_t stripe = addr / stripe_bytes_;
-    const uint64_t h = stripe * 0x9e3779b97f4a7c15ull;
-    return static_cast<uint32_t>((h >> 32) % plan_->num_service());
+    return HashPartitionOf(addr);
   }
 
   // Core id of the DTM service node responsible for the address.
@@ -93,15 +140,52 @@ class AddressMap {
     return plan_->ServiceCore(PartitionOf(addr));
   }
 
+  // Durability partition for the address: the frozen home of its owned
+  // range (migration never moves it), or the hash partition for unowned
+  // addresses (which cannot migrate either).
+  uint32_t DurableHomeOf(uint64_t addr) const {
+    const auto& ranges = directory_->ranges;
+    if (!ranges.empty()) {
+      auto it = ranges.upper_bound(addr);
+      if (it != ranges.begin()) {
+        --it;
+        if (addr - it->first < it->second.bytes) {
+          return it->second.home_partition;
+        }
+      }
+    }
+    return HashPartitionOf(addr);
+  }
+
+  // Core id of the service hosting the address's write-ahead log.
+  uint32_t DurableHomeCore(uint64_t addr) const {
+    return plan_->ServiceCore(DurableHomeOf(addr));
+  }
+
+  // Monotonic directory version: bumped by every MoveOwnedRange. Lets
+  // observers (the kOwnershipUpdate broadcast, tests) order flips.
+  uint64_t version() const { return directory_->version.load(std::memory_order_acquire); }
+
   uint64_t stripe_bytes() const { return stripe_bytes_; }
   size_t num_owned_ranges() const { return directory_->ranges.size(); }
 
   // Enumerates the registered owned ranges in address order (durability
   // uses this to capture each partition's initial image for checkpoint 0).
+  // `partition` is the current lock owner; durability callers that need the
+  // frozen home use ForEachDurableRange below.
   void ForEachOwnedRange(
       const std::function<void(uint64_t base, uint64_t bytes, uint32_t partition)>& fn) const {
     for (const auto& [base, range] : directory_->ranges) {
-      fn(base, range.bytes, range.partition);
+      fn(base, range.bytes, range.partition.load(std::memory_order_relaxed));
+    }
+  }
+
+  // Like ForEachOwnedRange but reports each range's durable home partition
+  // (checkpoint capture must image a slab into the WAL that replays it).
+  void ForEachDurableRange(
+      const std::function<void(uint64_t base, uint64_t bytes, uint32_t partition)>& fn) const {
+    for (const auto& [base, range] : directory_->ranges) {
+      fn(base, range.bytes, range.home_partition);
     }
   }
 
@@ -114,24 +198,38 @@ class AddressMap {
     std::ostringstream out;
     out << "AddressMap: stripe_bytes=" << stripe_bytes_ << ", partitions="
         << plan_->num_service() << ", owned_ranges=" << directory_->ranges.size()
-        << " (hash fallback elsewhere)\n";
+        << ", version=" << version() << " (hash fallback elsewhere)\n";
     for (const auto& [base, range] : directory_->ranges) {
+      const uint32_t partition = range.partition.load(std::memory_order_relaxed);
       out << "  [0x" << std::hex << base << ", 0x" << base + range.bytes << std::dec
-          << ") -> partition " << range.partition << " (core "
-          << plan_->ServiceCore(range.partition) << ")\n";
+          << ") -> partition " << partition << " (core "
+          << plan_->ServiceCore(partition) << ", durable home " << range.home_partition
+          << ")\n";
     }
     return out.str();
   }
 
  private:
   struct OwnedRange {
+    OwnedRange(uint64_t bytes_in, uint32_t partition_in)
+        : bytes(bytes_in), partition(partition_in), home_partition(partition_in) {}
     uint64_t bytes = 0;
-    uint32_t partition = 0;
+    // Current lock owner; migration flips it in place while readers race.
+    std::atomic<uint32_t> partition{0};
+    // Durability home, frozen at registration (see file comment).
+    uint32_t home_partition = 0;
   };
   // base address -> range; shared by every copy of the map (see header).
   struct Directory {
     std::map<uint64_t, OwnedRange> ranges;
+    std::atomic<uint64_t> version{0};
   };
+
+  uint32_t HashPartitionOf(uint64_t addr) const {
+    const uint64_t stripe = addr / stripe_bytes_;
+    const uint64_t h = stripe * 0x9e3779b97f4a7c15ull;
+    return static_cast<uint32_t>((h >> 32) % plan_->num_service());
+  }
 
   const DeploymentPlan* plan_;
   uint64_t stripe_bytes_;

@@ -51,6 +51,12 @@ enum class FaultMode : uint8_t {
   // ack and the flush silently loses an acknowledged commit. The
   // crash-restart oracle (CheckCrashRestartHistory) must flag it.
   kAckBeforeLogFlush = 4,
+  // Migration only: the old owner keeps GRANTING acquires for a range it
+  // is draining instead of refusing them with kMigrating. The range never
+  // empties (new holders keep arriving), the flip never happens, and every
+  // grant inside the drain window is a grant the protocol forbids. The
+  // migration oracle (CheckMigrationHistory) must flag each one.
+  kGrantDuringMigration = 5,
 };
 
 inline const char* FaultModeName(FaultMode f) {
@@ -65,6 +71,8 @@ inline const char* FaultModeName(FaultMode f) {
       return "release-before-persist";
     case FaultMode::kAckBeforeLogFlush:
       return "ack-before-log-flush";
+    case FaultMode::kGrantDuringMigration:
+      return "grant-during-migration";
   }
   return "?";
 }
@@ -185,6 +193,33 @@ struct TmConfig {
   uint64_t log_append_cycles_per_word = 30;
   uint64_t log_flush_buffered_cycles = 400;
   uint64_t log_flush_fsync_cycles = 20000;
+
+  // --- Stripe-ownership migration and admission control ------------------
+  // Migration policy loop: every `migrate_check_every` acquire requests a
+  // service tallies per-range traffic; if the window saw at least
+  // `migrate_hot_threshold` requests to one owned range, that range is
+  // migrated to the next partition round-robin. 0 disables the policy
+  // (migrations then happen only on explicit kMigrateRange requests, which
+  // tests and the chaos harness use for determinism).
+  uint32_t migrate_check_every = 0;
+  uint32_t migrate_hot_threshold = 0;
+
+  // Cycles a client backs off after a kMigrating refusal before retrying —
+  // long enough for a typical drain to finish, short enough not to idle a
+  // core through the whole migration.
+  uint64_t migrate_backoff_cycles = 4000;
+
+  // Admission control: when a service observes more than this many pending
+  // inbox messages, it refuses non-committing acquires with kOverload
+  // instead of queueing them. 0 disables admission control. Commit-phase
+  // acquisitions are always admitted: refusing a committer wastes every
+  // lock it already holds.
+  uint32_t overload_high_water = 0;
+
+  // Cycles a client backs off after a kOverload refusal. Longer than the
+  // migration backoff: an overloaded service needs its queue drained, not
+  // an instant retry.
+  uint64_t overload_backoff_cycles = 8000;
 };
 
 }  // namespace tm2c

@@ -9,6 +9,7 @@
 #define TM2C_SRC_TM_DTM_SERVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,10 @@ struct DtmServiceStats {
   uint64_t local_direct_entries = 0;   // stripes across those spans
   uint64_t commit_records = 0;         // kCommitLog records appended
   uint64_t log_flushes = 0;            // group-commit flushes performed
+  uint64_t migrations_started = 0;     // drain windows opened on this core
+  uint64_t migrations_completed = 0;   // directory flips performed
+  uint64_t migrating_refused = 0;      // acquires refused: range draining
+  uint64_t overload_refused = 0;       // acquires refused: inbox high water
 };
 
 class DtmService {
@@ -93,6 +98,27 @@ class DtmService {
   // shutdown. No-op without durability or with nothing unflushed.
   void FlushCommitLog();
 
+  // Horizon quiesce (called by TmSystem after the run ends): makes every
+  // appended record durable without modelling service compute — the
+  // simulated horizon can freeze the service fiber between an append and
+  // the group-commit flush, and the records are already in the log.
+  // Deferred acks are dropped, not sent: their committers are frozen past
+  // the horizon too, and a post-run ack would be a fabricated event.
+  void QuiesceFlush();
+
+  // Opens a drain window for the exact registered range [base,
+  // base + bytes): revocable holders are revoked through the normal CM
+  // notification path, new acquires touching the range are refused with
+  // ConflictKind::kMigrating, and once the lock table holds no entry in
+  // the range the ownership directory flips to `target_partition` and a
+  // kOwnershipUpdate is broadcast. Ignored when this core is not the
+  // range's current owner (a stale request racing a previous migration)
+  // or when a drain of the range is already open.
+  void BeginMigration(uint64_t base, uint64_t bytes, uint32_t target_partition);
+
+  // True while any migration drain window is open on this service.
+  bool migrating() const { return !migrating_out_.empty(); }
+
   const LockTable& lock_table() const { return table_; }
   const DtmServiceStats& stats() const { return stats_; }
 
@@ -119,6 +145,22 @@ class DtmService {
   TxInfo DecodeRequester(const Message& msg) const;
   void ChargeProcessing(uint64_t items);
 
+  // True when `stripe` falls inside a range this service is draining.
+  bool MigratingStripe(uint64_t stripe) const;
+  // Completes every open drain whose range has emptied: directory flip,
+  // kOwnershipUpdate broadcast, trace event. Called after drains and after
+  // every release.
+  void MaybeCompleteMigrations();
+  // Admission control: true when a non-committing acquire must be refused
+  // with ConflictKind::kOverload (inbox above the high-water mark).
+  bool Overloaded(bool committing) const;
+  // Migration policy: tallies the acquire against its owned range (if any)
+  // and, every migrate_check_every requests, migrates the hottest
+  // above-threshold range to the next partition.
+  void NoteAcquiresForPolicy(const uint64_t* addrs, uint32_t n);
+  // Per-granted-stripe trace emission (migration-oracle input).
+  void TraceGrants(uint32_t requester_core, const uint64_t* addrs, uint32_t n);
+
   CoreEnv& env_;
   TmConfig config_;
   const AddressMap* map_;
@@ -135,6 +177,17 @@ class DtmService {
     uint64_t record_index;
   };
   std::vector<PendingAck> pending_acks_;
+  // Open drain windows: range base -> (bytes, target partition). Usually
+  // empty or a single entry; lookups are a bounded map walk.
+  struct MigratingRange {
+    uint64_t bytes = 0;
+    uint32_t target_partition = 0;
+  };
+  std::map<uint64_t, MigratingRange> migrating_out_;
+  // Migration-policy tallies: owned-range base -> acquires since the last
+  // policy check, plus the request countdown to the next check.
+  std::unordered_map<uint64_t, uint64_t> range_hits_;
+  uint32_t policy_countdown_ = 0;
   DtmServiceStats stats_;
 };
 

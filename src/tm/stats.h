@@ -40,6 +40,12 @@ struct TxStats {
   // spent waiting for their acks (zero with durability off).
   uint64_t commit_log_msgs = 0;
   SimTime commit_log_wait = 0;
+  // Service-side pushback: attempts aborted because the stripe's range was
+  // draining for migration (kMigrating) or the service shed load
+  // (kOverload), and kOwnershipUpdate notifications this runtime consumed.
+  uint64_t migrating_aborts = 0;
+  uint64_t overload_aborts = 0;
+  uint64_t ownership_updates = 0;
   // In-flight pipeline occupancy: bucket min(depth_at_issue, 8) - 1 counts
   // one kBatchAcquire issued while depth_at_issue requests (itself
   // included) were outstanding. Under the lockstep depth-1 path every batch
@@ -67,6 +73,9 @@ struct TxStats {
            remote_acquires == other.remote_acquires &&
            commit_log_msgs == other.commit_log_msgs &&
            commit_log_wait == other.commit_log_wait &&
+           migrating_aborts == other.migrating_aborts &&
+           overload_aborts == other.overload_aborts &&
+           ownership_updates == other.ownership_updates &&
            inflight_depth_hist == other.inflight_depth_hist;
   }
   bool operator!=(const TxStats& other) const { return !(*this == other); }
@@ -91,6 +100,9 @@ struct TxStats {
     remote_acquires += other.remote_acquires;
     commit_log_msgs += other.commit_log_msgs;
     commit_log_wait += other.commit_log_wait;
+    migrating_aborts += other.migrating_aborts;
+    overload_aborts += other.overload_aborts;
+    ownership_updates += other.ownership_updates;
     for (size_t i = 0; i < inflight_depth_hist.size(); ++i) {
       inflight_depth_hist[i] += other.inflight_depth_hist[i];
     }

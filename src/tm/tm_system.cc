@@ -172,7 +172,9 @@ PartitionDurability& TmSystem::DurabilityAt(uint32_t partition) {
 
 void TmSystem::CaptureDurableCheckpoint0() {
   TM2C_CHECK_MSG(!durability_.empty(), "durability is off");
-  map_.ForEachOwnedRange([this](uint64_t base, uint64_t bytes, uint32_t partition) {
+  // Imaged by durable home, not current lock owner: the checkpoint must
+  // live in the WAL that replays the slab, and migration never moves that.
+  map_.ForEachDurableRange([this](uint64_t base, uint64_t bytes, uint32_t partition) {
     PartitionDurability& dur = *durability_[partition];
     for (uint64_t addr = base; addr < base + bytes; addr += kWordBytes) {
       dur.CaptureInitial(addr, system_->shmem().LoadWord(addr));
@@ -183,7 +185,17 @@ void TmSystem::CaptureDurableCheckpoint0() {
   }
 }
 
-SimTime TmSystem::Run(SimTime until) { return system_->Run(until); }
+SimTime TmSystem::Run(SimTime until) {
+  const SimTime elapsed = system_->Run(until);
+  // Horizon/shutdown quiesce: a service fiber can be frozen between a
+  // record append and its group-commit flush. The records are in the log;
+  // force them durable so post-run accounting is exact (commit_records ==
+  // flushed records) and the final WAL image matches the final KV state.
+  for (auto& service : services_) {
+    service->QuiesceFlush();
+  }
+  return elapsed;
+}
 
 SimSystem& TmSystem::sim() {
   TM2C_CHECK_MSG(config_.backend == BackendKind::kSim,

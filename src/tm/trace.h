@@ -93,6 +93,31 @@ class TxTraceSink {
                             uint64_t records_covered) {
     (void)partition, (void)checkpoint_index, (void)records_covered;
   }
+
+  // Migration visibility (the migration oracle's inputs; default no-ops so
+  // migration-free runs record identical histories).
+  //
+  // The service on `service_core` granted `requester_core` a lock on
+  // `stripe` (scalar, batch entry, or local span entry — one event per
+  // granted stripe). The migration oracle cross-checks each grant against
+  // the drain windows and the ownership directory: a grant by a core that
+  // is draining the stripe's range, or by a core that no longer owns it,
+  // is the violation the planted kGrantDuringMigration fault manufactures.
+  virtual void OnLockGrant(uint32_t service_core, uint32_t requester_core, uint64_t stripe) {
+    (void)service_core, (void)requester_core, (void)stripe;
+  }
+  // The service on `from_core` began draining [base, base + bytes) for
+  // migration towards `to_core`'s partition.
+  virtual void OnMigrationBegin(uint32_t from_core, uint32_t to_core, uint64_t base,
+                                uint64_t bytes) {
+    (void)from_core, (void)to_core, (void)base, (void)bytes;
+  }
+  // The drain finished and the ownership directory flipped to `to_core`'s
+  // partition at directory version `version`.
+  virtual void OnMigrationComplete(uint32_t from_core, uint32_t to_core, uint64_t base,
+                                   uint64_t bytes, uint64_t version) {
+    (void)from_core, (void)to_core, (void)base, (void)bytes, (void)version;
+  }
 };
 
 }  // namespace tm2c

@@ -60,7 +60,7 @@ bool TxRuntime::TryExecute(const std::function<void(Tx&)>& body, uint64_t max_at
       effective_tx_time_ += env_.LocalNow() - attempt_start_local_;
       consecutive_aborts_ = 0;
       return true;
-    } catch (const TxAbortException&) {
+    } catch (const TxAbortException& abort) {
       abort_thrown_ = false;
       in_tx_ = false;
       ++stats_.aborts;
@@ -68,7 +68,17 @@ bool TxRuntime::TryExecute(const std::function<void(Tx&)>& body, uint64_t max_at
       if (attempts >= max_attempts) {
         return false;
       }
-      if (config_.cm == CmKind::kBackoffRetry) {
+      if (abort.reason == ConflictKind::kMigrating && config_.migrate_backoff_cycles > 0) {
+        // A drain window or a stale route refused us: back off past the
+        // expected drain latency regardless of the CM — an instant retry
+        // would only be refused again by the same window.
+        env_.Compute(backoff_rng_.NextBelow(config_.migrate_backoff_cycles) + 1);
+      } else if (abort.reason == ConflictKind::kOverload &&
+                 config_.overload_backoff_cycles > 0) {
+        // Admission control shed us: give the service's inbox time to
+        // drain below the high-water mark before offering the load again.
+        env_.Compute(backoff_rng_.NextBelow(config_.overload_backoff_cycles) + 1);
+      } else if (config_.cm == CmKind::kBackoffRetry) {
         // Randomized exponential back-off before the retry (Section 4.2).
         const uint64_t shift = std::min<uint64_t>(consecutive_aborts_ - 1, 16);
         uint64_t bound = config_.backoff_initial_cycles << shift;
@@ -141,6 +151,12 @@ void TxRuntime::ServePending() {
       ++barrier_arrivals_[msg.w0];
       continue;
     }
+    if (msg.type == MsgType::kOwnershipUpdate) {
+      // A stripe range changed owner. The directory is shared, so the next
+      // routing lookup already sees the flip; just count the notification.
+      ++stats_.ownership_updates;
+      continue;
+    }
     if (msg.type == MsgType::kBatchReply) {
       // A pipelined prefetch reply landing while this core does local
       // work: record the grants (or the refusal) right away.
@@ -155,6 +171,17 @@ void TxRuntime::ServePending() {
     }
     TM2C_FATAL("unexpected message in application inbox");
   }
+}
+
+void TxRuntime::RequestMigration(uint64_t base, uint64_t bytes, uint32_t target_partition) {
+  TM2C_CHECK_MSG(!in_tx_, "RequestMigration inside a transaction");
+  const uint32_t owner_core = map_.ResponsibleCore(base);
+  Message msg;
+  msg.type = MsgType::kMigrateRange;
+  msg.w0 = base;
+  msg.w1 = bytes;
+  msg.w2 = target_partition;
+  FireAndForget(owner_core, std::move(msg));
 }
 
 void TxRuntime::PrivatizationBarrier() {
@@ -184,6 +211,9 @@ void TxRuntime::PrivatizationBarrier() {
         break;
       case MsgType::kAbortNotify:
         break;  // stale: we are not in a transaction
+      case MsgType::kOwnershipUpdate:
+        ++stats_.ownership_updates;  // directory is shared; nothing to apply
+        break;
       default:
         if (local_service_ != nullptr) {
           env_.Compute(config_.multitask_switch_cycles);
@@ -265,6 +295,9 @@ Message TxRuntime::Rpc(uint32_t dst, Message request) {
         continue;
       case MsgType::kBarrier:
         ++barrier_arrivals_[msg.w0];  // peer reached a privatization barrier
+        continue;
+      case MsgType::kOwnershipUpdate:
+        ++stats_.ownership_updates;  // directory is shared; nothing to apply
         continue;
       default:
         if (local_service_ != nullptr) {
@@ -392,6 +425,9 @@ void TxRuntime::WaitOneReply() {
         continue;
       case MsgType::kBarrier:
         ++barrier_arrivals_[msg.w0];  // peer reached a privatization barrier
+        continue;
+      case MsgType::kOwnershipUpdate:
+        ++stats_.ownership_updates;  // directory is shared; nothing to apply
         continue;
       default:
         if (local_service_ != nullptr) {
@@ -978,7 +1014,11 @@ void TxRuntime::LogCommitDurable() {
   // core, preserving persist order within each group.
   std::map<uint32_t, std::vector<uint64_t>> by_node;
   for (uint64_t addr : write_order_) {
-    const uint32_t node = map_.ResponsibleCore(map_.StripeOf(addr));
+    // Routed by the address's frozen durable home, not the (migratable)
+    // lock owner: a range's commit records must keep landing in the WAL
+    // whose checkpoint image covers its slab, or recovery would have to
+    // merge logs across partitions.
+    const uint32_t node = map_.DurableHomeCore(map_.StripeOf(addr));
     // Durability is restricted to the dedicated deployment: a self-
     // addressed kCommitLog would deadlock the ack wait (and the group-
     // commit flush of a peer could deadlock distributed waits).
@@ -1013,6 +1053,9 @@ void TxRuntime::LogCommitDurable() {
         break;
       case MsgType::kBarrier:
         ++barrier_arrivals_[msg.w0];
+        break;
+      case MsgType::kOwnershipUpdate:
+        ++stats_.ownership_updates;  // directory is shared; nothing to apply
         break;
       default:
         TM2C_FATAL("unexpected message while awaiting kCommitLogAck");
@@ -1065,6 +1108,12 @@ void TxRuntime::AbortSelf(ConflictKind reason) {
       break;
     case ConflictKind::kWriteAfterRead:
       ++stats_.war_conflicts;
+      break;
+    case ConflictKind::kMigrating:
+      ++stats_.migrating_aborts;
+      break;
+    case ConflictKind::kOverload:
+      ++stats_.overload_aborts;
       break;
     case ConflictKind::kNone:
       break;

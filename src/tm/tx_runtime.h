@@ -112,6 +112,15 @@ class TxRuntime {
   // yield point.
   void ServePending();
 
+  // Asks the current owner of the exact registered owned range [base,
+  // base + bytes) to migrate it to `target_partition`. Fire-and-forget and
+  // idempotent: a stale request (the range already moved, or a drain is
+  // already open) is ignored by the owner. Completion surfaces as a
+  // kOwnershipUpdate broadcast (counted in TxStats::ownership_updates) and,
+  // in between, as retryable kMigrating refusals. Must be called outside a
+  // transaction.
+  void RequestMigration(uint64_t base, uint64_t bytes, uint32_t target_partition);
+
   // Privatization barrier (Section 8): blocks until every application core
   // has reached its matching barrier call, implemented with the message
   // paths among the application cores — after it returns, all transactions

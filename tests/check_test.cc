@@ -158,6 +158,62 @@ TEST(Oracle, HistoryJsonDumpContainsOutcomes) {
 }
 
 // ---------------------------------------------------------------------------
+// Migration oracle: unit tests on hand-built grant/migration streams.
+// ---------------------------------------------------------------------------
+
+TEST(MigrationOracle, AcceptsCleanHandoff) {
+  History h;
+  h.OnLockGrant(2, 5, 0x140);  // pre-drain grant by the owner: fine
+  h.OnMigrationBegin(2, 3, 0x100, 0x200);
+  h.OnMigrationComplete(2, 3, 0x100, 0x200, 1);
+  h.OnLockGrant(3, 5, 0x140);  // post-flip grant by the new owner: fine
+  h.OnLockGrant(2, 5, 0x900);  // outside the tracked range: untracked
+  OracleReport report;
+  CheckMigrationHistory(h, &report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(MigrationOracle, FlagsGrantInsideOpenDrainWindow) {
+  History h;
+  h.OnMigrationBegin(2, 3, 0x100, 0x200);
+  h.OnLockGrant(2, 5, 0x140);  // the old owner grants while draining
+  OracleReport report;
+  CheckMigrationHistory(h, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "grant-during-migration");
+}
+
+TEST(MigrationOracle, FlagsStaleOwnerGrantAfterFlip) {
+  History h;
+  h.OnMigrationBegin(2, 3, 0x100, 0x200);
+  h.OnMigrationComplete(2, 3, 0x100, 0x200, 1);
+  h.OnLockGrant(2, 5, 0x140);  // ownership moved to core 3
+  OracleReport report;
+  CheckMigrationHistory(h, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "grant-by-non-owner");
+}
+
+TEST(MigrationOracle, FlagsCompleteWithoutBegin) {
+  History h;
+  h.OnMigrationComplete(2, 3, 0x100, 0x200, 1);
+  OracleReport report;
+  CheckMigrationHistory(h, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "migration-complete-without-begin");
+}
+
+TEST(MigrationOracle, OpenWindowAtEndOfRunIsNotAViolation) {
+  // A horizon can legitimately cut a run mid-drain; only grants inside the
+  // window are wrong, not the unfinished drain itself.
+  History h;
+  h.OnMigrationBegin(2, 3, 0x100, 0x200);
+  OracleReport report;
+  CheckMigrationHistory(h, &report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// ---------------------------------------------------------------------------
 // Chaos-schedule determinism: one seed is one schedule, bit for bit.
 // ---------------------------------------------------------------------------
 
@@ -258,6 +314,28 @@ TEST(PlantedFaults, ReleaseBeforePersistIsDetected) {
   EXPECT_TRUE(FaultDetected(FaultMode::kReleaseBeforePersist, 1));
 }
 
+TEST(PlantedFaults, GrantDuringMigrationIsDetectedOnEverySeed) {
+  // The fault opens the drain window but keeps granting (and never
+  // completes the handoff), so every seed that migrates must be flagged —
+  // not merely some seed in a sweep: the grant stream inside the window is
+  // dense, so a single miss would mean the oracle lost the window.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CheckRunConfig cfg;
+    cfg.workload = CheckWorkload::kKv;
+    cfg.migrate = true;
+    cfg.fault = FaultMode::kGrantDuringMigration;
+    cfg.max_batch = 8;
+    cfg.seed = seed;
+    const CheckRunResult result = RunCheckedWorkload(cfg);
+    ASSERT_FALSE(result.report.ok()) << cfg.Name() << ": planted fault not flagged";
+    bool flagged = false;
+    for (const auto& v : result.report.violations) {
+      flagged = flagged || v.kind == "grant-during-migration";
+    }
+    EXPECT_TRUE(flagged) << cfg.Name() << "\n" << result.report.Summary();
+  }
+}
+
 TEST(PlantedFaults, FaultsStayDetectedUnderPipelining) {
   // Pipelining must not blunt the oracle: with depth 4, stale-epoch grants
   // (ignore-revocation) and broken 2PL (release-before-persist) are still
@@ -304,6 +382,47 @@ TEST(CleanProtocol, PipelinedChaosSweepFindsNothing) {
       }
     }
   }
+}
+
+TEST(CleanProtocol, LiveMigrationChaosSweepFindsNothing) {
+  // Mid-run ownership handoff of the partition-0 slab under full chaos:
+  // the oracle (serializability + migration replay), conservation and
+  // node accounting must all stay clean, and the handoff must actually
+  // complete — a sweep that never flips ownership would pass vacuously.
+  for (uint32_t max_batch : {uint32_t{1}, uint32_t{8}}) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      CheckRunConfig cfg;
+      cfg.workload = CheckWorkload::kKv;
+      cfg.migrate = true;
+      cfg.max_batch = max_batch;
+      cfg.seed = seed;
+      const CheckRunResult result = RunCheckedWorkload(cfg);
+      ASSERT_TRUE(result.report.ok()) << cfg.Name() << "\n" << result.report.Summary();
+      bool began = false;
+      bool completed = false;
+      for (const auto& m : result.history.migrations()) {
+        began = began || m.kind == History::MigrationEvent::Kind::kBegin;
+        completed = completed || m.kind == History::MigrationEvent::Kind::kComplete;
+      }
+      EXPECT_TRUE(began) << cfg.Name() << ": migration never started";
+      EXPECT_TRUE(completed) << cfg.Name() << ": drain window never closed";
+      EXPECT_FALSE(result.history.grants().empty()) << cfg.Name();
+    }
+  }
+}
+
+TEST(ChaosDeterminism, MigrationRunSameSeedGivesByteIdenticalStats) {
+  CheckRunConfig cfg;
+  cfg.workload = CheckWorkload::kKv;
+  cfg.migrate = true;
+  cfg.max_batch = 8;
+  cfg.seed = 7;
+  const CheckRunResult a = RunCheckedWorkload(cfg);
+  const CheckRunResult b = RunCheckedWorkload(cfg);
+  EXPECT_TRUE(a.report.ok()) << a.report.Summary();
+  EXPECT_TRUE(a.stats == b.stats);
+  EXPECT_EQ(a.history.num_events(), b.history.num_events());
+  EXPECT_EQ(a.history.migrations().size(), b.history.migrations().size());
 }
 
 // Regression: the first extended chaos sweep flagged this configuration,

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "src/tm/dtm_service.h"
+
 #include "src/runtime/sim_system.h"
+#include "src/tm/address_map.h"
 
 namespace tm2c {
 namespace {
@@ -331,6 +333,161 @@ TEST(DtmService, BatchMisroutedEntryTerminatesPrefix) {
   EXPECT_TRUE(service.lock_table().HasWriter(own, nullptr));
   EXPECT_FALSE(service.lock_table().HasWriter(foreign, nullptr));
   EXPECT_EQ(service.stats().misrouted_refused, 1u);
+}
+
+// Two-service fixture with an AddressMap that pins [0x1000, +0x100) to
+// partition 0: the migration protocol needs a registered owned range and a
+// second partition to move it to.
+struct MigrationFixture {
+  MigrationFixture() {
+    SimSystemConfig cfg;
+    cfg.platform = MakeSccPlatform(0);
+    cfg.num_cores = 4;
+    cfg.num_service = 2;  // service cores 0 and 2
+    cfg.shmem_bytes = 1 << 20;
+    cfg.seed = 3;
+    sys = std::make_unique<SimSystem>(cfg);
+    map = std::make_unique<AddressMap>(sys->deployment(), TmConfig{}.stripe_bytes);
+    map->AddOwnedRange(0x1000, 0x100, 0);
+    service = std::make_unique<DtmService>(sys->env(0), TmConfig{}, map.get());
+    sys->SetCoreMain(0, [this](CoreEnv&) { service->RunLoop(); });
+  }
+
+  static Message MigrateReq(uint64_t base, uint64_t bytes, uint32_t target) {
+    Message m;
+    m.type = MsgType::kMigrateRange;
+    m.w0 = base;
+    m.w1 = bytes;
+    m.w2 = target;
+    return m;
+  }
+
+  std::unique_ptr<SimSystem> sys;
+  std::unique_ptr<AddressMap> map;
+  std::unique_ptr<DtmService> service;
+};
+
+TEST(DtmServiceMigration, DrainRevokesHoldersAndFlipsOwnership) {
+  MigrationFixture f;
+  ConflictKind notify_kind = ConflictKind::kNone;
+  ConflictKind stale_route_kind = ConflictKind::kNone;
+  Message update;
+  f.sys->SetCoreMain(1, [&](CoreEnv& env) {
+    env.Send(0, ServiceHarness::ReadReq(0x1000, 7, /*metric=*/100));
+    ASSERT_EQ(env.Recv().type, MsgType::kLockGranted);
+    env.Send(0, MigrationFixture::MigrateReq(0x1000, 0x100, 1));
+    // The drain revokes our revocable read lock through the CM path...
+    Message m = env.Recv();
+    ASSERT_EQ(m.type, MsgType::kAbortNotify);
+    EXPECT_EQ(m.w1, 7u);
+    notify_kind = static_cast<ConflictKind>(m.w2);
+    // ...the range is then empty, so the flip broadcast follows at once.
+    update = env.Recv();
+    ASSERT_EQ(update.type, MsgType::kOwnershipUpdate);
+    // A request still routed to the old owner is refused whole, retryably.
+    env.Send(0, ServiceHarness::ReadReq(0x1040, 9));
+    m = env.Recv();
+    ASSERT_EQ(m.type, MsgType::kLockConflict);
+    stale_route_kind = static_cast<ConflictKind>(m.w2);
+  });
+  f.sys->Run(MillisToSim(1000));
+  EXPECT_EQ(notify_kind, ConflictKind::kMigrating);
+  EXPECT_EQ(stale_route_kind, ConflictKind::kMigrating);
+  EXPECT_EQ(update.w0, 0x1000u);
+  EXPECT_EQ(update.w1, 0x100u);
+  EXPECT_EQ(update.w2, 1u);  // new owning partition
+  EXPECT_EQ(update.w3, 1u);  // directory version after the flip
+  EXPECT_EQ(f.map->PartitionOf(0x1000), 1u);
+  EXPECT_EQ(f.map->version(), 1u);
+  EXPECT_EQ(f.service->stats().migrations_started, 1u);
+  EXPECT_EQ(f.service->stats().migrations_completed, 1u);
+  EXPECT_EQ(f.service->stats().misrouted_refused, 1u);
+  EXPECT_EQ(f.service->lock_table().NumEntries(), 0u);
+}
+
+TEST(DtmServiceMigration, CommittingWriterHoldsTheWindowOpenUntilRelease) {
+  MigrationFixture f;
+  ConflictKind refused_kind = ConflictKind::kNone;
+  bool refused_while_draining = false;
+  f.sys->SetCoreMain(1, [&](CoreEnv& env) {
+    // A commit-phase write lock (w3 != 0) is not revocable by the drain.
+    Message commit_write = ServiceHarness::WriteReq(0x1000, 7);
+    commit_write.w3 = 1;
+    env.Send(0, std::move(commit_write));
+    ASSERT_EQ(env.Recv().type, MsgType::kLockGranted);
+    env.Send(0, MigrationFixture::MigrateReq(0x1000, 0x100, 1));
+    // While the window is open, new acquires in the range are refused.
+    env.Send(0, ServiceHarness::ReadReq(0x1080, 9));
+    const Message m = env.Recv();
+    refused_while_draining = m.type == MsgType::kLockConflict;
+    refused_kind = static_cast<ConflictKind>(m.w2);
+    // The committing writer's release closes the window.
+    Message rel;
+    rel.type = MsgType::kReleaseAllWrites;
+    rel.w1 = 7;
+    rel.extra = {0x1000};
+    env.Send(0, std::move(rel));
+    ASSERT_EQ(env.Recv().type, MsgType::kOwnershipUpdate);
+  });
+  f.sys->Run(MillisToSim(1000));
+  EXPECT_TRUE(refused_while_draining);
+  EXPECT_EQ(refused_kind, ConflictKind::kMigrating);
+  EXPECT_GE(f.service->stats().migrating_refused, 1u);
+  EXPECT_EQ(f.service->stats().migrations_completed, 1u);
+  EXPECT_EQ(f.map->PartitionOf(0x1000), 1u);
+}
+
+TEST(DtmServiceMigration, StaleAndNonsenseMigrateRequestsIgnored) {
+  MigrationFixture f;
+  f.sys->SetCoreMain(1, [&](CoreEnv& env) {
+    // Target == current owner: nothing to move.
+    env.Send(0, MigrationFixture::MigrateReq(0x1000, 0x100, 0));
+    // Target out of range: ignored rather than crashing the service.
+    env.Send(0, MigrationFixture::MigrateReq(0x1000, 0x100, 9));
+    // The range must still be owned and servable afterwards.
+    env.Send(0, ServiceHarness::ReadReq(0x1000, 5));
+    ASSERT_EQ(env.Recv().type, MsgType::kLockGranted);
+  });
+  f.sys->Run(MillisToSim(1000));
+  EXPECT_EQ(f.service->stats().migrations_started, 0u);
+  EXPECT_EQ(f.map->PartitionOf(0x1000), 0u);
+}
+
+TEST(DtmService, OverloadRefusesNonCommittingAcquiresAboveHighWater) {
+  TmConfig tm;
+  tm.overload_high_water = 2;
+  ServiceHarness h(tm);
+  uint64_t overload_refusals = 0;
+  uint64_t grants = 0;
+  bool committing_granted = false;
+  h.RunClient([&](CoreEnv& env) {
+    // Flood the service: six scalar read acquires queued back-to-back. The
+    // service sees the first with five still queued behind it (> high
+    // water), so leading requests are shed with kOverload; as the backlog
+    // drains below the mark, grants resume.
+    for (uint64_t i = 0; i < 6; ++i) {
+      env.Send(0, ServiceHarness::ReadReq(0x100 + i * 64, 5));
+    }
+    // A commit-phase write acquire is exempt: shedding a committer that
+    // already holds its read set would only prolong the backlog.
+    Message commit_write = ServiceHarness::WriteReq(0x900, 5);
+    commit_write.w3 = 1;
+    env.Send(0, std::move(commit_write));
+    for (uint64_t i = 0; i < 7; ++i) {
+      const Message m = env.Recv();
+      if (m.type == MsgType::kLockGranted) {
+        ++grants;
+        committing_granted = committing_granted || m.w0 == 0x900;
+      } else if (m.type == MsgType::kLockConflict &&
+                 static_cast<ConflictKind>(m.w2) == ConflictKind::kOverload) {
+        ++overload_refusals;
+      }
+    }
+  });
+  EXPECT_GT(overload_refusals, 0u);
+  EXPECT_GT(grants, 0u);
+  EXPECT_TRUE(committing_granted);
+  EXPECT_EQ(h.service().stats().overload_refused, overload_refusals);
 }
 
 TEST(DtmService, ReleaseAllDrainsLocks) {

@@ -110,10 +110,12 @@ TEST(AddressMapOwnedRange, DescribeListsEveryRangeAndTheFallback) {
   EXPECT_NE(dump.find("hash fallback"), std::string::npos);
   EXPECT_NE(dump.find("[0x1000, 0x1400) -> partition 3"), std::string::npos);
   EXPECT_NE(dump.find("[0x4000, 0x4040) -> partition 1"), std::string::npos);
-  // The owning core is resolved through the deployment plan.
+  // The owning core is resolved through the deployment plan, and each range
+  // reports its frozen durability home next to it.
   std::ostringstream core;
-  core << "(core " << plan.ServiceCore(3) << ")";
+  core << "(core " << plan.ServiceCore(3) << ", durable home 3)";
   EXPECT_NE(dump.find(core.str()), std::string::npos);
+  EXPECT_NE(dump.find("version=0"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

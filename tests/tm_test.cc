@@ -355,6 +355,142 @@ TEST(TmElastic, ElasticEarlyReleasesLocks) {
   EXPECT_EQ(stats.commits, 1u);
 }
 
+TEST(TmMigration, LiveHandoffKeepsCountersExact) {
+  // Counters live in an owned range pinned to partition 0; halfway through
+  // its workload, app core 0 requests a live handoff to partition 1 while
+  // every core keeps incrementing. No increment may be lost across the
+  // drain, the flip, or the post-flip re-routing.
+  TmSystem sys(BaseConfig(8, 4, CmKind::kFairCm));
+  constexpr uint64_t kBase = 0x10000;
+  constexpr uint64_t kBytes = 0x200;
+  constexpr uint64_t kWords = 8;
+  constexpr int kIncsPerCore = 25;
+  sys.address_map().AddOwnedRange(kBase, kBytes, 0);
+  for (uint64_t a = 0; a < kWords; ++a) {
+    sys.shmem().StoreWord(kBase + a * 8, 0);
+  }
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [i](CoreEnv&, TxRuntime& rt) {
+      Rng rng(100 + i);
+      for (int k = 0; k < kIncsPerCore; ++k) {
+        if (i == 0 && k == kIncsPerCore / 2) {
+          rt.RequestMigration(kBase, kBytes, 1);
+        }
+        const uint64_t addr = kBase + rng.NextBelow(kWords) * 8;
+        rt.Execute([addr](Tx& tx) { tx.Write(addr, tx.Read(addr) + 1); });
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  uint64_t total = 0;
+  for (uint64_t a = 0; a < kWords; ++a) {
+    total += sys.shmem().LoadWord(kBase + a * 8);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(sys.num_app_cores()) * kIncsPerCore);
+  EXPECT_EQ(sys.MergedStats().commits,
+            static_cast<uint64_t>(sys.num_app_cores()) * kIncsPerCore);
+  EXPECT_EQ(sys.address_map().PartitionOf(kBase), 1u);
+  EXPECT_EQ(sys.ServiceAt(0).stats().migrations_started, 1u);
+  EXPECT_EQ(sys.ServiceAt(0).stats().migrations_completed, 1u);
+  EXPECT_TRUE(sys.AllLockTablesEmpty());
+}
+
+TEST(TmMigration, PolicyMovesHotRangeAndLeavesColdOneAlone) {
+  // The policy loop: with migrate_check_every/hot_threshold armed, the
+  // service partition that owns the hammered range must migrate it off on
+  // its own, while the idle range it also owns stays put.
+  TmSystemConfig cfg = BaseConfig(8, 4, CmKind::kFairCm);
+  cfg.tm.migrate_check_every = 64;
+  cfg.tm.migrate_hot_threshold = 32;
+  TmSystem sys(std::move(cfg));
+  constexpr uint64_t kHot = 0x20000;
+  constexpr uint64_t kCold = 0x30000;
+  sys.address_map().AddOwnedRange(kHot, 0x100, 0);
+  sys.address_map().AddOwnedRange(kCold, 0x100, 0);
+  constexpr int kIncsPerCore = 25;
+  for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+    sys.SetAppBody(i, [i](CoreEnv&, TxRuntime& rt) {
+      Rng rng(200 + i);
+      for (int k = 0; k < kIncsPerCore; ++k) {
+        const uint64_t addr = kHot + rng.NextBelow(8) * 8;
+        rt.Execute([addr](Tx& tx) { tx.Write(addr, tx.Read(addr) + 1); });
+      }
+    });
+  }
+  sys.Run(kTestHorizon);
+  uint64_t total = 0;
+  for (uint64_t a = 0; a < 8; ++a) {
+    total += sys.shmem().LoadWord(kHot + a * 8);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(sys.num_app_cores()) * kIncsPerCore);
+  uint64_t started = 0;
+  uint64_t completed = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    started += sys.ServiceAt(p).stats().migrations_started;
+    completed += sys.ServiceAt(p).stats().migrations_completed;
+  }
+  // The hot range moved at least once, and successive owners keep passing
+  // it along (each sees the same heat): every completed hop goes to the
+  // next partition, so the final owner is the hop count mod the partition
+  // count. The cold range never moved.
+  EXPECT_GE(started, 1u);
+  EXPECT_GE(completed, 1u);
+  EXPECT_EQ(sys.address_map().version(), completed);
+  EXPECT_EQ(sys.address_map().PartitionOf(kHot), completed % 4);
+  EXPECT_EQ(sys.address_map().PartitionOf(kCold), 0u);
+  EXPECT_TRUE(sys.AllLockTablesEmpty());
+}
+
+TEST(TmFastPath, StaleRefusalAccountingParityWithWirePath) {
+  // The owner-local fast path (AcquireSpanDirect) must account a request
+  // from an already-revoked attempt exactly like the wire path does:
+  // counted as stale_requests_refused, refused with the original conflict
+  // kind. Same multitasked hot-counter workload, fast path off then on:
+  // both runs complete exactly, and both account stale refusals from the
+  // revocations the contention necessarily produces.
+  for (const bool fast_path : {false, true}) {
+    TmSystemConfig cfg = BaseConfig(6, 0, CmKind::kFairCm);
+    cfg.sim.strategy = DeployStrategy::kMultitasked;
+    cfg.tm.local_fast_path = fast_path;
+    TmSystem sys(std::move(cfg));
+    constexpr uint64_t kBase = 0x40000;
+    constexpr uint64_t kWords = 4;
+    constexpr int kIncsPerCore = 30;
+    sys.address_map().AddOwnedRange(kBase, kWords * 8, 0);
+    for (uint64_t a = 0; a < kWords; ++a) {
+      sys.shmem().StoreWord(kBase + a * 8, 0);
+    }
+    for (uint32_t i = 0; i < sys.num_app_cores(); ++i) {
+      sys.SetAppBody(i, [i](CoreEnv&, TxRuntime& rt) {
+        Rng rng(300 + i);
+        for (int k = 0; k < kIncsPerCore; ++k) {
+          const uint64_t addr = kBase + rng.NextBelow(kWords) * 8;
+          rt.Execute([addr](Tx& tx) { tx.Write(addr, tx.Read(addr) + 1); });
+        }
+      });
+    }
+    sys.Run(kTestHorizon);
+    uint64_t total = 0;
+    for (uint64_t a = 0; a < kWords; ++a) {
+      total += sys.shmem().LoadWord(kBase + a * 8);
+    }
+    EXPECT_EQ(total, static_cast<uint64_t>(sys.num_app_cores()) * kIncsPerCore)
+        << "fast_path=" << fast_path;
+    uint64_t stale = 0;
+    uint64_t direct = 0;
+    for (uint32_t p = 0; p < sys.deployment().num_service(); ++p) {
+      stale += sys.ServiceAt(p).stats().stale_requests_refused;
+      direct += sys.ServiceAt(p).stats().local_direct_requests;
+    }
+    EXPECT_GT(stale, 0u) << "fast_path=" << fast_path;
+    if (fast_path) {
+      EXPECT_GT(direct, 0u);
+    } else {
+      EXPECT_EQ(direct, 0u);
+    }
+  }
+}
+
 TEST(TmProgress, FairCmStarvationFree) {
   // Adversarial workload: one long scanner vs 5 writers hammering the same
   // region. Under FairCM every transaction must commit within a bounded

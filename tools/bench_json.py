@@ -25,7 +25,11 @@ drift is a real code change. Native (threads) rows are wall-clock numbers
 from whatever host ran them — they are reported but only enforced with
 --gate-native (for dedicated, quiet perf hosts). Rows measured at
 pipeline_depth != 1 are excluded from the compare groups: the lockstep
-depth-1 rows are the regression baseline.
+depth-1 rows are the regression baseline. Rows carrying a truthy
+`migration` param (bench_elastic's live-handoff scenarios) are excluded
+too: they deliberately measure saturated and mid-migration phases, so
+their throughput tracks the elasticity scenario, not the protocol
+baseline.
 """
 import argparse
 import json
@@ -143,13 +147,19 @@ def throughput_groups(benches):
     protocol is the regression baseline, and pipelined rows shifting (in
     either direction) as the overlap machinery evolves must neither mask
     nor fake a baseline regression. The depth-1 rows of the same sweep
-    still count.
+    still count. Rows marked with a truthy `migration` param are excluded
+    for the same reason: elasticity scenarios measure deliberately
+    saturated and mid-migration throughput, which moves with the scenario
+    (policy windows, backoffs, admission control), not with the baseline
+    protocol.
     """
     sums = {}
     for bench in benches:
         for result in bench.get("results", []):
             params = result.get("params", {})
             if str(params.get("pipeline_depth", "1")) != "1":
+                continue
+            if str(params.get("migration", "0")) not in ("0", ""):
                 continue
             key = (bench["bench"], bench.get("backend", "sim"),
                    params.get("platform", "-"))

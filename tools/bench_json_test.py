@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_json.py.
+
+Focused on the compare-grouping policy: which rows count towards the
+regression baseline. Registered with CTest (see CMakeLists.txt) so the
+gating logic is itself gated.
+
+  python3 tools/bench_json_test.py
+"""
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_json
+
+
+def row(tput, **params):
+    return {
+        "scenario": " ".join(f"{k}={v}" for k, v in params.items()) or "default",
+        "params": {k: str(v) for k, v in params.items()},
+        "throughput_ops_per_ms": tput,
+        "commit_rate": 1.0,
+        "abort_rate": 0.0,
+        "commits": 100,
+        "aborts": 0,
+        "latency_us": {"p50": 1.0, "p95": 2.0, "p99": 3.0, "mean": 1.5, "samples": 100},
+        "extra": {},
+    }
+
+
+def bench(name, results, backend="sim"):
+    return {
+        "bench": name,
+        "figure": "test",
+        "description": "test bench",
+        "schema_version": bench_json.SCHEMA_VERSION,
+        "backend": backend,
+        "smoke": False,
+        "results": results,
+    }
+
+
+class ThroughputGroupsTest(unittest.TestCase):
+    def test_groups_mean_per_bench_backend_platform(self):
+        groups = bench_json.throughput_groups([
+            bench("a", [row(10.0, platform="scc"), row(20.0, platform="scc")]),
+            bench("a", [row(40.0, platform="scc")], backend="threads"),
+        ])
+        self.assertEqual(groups[("a", "sim", "scc")], 15.0)
+        self.assertEqual(groups[("a", "threads", "scc")], 40.0)
+
+    def test_excludes_pipelined_rows_but_keeps_depth_one(self):
+        groups = bench_json.throughput_groups([
+            bench("p", [row(10.0, pipeline_depth=1), row(99.0, pipeline_depth=4)]),
+        ])
+        self.assertEqual(groups[("p", "sim", "-")], 10.0)
+
+    def test_excludes_migration_rows(self):
+        # bench_elastic's rows all carry migration=1: its saturated and
+        # mid-migration phases must not drag a regression group.
+        groups = bench_json.throughput_groups([
+            bench("elastic", [row(36.0, policy="static", migration=1),
+                              row(80.0, policy="elastic", migration=1)]),
+            bench("ycsb", [row(50.0)]),
+        ])
+        self.assertNotIn(("elastic", "sim", "-"), groups)
+        self.assertEqual(groups[("ycsb", "sim", "-")], 50.0)
+
+    def test_migration_zero_or_absent_rows_still_count(self):
+        groups = bench_json.throughput_groups([
+            bench("m", [row(10.0, migration=0), row(30.0)]),
+        ])
+        self.assertEqual(groups[("m", "sim", "-")], 20.0)
+
+    def test_mixed_bench_only_marked_rows_excluded(self):
+        groups = bench_json.throughput_groups([
+            bench("mix", [row(10.0), row(99.0, migration=1)]),
+        ])
+        self.assertEqual(groups[("mix", "sim", "-")], 10.0)
+
+
+class SchemaCheckTest(unittest.TestCase):
+    def test_valid_document_passes(self):
+        bench_json.check_bench(bench("ok", [row(1.0)]))
+
+    def test_missing_field_fails(self):
+        bad = bench("bad", [row(1.0)])
+        del bad["results"][0]["latency_us"]
+        with self.assertRaises(SystemExit):
+            bench_json.check_bench(bad)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -10,6 +10,9 @@
 //   tm2c_check --crash --seeds=10                 # crash-restart recovery sweep
 //   tm2c_check --crash --fault=ack-before-log-flush --seeds=5
 //                                                 # the write-ahead rule bites
+//   tm2c_check --migrate --seeds=10               # live stripe-migration sweep
+//   tm2c_check --migrate --fault=grant-during-migration --seeds=5
+//                                                 # the migration oracle bites
 //   tm2c_check --seeds=1 --seed-base=17 --cms=faircm --modes=normal
 //       --batches=8 --platforms=scc               # replay one failure
 #include <sys/stat.h>
@@ -79,6 +82,8 @@ bool ParseFault(const std::string& name, FaultMode* out) {
     *out = FaultMode::kReleaseBeforePersist;
   } else if (name == "ack-before-log-flush") {
     *out = FaultMode::kAckBeforeLogFlush;
+  } else if (name == "grant-during-migration") {
+    *out = FaultMode::kGrantDuringMigration;
   } else {
     return false;
   }
@@ -123,6 +128,7 @@ int Main(int argc, char** argv) {
   uint64_t group_commit = 1;
   uint64_t checkpoint_every = 0;
   bool crash = false;
+  bool migrate = false;
   int cores = 8;
   int service_cores = 4;
   int txs_per_core = 30;
@@ -148,7 +154,8 @@ int Main(int argc, char** argv) {
                  "overlap batched acquisitions and add a Prefetch to the scans)");
   flags.Register("fault", &fault_name,
                  "planted fault: none, skip-read-lock, ignore-revocation, "
-                 "release-before-persist, ack-before-log-flush");
+                 "release-before-persist, ack-before-log-flush, "
+                 "grant-during-migration");
   flags.Register("durability", &durability_name,
                  "per-partition commit logging: off, buffered, fsync "
                  "(default: off, or buffered when --crash is set)");
@@ -160,6 +167,9 @@ int Main(int argc, char** argv) {
                  "after each run, crash at a seeded event, truncate the logs to "
                  "their durable watermark, recover the store and run the "
                  "crash-restart oracle (forces --workload=kv)");
+  flags.Register("migrate", &migrate,
+                 "hand the partition-0 slab off to partition 1 mid-run and run "
+                 "the migration oracle on the history (forces --workload=kv)");
   flags.Register("workload", &workload_name,
                  "adversarial workload: bank (hot accounts, default) or kv "
                  "(KV store delete/reinsert mix)");
@@ -182,8 +192,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --workload value: %s\n", workload_name.c_str());
     return 2;
   }
-  if (crash) {
-    workload = CheckWorkload::kKv;  // recovery needs the recoverable store
+  if (crash || migrate) {
+    workload = CheckWorkload::kKv;  // recovery and migration need the owned-range store
+  }
+  if (migrate && service_cores < 2) {
+    std::fprintf(stderr, "--migrate needs --service-cores >= 2\n");
+    return 2;
   }
   if (durability_name.empty()) {
     durability_name = crash ? "buffered" : "off";
@@ -264,6 +278,7 @@ int Main(int argc, char** argv) {
               cfg.group_commit_txs = static_cast<uint32_t>(group_commit);
               cfg.checkpoint_every_records = checkpoint_every;
               cfg.crash = crash;
+              cfg.migrate = migrate;
 
               const CheckRunResult result = RunCheckedWorkload(cfg);
               ++runs;
