@@ -63,7 +63,7 @@ BenchRow RunPoint(BenchContext& ctx, const std::string& platform, DurabilityMode
   KvStoreConfig kv;
   kv.capacity_per_partition = 2 * kNumKeys;
   KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), kv);
-  FillKvStore(store, kNumKeys);
+  FillStore(store, kNumKeys);
   if (sys.durability_enabled()) {
     sys.CaptureDurableCheckpoint0();
   }

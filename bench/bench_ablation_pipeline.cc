@@ -56,7 +56,7 @@ BenchRow RunPoint(BenchContext& ctx, uint32_t depth, bool fast_path, SweepPoint*
       static_cast<uint32_t>(std::max<uint64_t>(16, keys / (uint64_t{parts} * 4)));
   kcfg.capacity_per_partition = static_cast<uint32_t>(2 * keys / parts + 64);
   KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), kcfg);
-  FillKvStore(store, keys);
+  FillStore(store, keys);
 
   // Share-little layout: each core's "own" keys live in the partition it
   // serves (multitasked: partition index == core id).

@@ -153,6 +153,9 @@ int main(int argc, char** argv) {
   flags.Register("pipeline-depth", &opts.pipeline_depth,
                  "override the acquisition pipeline depth (1 = lockstep request/reply; "
                  "> 1 overlaps per-node batches; 0 = bench default)");
+  flags.Register("index", &opts.index,
+                 "store index structure for benches on the unified store API: "
+                 "hash | btree (default: the bench sweeps both)");
   bool native_capable_probe = false;
   flags.Register("native-capable", &native_capable_probe,
                  "exit 0 if this bench supports --backend=threads, 3 otherwise (run_all.sh "

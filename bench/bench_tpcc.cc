@@ -1,0 +1,189 @@
+// TPC-C-style two-table OLTP workload: warehouse counters in the
+// partitioned hash KV store, order lines in the partitioned transactional
+// B+-tree — the scenario the ordered index exists for, since every
+// order-status needs the lines of one order back in line order.
+//
+// Tables:
+//  - warehouse (KvStore, value_words=2): per-warehouse [next_o_id, ytd].
+//  - order-line (OrderedIndex, value_words=1): key packs (warehouse,
+//    order slot, line) so one order's lines are contiguous and one
+//    warehouse's orders are contiguous — the ordered index doubles as the
+//    secondary index on (warehouse, order). Orders recycle through a
+//    fixed window of slots; a new order overwrites its slot's lines and
+//    deletes the stale tail, so residency stays bounded and the tree
+//    exercises splits AND merges at steady state.
+//
+// Transactions (one TxRuntime::Execute each — cross-table atomicity is
+// the point):
+//  - new-order (45%): RMW warehouse.next_o_id++, then put 1..kMaxLines
+//    lines for the new order and delete the recycled slot's stale tail.
+//  - payment (43%): RMW warehouse.ytd += amount.
+//  - order-status (12%): read warehouse.next_o_id, then range-scan the
+//    lines of a recent order; asserts the scan comes back in ascending
+//    key order (the ordered index's contract).
+//
+// Self-checks after the run: committed new-order count is non-zero and
+// equals the total next_o_id advance, and committed payment amounts equal
+// the total ytd advance — cross-table lost updates would break either.
+//
+// Registered native: --backend=threads runs the same two-table workload
+// on real OS threads over the SPSC channels.
+#include <atomic>
+
+#include "bench/workloads.h"
+#include "src/apps/ordered_index.h"
+
+namespace tm2c {
+namespace {
+
+constexpr uint32_t kMaxLines = 4;      // line slots per order
+constexpr uint64_t kOrderWindow = 64;  // resident orders per warehouse
+
+// Orders recycle through slot = o_id % kOrderWindow; keys start at 1.
+uint64_t LineKey(uint32_t warehouse, uint64_t slot, uint32_t line) {
+  return (uint64_t{warehouse - 1} * kOrderWindow + slot) * kMaxLines + line + 1;
+}
+
+void Run(BenchContext& ctx) {
+  const auto warehouse_counts = ctx.Sweep<uint32_t>({4, 16});
+  for (const uint32_t warehouses : warehouse_counts) {
+    RunSpec spec = ctx.Spec(25, 13);
+    spec.total_cores = ctx.Cores(48);
+    TmSystem sys(MakeConfig(spec));
+    const uint32_t parts = sys.deployment().num_service();
+
+    KvStoreConfig wcfg;
+    wcfg.value_words = 2;  // [next_o_id, ytd]
+    wcfg.buckets_per_partition = 16;
+    wcfg.capacity_per_partition = warehouses + 16;
+    KvStore wh(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), wcfg);
+
+    OrderedIndexConfig ocfg;
+    ocfg.key_min = 1;
+    ocfg.key_max = LineKey(warehouses, kOrderWindow - 1, kMaxLines - 1);
+    ocfg.value_words = 1;  // quantity
+    ocfg.fanout = 6;
+    ocfg.capacity_per_partition =
+        static_cast<uint32_t>(ocfg.key_max / parts + 64);
+    OrderedIndex lines(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(),
+                       ocfg);
+
+    // Load: every warehouse starts with a full window of 2-line orders, so
+    // order-status hits resident data from the first transaction and the
+    // trees start multi-level.
+    for (uint32_t w = 1; w <= warehouses; ++w) {
+      const uint64_t init[2] = {kOrderWindow, 0};
+      wh.HostPut(w, init);
+      for (uint64_t slot = 0; slot < kOrderWindow; ++slot) {
+        for (uint32_t l = 0; l < 2; ++l) {
+          const uint64_t qty = 1 + (slot + l) % 10;
+          lines.HostPut(LineKey(w, slot, l), &qty);
+        }
+      }
+    }
+
+    std::atomic<uint64_t> new_orders{0}, payments{0}, statuses{0};
+    std::atomic<uint64_t> paid_total{0};
+    auto op = [&wh, &lines, warehouses, &new_orders, &payments, &statuses, &paid_total,
+               scratch = OrderedIndex::SmoScratch()](CoreEnv& env, TxRuntime& rt,
+                                                     Rng& rng) mutable {
+      env.Compute(kOpOverheadCycles);
+      const auto w = static_cast<uint32_t>(1 + rng.NextBelow(warehouses));
+      const uint64_t roll = rng.NextBelow(100);
+      if (roll < 45) {
+        // New-order: draw the line count before Execute so every retry
+        // builds the same order.
+        const auto nlines = static_cast<uint32_t>(1 + rng.NextBelow(kMaxLines));
+        rt.Execute([&](Tx& tx) {
+          scratch.ResetAttempt();
+          uint64_t o_id = 0;
+          wh.TxReadModifyWrite(tx, w, [&o_id](uint64_t* v) {
+            o_id = v[0];
+            v[0] += 1;
+          });
+          const uint64_t slot = o_id % kOrderWindow;
+          for (uint32_t l = 0; l < kMaxLines; ++l) {
+            const uint64_t key = LineKey(w, slot, l);
+            if (l < nlines) {
+              const uint64_t qty = 1 + (o_id + l) % 10;
+              lines.TxPut(tx, key, &qty, &scratch);
+            } else {
+              lines.TxDelete(tx, key, nullptr, &scratch);
+            }
+          }
+        });
+        lines.SettleScratch(&scratch);
+        new_orders.fetch_add(1, std::memory_order_relaxed);
+      } else if (roll < 88) {
+        const uint64_t amount = 1 + rng.NextBelow(500);
+        wh.ReadModifyWrite(rt, w, [amount](uint64_t* v) { v[1] += amount; });
+        paid_total.fetch_add(amount, std::memory_order_relaxed);
+        payments.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Order-status: how far back to look is drawn before Execute.
+        const uint64_t back = 1 + rng.NextBelow(kOrderWindow / 2);
+        std::vector<KvEntry> out;
+        rt.Execute([&](Tx& tx) {
+          out.clear();
+          uint64_t v[2] = {0, 0};
+          if (!wh.TxGet(tx, w, v)) {
+            return;
+          }
+          const uint64_t o_id = v[0] - std::min(back, v[0]);
+          const uint64_t slot = o_id % kOrderWindow;
+          lines.TxRangeScan(tx, LineKey(w, slot, 0), LineKey(w, slot, kMaxLines - 1),
+                            kMaxLines, &out);
+        });
+        for (size_t i = 1; i < out.size(); ++i) {
+          TM2C_CHECK_MSG(out[i - 1].key < out[i].key,
+                         "order-status scan returned lines out of key order");
+        }
+        statuses.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    LatencySampler lat;
+    InstallLoopBodies(sys, spec.duration, spec.seed, op, &lat);
+    sys.Run(spec.duration);
+
+    // Cross-table conservation: every committed new-order advanced exactly
+    // one next_o_id; every committed payment's amount landed in one ytd.
+    // The simulated horizon can freeze a body between its commit and its
+    // counter bump, so each total may exceed its counter by at most one
+    // in-flight transaction per application core.
+    uint64_t o_id_sum = 0, ytd_sum = 0;
+    for (uint32_t w = 1; w <= warehouses; ++w) {
+      uint64_t v[2] = {0, 0};
+      TM2C_CHECK(wh.HostGet(w, v));
+      o_id_sum += v[0];
+      ytd_sum += v[1];
+    }
+    const uint64_t app_cores = sys.num_app_cores();
+    const uint64_t o_id_advance = o_id_sum - uint64_t{warehouses} * kOrderWindow;
+    TM2C_CHECK_MSG(new_orders.load() > 0, "no new-order transaction committed");
+    TM2C_CHECK_MSG(
+        o_id_advance >= new_orders.load() && o_id_advance <= new_orders.load() + app_cores,
+        "next_o_id total does not match committed new-orders");
+    TM2C_CHECK_MSG(
+        ytd_sum >= paid_total.load() && ytd_sum <= paid_total.load() + app_cores * 500,
+        "ytd total does not match committed payment amounts");
+
+    BenchRow row;
+    row.Param("warehouses", uint64_t{warehouses})
+        .Param("platform", spec.platform_name)
+        .Param("cores", uint64_t{spec.total_cores})
+        .Tx(sys, spec.duration, lat)
+        .Extra("new_orders", static_cast<double>(new_orders.load()))
+        .Extra("payments", static_cast<double>(payments.load()))
+        .Extra("order_status", static_cast<double>(statuses.load()))
+        .Extra("resident_lines", static_cast<double>(lines.HostSize()));
+    ctx.Report(row);
+  }
+}
+
+TM2C_REGISTER_BENCH_NATIVE(
+    "tpcc", "oltp",
+    "TPC-C-style new-order/payment/order-status on warehouse KV + ordered order lines",
+    &Run);
+
+}  // namespace
+}  // namespace tm2c

@@ -194,6 +194,8 @@ struct BenchOptions {
   std::string channel;       // thread transport: "" = spsc; "mutex" = v1 baseline
   bool pin = false;          // pin thread-backend threads to host CPUs
   int pipeline_depth = 0;    // 0 = bench default; >= 1 overrides everywhere
+  std::string index;         // store index structure: "" = bench default
+                             // sweep; "hash" | "btree" pins one
 };
 
 // p50/p95/p99 of per-operation latency, in (simulated) microseconds.
@@ -313,10 +315,14 @@ class BenchContext {
   }
 
   // Generic sweep over any dimension: --smoke keeps only the first point.
+  // (Built by hand rather than via resize(1): GCC 12's -O2 array-bounds
+  // checker reports a false positive through vector::resize shrinkage.)
   template <typename T>
   std::vector<T> Sweep(std::vector<T> def) const {
     if (opts_.smoke && def.size() > 1) {
-      def.resize(1);
+      std::vector<T> first;
+      first.push_back(std::move(def.front()));
+      return first;
     }
     return def;
   }
@@ -336,6 +342,16 @@ class BenchContext {
   std::vector<std::string> PlatformSweep(std::vector<std::string> def) const {
     if (!opts_.platform.empty()) {
       return {opts_.platform};
+    }
+    return def;
+  }
+
+  // Store-index sweep (benches on TxStoreApi): --index pins one structure.
+  // Not smoke-reduced — comparing the index structures is the point of the
+  // benches that sweep them, and the CI smoke gate checks both appear.
+  std::vector<std::string> IndexSweep(std::vector<std::string> def) const {
+    if (!opts_.index.empty()) {
+      return {opts_.index};
     }
     return def;
   }

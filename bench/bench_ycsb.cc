@@ -1,19 +1,27 @@
-// YCSB-style workload on the partitioned transactional KV store
-// (src/apps/kvstore.h) — the first service-shaped scenario in the suite:
-// skewed, mixed read/write traffic against a keyed store, the KVell-style
-// workload the DS-Lock + CM machinery must survive at scale.
+// YCSB-style workload on the partitioned transactional stores — the
+// service-shaped scenario in the suite: skewed, mixed read/write traffic
+// against a keyed store, the KVell-style workload the DS-Lock + CM
+// machinery must survive at scale.
 //
-// Sweeps the YCSB core mixes that make sense on a hash store (A, B, C, F)
-// under scrambled-zipfian (theta = 0.99, the YCSB default) and uniform key
-// choice, for two value sizes. The store pins each partition's slab to its
-// owning DTM service core (AddressMap::AddOwnedRange), so every lock
-// acquisition routes to the partition owner; the interesting comparison is
-// how throughput degrades from C (read-only) through B/A (write contention
-// on zipfian-hot keys) to F (read-modify-write holds locks longest).
+// Sweeps the YCSB core mixes over BOTH store index structures behind the
+// unified TxStoreApi (`--index={hash,btree}` pins one): the partitioned
+// hash KV store (src/apps/kvstore.h) and the partitioned B+-tree
+// (src/apps/ordered_index.h). The point mixes A/B/C/F compare hash-lookup
+// cost against tree-descent cost under the same traffic; workload E (95%
+// range scans from a zipfian start key, 5% updates) is where the
+// structures genuinely diverge — the B+-tree serves an ordered
+// leaf-chain scan of `scan_len` entries, the hash store its honest
+// bounded partition traversal (see src/apps/tx_store_api.h). The mix
+// logic itself is index-agnostic: one OpFn against TxStoreApi.
 //
-// Registered native: --backend=threads measures the same store on real OS
-// threads over the SPSC channels.
+// Both stores pin each partition's slab to its owning DTM service core
+// (AddressMap::AddOwnedRange); the B+-tree partitions its key RANGE, so a
+// range scan's lock traffic walks the service cores in key order.
+//
+// Registered native: --backend=threads measures the same stores on real
+// OS threads over the SPSC channels.
 #include "bench/workloads.h"
+#include "src/apps/ordered_index.h"
 
 namespace tm2c {
 namespace {
@@ -23,56 +31,95 @@ struct Dist {
   double theta;  // 0 = uniform
 };
 
+std::unique_ptr<TxStoreApi> MakeStore(const std::string& index, TmSystem& sys,
+                                      uint64_t keys, uint32_t value_words) {
+  const uint32_t parts = sys.deployment().num_service();
+  if (index == "hash") {
+    KvStoreConfig kcfg;
+    kcfg.value_words = value_words;
+    // Load factor ~4 per bucket; 2x headroom over the mean residency
+    // for hash imbalance across partitions.
+    kcfg.buckets_per_partition =
+        static_cast<uint32_t>(std::max<uint64_t>(16, keys / (uint64_t{parts} * 4)));
+    kcfg.capacity_per_partition = static_cast<uint32_t>(2 * keys / parts + 64);
+    return std::make_unique<KvStore>(sys.allocator(), sys.shmem(), sys.address_map(),
+                                     sys.deployment(), kcfg);
+  }
+  TM2C_CHECK_MSG(index == "btree", "--index must be hash or btree");
+  OrderedIndexConfig ocfg;
+  ocfg.key_min = 1;
+  ocfg.key_max = keys;
+  ocfg.value_words = value_words;
+  // The default fanout keeps a full node read within one default-sized
+  // acquisition batch: one lock round trip per tree level.
+  ocfg.fanout = 6;
+  // Half-full leaves put ~fanout/2 entries per leaf; one pool slot per
+  // resident key is ~3x that plus inner-node headroom.
+  ocfg.capacity_per_partition = static_cast<uint32_t>(keys / parts + 64);
+  return std::make_unique<OrderedIndex>(sys.allocator(), sys.shmem(), sys.address_map(),
+                                        sys.deployment(), ocfg);
+}
+
 void Run(BenchContext& ctx) {
   const uint64_t keys = ctx.smoke() ? 2048 : 16384;
+  const auto indexes = ctx.IndexSweep({"hash", "btree"});
   const auto dists = ctx.Sweep<Dist>({{"zipfian", 0.99}, {"uniform", 0.0}});
   const auto value_sizes = ctx.Sweep<uint32_t>({4, 16});
-  for (const Dist& dist : dists) {
-    const auto chooser = std::make_shared<const KeyChooser>(keys, dist.theta);
-    for (const uint32_t value_words : value_sizes) {
-      // The four mixes are not smoke-reduced: together they are one sweep
-      // point per mix and the A/B/C/F coverage is what the schema gate
-      // checks.
-      for (const YcsbMixSpec& mix : YcsbCoreMixes()) {
-        RunSpec spec = ctx.Spec(25, 11);
-        spec.total_cores = ctx.Cores(48);
-        TmSystem sys(MakeConfig(spec));
-        const uint32_t parts = sys.deployment().num_service();
-        KvStoreConfig kcfg;
-        kcfg.value_words = value_words;
-        // Load factor ~4 per bucket; 2x headroom over the mean residency
-        // for hash imbalance across partitions.
-        kcfg.buckets_per_partition =
-            static_cast<uint32_t>(std::max<uint64_t>(16, keys / (uint64_t{parts} * 4)));
-        kcfg.capacity_per_partition =
-            static_cast<uint32_t>(2 * keys / parts + 64);
-        KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(),
-                      kcfg);
-        FillKvStore(store, keys);
-        LatencySampler lat;
-        InstallLoopBodies(sys, spec.duration, spec.seed, YcsbMix(&store, mix, chooser),
-                          &lat);
-        sys.Run(spec.duration);
-        BenchRow row;
-        row.Param("workload", mix.name)
-            .Param("dist", dist.name)
-            .Param("value_words", uint64_t{value_words})
-            .Param("platform", spec.platform_name)
-            .Param("cores", uint64_t{spec.total_cores})
-            .Tx(sys, spec.duration, lat)
-            .Extra("theta", dist.theta)
-            .Extra("keys", static_cast<double>(keys))
-            .Extra("read_pct", mix.read_pct)
-            .Extra("resident_keys", static_cast<double>(store.HostSize()));
-        ctx.Report(row);
+  for (const std::string& index : indexes) {
+    for (const Dist& dist : dists) {
+      const auto chooser = std::make_shared<const KeyChooser>(keys, dist.theta);
+      for (const uint32_t value_words : value_sizes) {
+        // The five mixes are not smoke-reduced: together they are one sweep
+        // point per mix and the A/B/C/E/F coverage is what the schema gate
+        // checks. E additionally sweeps the scan length (smoke keeps the
+        // short one).
+        for (const YcsbMixSpec& mix : YcsbCoreMixes()) {
+          const auto scan_lens = mix.scan_pct > 0 ? ctx.Sweep<uint32_t>({8, 64})
+                                                  : std::vector<uint32_t>{0};
+          for (const uint32_t scan_len : scan_lens) {
+            RunSpec spec = ctx.Spec(25, 11);
+            spec.total_cores = ctx.Cores(48);
+            // The B+-tree's inline-payload nodes at value_words=16 need
+            // more slab than the hash store's chained nodes.
+            spec.shmem_bytes = 64ull << 20;
+            TmSystem sys(MakeConfig(spec));
+            std::unique_ptr<TxStoreApi> store =
+                MakeStore(index, sys, keys, value_words);
+            FillStore(*store, keys);
+            LatencySampler lat;
+            InstallLoopBodies(sys, spec.duration, spec.seed,
+                              YcsbMix(store.get(), mix, chooser,
+                                      scan_len == 0 ? 1 : scan_len),
+                              &lat);
+            sys.Run(spec.duration);
+            BenchRow row;
+            row.Param("workload", mix.name)
+                .Param("index", store->IndexKindName())
+                .Param("dist", dist.name)
+                .Param("value_words", uint64_t{value_words});
+            if (mix.scan_pct > 0) {
+              row.Param("scan_len", uint64_t{scan_len});
+            }
+            row.Param("platform", spec.platform_name)
+                .Param("cores", uint64_t{spec.total_cores})
+                .Tx(sys, spec.duration, lat)
+                .Extra("theta", dist.theta)
+                .Extra("keys", static_cast<double>(keys))
+                .Extra("read_pct", mix.read_pct)
+                .Extra("scan_pct", mix.scan_pct)
+                .Extra("resident_keys", static_cast<double>(store->HostSize()));
+            ctx.Report(row);
+          }
+        }
       }
     }
   }
 }
 
-TM2C_REGISTER_BENCH_NATIVE("ycsb_kv", "kv",
-                           "YCSB A/B/C/F on the partitioned transactional KV store",
-                           &Run);
+TM2C_REGISTER_BENCH_NATIVE(
+    "ycsb_kv", "kv",
+    "YCSB A/B/C/E/F on the partitioned transactional stores (hash + btree)",
+    &Run);
 
 }  // namespace
 }  // namespace tm2c

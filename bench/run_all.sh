@@ -37,6 +37,7 @@ BENCHES=(
   bench_fig8a_latency
   bench_micro
   bench_platforms
+  bench_tpcc
   bench_ycsb
 )
 

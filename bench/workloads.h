@@ -230,41 +230,50 @@ class KeyChooser {
   std::unique_ptr<ZipfianGenerator> zipf_;
 };
 
-// The YCSB core workload mixes that make sense on a hash store. Every
-// operation targets one key drawn from the chooser. Updates overwrite the
-// whole value (YCSB writes whole records); workload F's read-modify-write
-// increments the first value word inside one transaction.
+// The YCSB core workload mixes, written against TxStoreApi so the same
+// mix logic measures either index structure (`--index={hash,btree}`).
+// Every point operation targets one key drawn from the chooser. Updates
+// overwrite the whole value (YCSB writes whole records); workload F's
+// read-modify-write increments the first value word inside one
+// transaction; workload E's scans read the next `scan_len` entries from a
+// zipfian-drawn start key via TxStoreApi::Scan — a real ordered range scan
+// on the B+-tree, the hash store's honest bounded partition traversal on
+// the hash index (see src/apps/tx_store_api.h).
 //
 //   A: 50% read / 50% update   (session store)
 //   B: 95% read /  5% update   (photo tagging)
 //   C: 100% read               (profile cache)
+//   E:  5% update / 95% scan   (threaded conversations)
 //   F: 50% read / 50% RMW      (user database)
 struct YcsbMixSpec {
   const char* name;
   uint32_t read_pct;
   uint32_t update_pct;
   uint32_t rmw_pct;
+  uint32_t scan_pct;
 };
 
 inline const std::vector<YcsbMixSpec>& YcsbCoreMixes() {
   static const std::vector<YcsbMixSpec> mixes = {
-      {"A", 50, 50, 0},
-      {"B", 95, 5, 0},
-      {"C", 100, 0, 0},
-      {"F", 50, 0, 50},
+      {"A", 50, 50, 0, 0},
+      {"B", 95, 5, 0, 0},
+      {"C", 100, 0, 0, 0},
+      {"E", 0, 5, 0, 95},
+      {"F", 50, 0, 50, 0},
   };
   return mixes;
 }
 
-inline OpFn YcsbMix(KvStore* store, const YcsbMixSpec& mix,
-                    std::shared_ptr<const KeyChooser> keys) {
-  // The update-value buffer lives in the lambda (one per core:
-  // InstallLoopBodies copies the OpFn per body) so value generation adds
-  // no per-op allocation. The store wrappers' ReadMany plumbing still
+inline OpFn YcsbMix(TxStoreApi* store, const YcsbMixSpec& mix,
+                    std::shared_ptr<const KeyChooser> keys, uint32_t scan_len = 1) {
+  // The update-value and scan-result buffers live in the lambda (one per
+  // core: InstallLoopBodies copies the OpFn per body) so value generation
+  // adds no per-op allocation. The store wrappers' ReadMany plumbing still
   // allocates small scratch vectors per call — equally on every path and
   // every bench that uses the Tx API, so relative numbers are unaffected.
-  return [store, mix, keys,
-          value = std::vector<uint64_t>(store->value_words())](
+  return [store, mix, keys, scan_len,
+          value = std::vector<uint64_t>(store->value_words()),
+          scanned = std::vector<KvEntry>()](
              CoreEnv& env, TxRuntime& rt, Rng& rng) mutable {
     env.Compute(kOpOverheadCycles);
     const uint64_t key = keys->Next(rng);
@@ -276,15 +285,17 @@ inline OpFn YcsbMix(KvStore* store, const YcsbMixSpec& mix,
         w = rng.Next();
       }
       store->Put(rt, key, value.data());
-    } else {
+    } else if (roll < mix.read_pct + mix.update_pct + mix.rmw_pct) {
       store->ReadModifyWrite(rt, key, [](uint64_t* v) { v[0] += 1; });
+    } else {
+      scanned = store->Scan(rt, key, scan_len);
     }
   };
 }
 
 // Load phase: every key in [1, num_keys] resident, with a deterministic
 // value derived from the key (host-side, zero simulated cost).
-inline void FillKvStore(KvStore& store, uint64_t num_keys) {
+inline void FillStore(TxStoreApi& store, uint64_t num_keys) {
   std::vector<uint64_t> value(store.value_words());
   for (uint64_t key = 1; key <= num_keys; ++key) {
     for (uint32_t w = 0; w < store.value_words(); ++w) {

@@ -227,8 +227,8 @@ bool KvStore::TxReadModifyWrite(Tx& tx, uint64_t key,
   return true;
 }
 
-uint32_t KvStore::TxScan(Tx& tx, uint64_t start_key, uint32_t limit,
-                         std::vector<KvEntry>* out) const {
+uint32_t KvStore::TxHashScan(Tx& tx, uint64_t start_key, uint32_t limit,
+                             std::vector<KvEntry>* out) const {
   TM2C_DCHECK(start_key != 0);
   constexpr uint32_t kHeadBatch = 8;
   const uint32_t partition = PartitionOfKey(start_key);
@@ -361,11 +361,12 @@ bool KvStore::ReadModifyWrite(TxRuntime& rt, uint64_t key,
   return found;
 }
 
-std::vector<KvEntry> KvStore::Scan(TxRuntime& rt, uint64_t start_key, uint32_t limit) const {
+std::vector<KvEntry> KvStore::HashScan(TxRuntime& rt, uint64_t start_key,
+                                       uint32_t limit) const {
   std::vector<KvEntry> out;
   rt.Execute([&](Tx& tx) {
     out.clear();  // an aborted attempt may have appended partial results
-    TxScan(tx, start_key, limit, &out);
+    TxHashScan(tx, start_key, limit, &out);
   });
   return out;
 }

@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/apps/tx_store_api.h"
 #include "src/runtime/core_env.h"
 #include "src/shmem/allocator.h"
 #include "src/tm/address_map.h"
@@ -67,12 +68,7 @@ struct KvStoreConfig {
   bool reuse_nodes = true;
 };
 
-struct KvEntry {
-  uint64_t key = 0;
-  std::vector<uint64_t> value;
-};
-
-class KvStore {
+class KvStore : public TxStoreApi {
  public:
   // Carves one slab per DTM partition out of `allocator` (placed near the
   // owning service core) and registers each slab with `map` so the
@@ -87,7 +83,7 @@ class KvStore {
   // -- Composable transactional operations --------------------------------
   // Reads `key`'s value into value[0..value_words) (batched via ReadMany).
   // Returns false when the key is absent.
-  bool TxGet(Tx& tx, uint64_t key, uint64_t* value) const;
+  bool TxGet(Tx& tx, uint64_t key, uint64_t* value) const override;
   // Insert-or-update. On update the value is written in place and the
   // caller keeps `node_addr` (returns false: node not consumed). On insert
   // `node_addr` is linked in (returns true: node consumed).
@@ -101,32 +97,45 @@ class KvStore {
   // false when the key is absent. `fn` must be side-effect-free: it runs
   // once per attempt.
   bool TxReadModifyWrite(Tx& tx, uint64_t key,
-                         const std::function<void(uint64_t*)>& fn) const;
-  // Bounded scan, hash-ordered (the honest semantics of a hash store):
-  // walks the owning partition's buckets starting at `start_key`'s bucket
-  // (within that first bucket, at the first key >= start_key), wrapping
-  // around the partition, and appends entries to `out` until `limit`
-  // entries were collected or the whole partition was visited. Bucket
-  // heads are read in ReadMany batches; chains are walked read-by-read.
-  // Returns the number of entries appended.
+                         const std::function<void(uint64_t*)>& fn) const override;
+  // Bounded scan, hash-ordered (the honest semantics of a hash store —
+  // hence the name): walks the owning partition's buckets starting at
+  // `start_key`'s bucket (within that first bucket, at the first key >=
+  // start_key), wrapping around the partition, and appends entries to
+  // `out` until `limit` entries were collected or the whole partition was
+  // visited. Bucket heads are read in ReadMany batches; chains are walked
+  // read-by-read. Returns the number of entries appended. No key-order or
+  // cross-partition completeness promise — the ordered range scan is
+  // OrderedIndex::TxScan.
+  uint32_t TxHashScan(Tx& tx, uint64_t start_key, uint32_t limit,
+                      std::vector<KvEntry>* out) const;
+  // TxStoreApi's generic scan delegates to TxHashScan (hash-order
+  // semantics; see the interface header's honesty contract).
   uint32_t TxScan(Tx& tx, uint64_t start_key, uint32_t limit,
-                  std::vector<KvEntry>* out) const;
+                  std::vector<KvEntry>* out) const override {
+    return TxHashScan(tx, start_key, limit, out);
+  }
 
   // -- One-transaction wrappers -------------------------------------------
-  bool Get(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* value) const;
+  bool Get(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* value) const override;
   // Returns true if the key was inserted, false if an existing value was
   // overwritten. `value` must point at value_words() words.
-  bool Put(TxRuntime& rt, uint64_t key, const uint64_t* value);
+  bool Put(TxRuntime& rt, uint64_t key, const uint64_t* value) override;
   // Returns true if the key was removed; the removed value lands in
   // `old_value` (if non-null). The node returns to the partition pool.
-  bool Delete(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* old_value = nullptr);
+  bool Delete(TxRuntime& rt, uint64_t key,
+              std::vector<uint64_t>* old_value = nullptr) override;
   // Insert-only variant: returns false (and writes nothing) when the key
   // already exists. The conservation-checked chaos workload needs "put if
   // absent" — a blind Put would overwrite a concurrent counter.
-  bool Insert(TxRuntime& rt, uint64_t key, const uint64_t* value);
+  bool Insert(TxRuntime& rt, uint64_t key, const uint64_t* value) override;
   bool ReadModifyWrite(TxRuntime& rt, uint64_t key,
-                       const std::function<void(uint64_t*)>& fn) const;
-  std::vector<KvEntry> Scan(TxRuntime& rt, uint64_t start_key, uint32_t limit) const;
+                       const std::function<void(uint64_t*)>& fn) const override;
+  std::vector<KvEntry> HashScan(TxRuntime& rt, uint64_t start_key, uint32_t limit) const;
+  std::vector<KvEntry> Scan(TxRuntime& rt, uint64_t start_key,
+                            uint32_t limit) const override {
+    return HashScan(rt, start_key, limit);
+  }
 
   // -- Crash recovery ------------------------------------------------------
   // Rebuilds one partition from its durable state: zeroes the slab, applies
@@ -141,24 +150,25 @@ class KvStore {
                         const std::vector<std::pair<uint64_t, uint64_t>>& replay_pairs);
 
   // -- Host-side helpers (zero simulated cost; load phase + verification) --
-  bool HostPut(uint64_t key, const uint64_t* value);  // insert-or-update
-  bool HostGet(uint64_t key, uint64_t* value) const;
-  uint64_t HostSize() const;
+  bool HostPut(uint64_t key, const uint64_t* value) override;  // insert-or-update
+  bool HostGet(uint64_t key, uint64_t* value) const override;
+  uint64_t HostSize() const override;
   uint64_t HostSizeOfPartition(uint32_t partition) const;
   // Invokes fn(key, value_ptr) for every resident entry (host-side).
-  void HostForEach(const std::function<void(uint64_t, const uint64_t*)>& fn) const;
+  void HostForEach(const std::function<void(uint64_t, const uint64_t*)>& fn) const override;
 
   // -- Introspection -------------------------------------------------------
   uint32_t PartitionOfKey(uint64_t key) const;
   uint32_t OwnerCore(uint64_t key) const;  // service core of the partition
-  uint32_t num_partitions() const { return static_cast<uint32_t>(parts_.size()); }
-  uint32_t value_words() const { return cfg_.value_words; }
+  uint32_t num_partitions() const override { return static_cast<uint32_t>(parts_.size()); }
+  uint32_t value_words() const override { return cfg_.value_words; }
   uint32_t buckets_per_partition() const { return cfg_.buckets_per_partition; }
   // [base, base + bytes) of a partition's slab, for tests and the chaos
   // harness's initial-state recording.
-  std::pair<uint64_t, uint64_t> SlabRange(uint32_t partition) const;
+  std::pair<uint64_t, uint64_t> SlabRange(uint32_t partition) const override;
   // Live nodes currently allocated out of a partition's pool.
-  uint64_t NodesInUse(uint32_t partition) const;
+  uint64_t NodesInUse(uint32_t partition) const override;
+  const char* IndexKindName() const override { return "hash"; }
 
   uint64_t node_words() const { return 2 + cfg_.value_words; }
   uint64_t node_bytes() const { return node_words() * kWordBytes; }

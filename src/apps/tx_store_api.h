@@ -1,0 +1,105 @@
+// The common transactional-store interface.
+//
+// Two service-shaped stores share it: the partitioned hash KV store
+// (src/apps/kvstore.h) and the partitioned B+-tree (src/apps/
+// ordered_index.h). Both lay one slab per DTM partition, register it as an
+// owned range, and expose the same keyed operations in the suite's three
+// established access modes:
+//
+//  - composable Tx* methods that run inside a caller-provided transaction
+//    (the read/update subset lives on the interface; structural mutations
+//    stay on the concrete types because their node-allocation protocols
+//    differ — a hash insert consumes one spare node, a B+-tree insert may
+//    consume a whole split path),
+//  - self-retrying wrappers that run their own transaction via a TxRuntime
+//    and handle node allocation/recycling across retries,
+//  - zero-cost Host* helpers for the load phase and verification.
+//
+// Benches and the chaos checker drive stores exclusively through this
+// interface (`--index={hash,btree}` selects the implementation), so a
+// workload mix is written once and measures index structure, not plumbing.
+//
+// Scan semantics are per-implementation and deliberately honest:
+// OrderedIndex::Scan is a real range scan — entries with key >= start, in
+// ascending key order, over the leaf chain. KvStore::Scan delegates to its
+// HashScan: a bounded hash-order traversal of the start key's partition
+// that makes no ordering or completeness promise beyond "up to `limit`
+// resident entries". Callers that need ordered results must pick the
+// btree index; YCSB-E on the hash index measures exactly what a
+// hash-backed store can give that workload.
+#ifndef TM2C_SRC_APPS_TX_STORE_API_H_
+#define TM2C_SRC_APPS_TX_STORE_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/tm/tx_runtime.h"
+
+namespace tm2c {
+
+struct KvEntry {
+  uint64_t key = 0;
+  std::vector<uint64_t> value;
+};
+
+class TxStoreApi {
+ public:
+  virtual ~TxStoreApi() = default;
+
+  // -- Composable transactional operations (read/update subset) -----------
+  // Reads `key`'s value into value[0..value_words()). Returns false when
+  // the key is absent.
+  virtual bool TxGet(Tx& tx, uint64_t key, uint64_t* value) const = 0;
+  // Reads the value, applies `fn` to it in place, writes it back. Returns
+  // false when the key is absent. `fn` must be side-effect-free: it runs
+  // once per attempt.
+  virtual bool TxReadModifyWrite(Tx& tx, uint64_t key,
+                                 const std::function<void(uint64_t*)>& fn) const = 0;
+  // Bounded scan from `start_key` (see the header comment for the
+  // per-implementation ordering contract). Appends to `out`, returns the
+  // number of entries appended.
+  virtual uint32_t TxScan(Tx& tx, uint64_t start_key, uint32_t limit,
+                          std::vector<KvEntry>* out) const = 0;
+
+  // -- One-transaction wrappers -------------------------------------------
+  virtual bool Get(TxRuntime& rt, uint64_t key, std::vector<uint64_t>* value) const = 0;
+  // Insert-or-update. Returns true if the key was inserted, false if an
+  // existing value was overwritten. `value` must point at value_words()
+  // words.
+  virtual bool Put(TxRuntime& rt, uint64_t key, const uint64_t* value) = 0;
+  // Insert-only: returns false (and writes nothing) when the key already
+  // exists. The conservation-checked chaos workloads need "put if absent".
+  virtual bool Insert(TxRuntime& rt, uint64_t key, const uint64_t* value) = 0;
+  // Returns true if the key was removed; the removed value lands in
+  // `old_value` (if non-null). Removed nodes return to their pools.
+  virtual bool Delete(TxRuntime& rt, uint64_t key,
+                      std::vector<uint64_t>* old_value = nullptr) = 0;
+  virtual bool ReadModifyWrite(TxRuntime& rt, uint64_t key,
+                               const std::function<void(uint64_t*)>& fn) const = 0;
+  virtual std::vector<KvEntry> Scan(TxRuntime& rt, uint64_t start_key,
+                                    uint32_t limit) const = 0;
+
+  // -- Host-side helpers (zero simulated cost) -----------------------------
+  virtual bool HostPut(uint64_t key, const uint64_t* value) = 0;  // insert-or-update
+  virtual bool HostGet(uint64_t key, uint64_t* value) const = 0;
+  virtual uint64_t HostSize() const = 0;
+  // Invokes fn(key, value_ptr) for every resident entry (host-side). No
+  // ordering promise; OrderedIndex visits in ascending key order.
+  virtual void HostForEach(const std::function<void(uint64_t, const uint64_t*)>& fn) const = 0;
+
+  // -- Introspection --------------------------------------------------------
+  virtual uint32_t value_words() const = 0;
+  virtual uint32_t num_partitions() const = 0;
+  // Live nodes currently allocated out of a partition's pool.
+  virtual uint64_t NodesInUse(uint32_t partition) const = 0;
+  // [base, base + bytes) of a partition's slab, for the chaos harness's
+  // initial-state recording.
+  virtual std::pair<uint64_t, uint64_t> SlabRange(uint32_t partition) const = 0;
+  // "hash" or "btree" — the `--index` selector value and bench row param.
+  virtual const char* IndexKindName() const = 0;
+};
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_APPS_TX_STORE_API_H_

@@ -1,9 +1,11 @@
 #include "src/check/checker.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "src/apps/kvstore.h"
+#include "src/apps/ordered_index.h"
 #include "src/check/crash.h"
 #include "src/common/rng.h"
 
@@ -327,36 +329,43 @@ void RunKvCrashRestart(const CheckRunConfig& cfg, TmSystem& sys, KvStore& store,
   }
 }
 
-// The KV-store chaos mix. Every value word is (unique write tag << 32) |
-// counter, the same attribution discipline as the bank workload: the low
-// half carries the conserved counter, the high half makes every committed
-// value write globally unique so the oracle (and elastic value validation)
-// can never confuse two writes. Structure words (bucket heads, next
-// pointers) necessarily repeat values across delete/reinsert cycles; the
-// oracle's sequence-exact attribution handles that, and the conservation
-// check below catches what per-address checks cannot: an update applied to
-// a node that a concurrent delete had already unlinked (the delete/
-// reinsert ABA) leaves the live counters short.
-CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
-  TmSystem sys(MakeCheckedSystemConfig(cfg));
+// The shared store chaos mix, driven through TxStoreApi so the hash KV
+// store and the ordered B+-tree run the exact same adversarial workload.
+// Every value word is (unique write tag << 32) | counter, the same
+// attribution discipline as the bank workload: the low half carries the
+// conserved counter, the high half makes every committed value write
+// globally unique so the oracle (and elastic value validation) can never
+// confuse two writes. Structure words (bucket heads, next pointers, node
+// metadata, separators) necessarily repeat values across delete/reinsert
+// and split/merge cycles; the oracle's sequence-exact attribution handles
+// that, and the conservation check below catches what per-address checks
+// cannot: an update applied to a node that a concurrent delete had already
+// unlinked (the delete/reinsert ABA) leaves the live counters short.
+//
+// Counter value every key is loaded with (tag 0: the load phase).
+constexpr uint64_t kStoreMixInitial = 1000;
 
-  CheckRunResult result;
-
-  constexpr uint64_t kInitial = 1000;
-  constexpr uint64_t kCounterMask = 0xffffffffull;
-  KvStoreConfig kv_cfg;
-  kv_cfg.value_words = 1;
-  // Tiny and hot on purpose: few buckets so chains exist (traversals
-  // overlap), capacity just above the keyspace so recycling is exercised.
-  kv_cfg.buckets_per_partition = 2;
-  kv_cfg.capacity_per_partition = cfg.accounts + 8;
-  kv_cfg.reuse_nodes = true;
-  KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), kv_cfg);
-  for (uint64_t key = 1; key <= cfg.accounts; ++key) {
-    const uint64_t value = kInitial;  // tag 0: the load phase
+// Host-loads keys [1, num_keys]; callers run this before RunCheckedStoreMix
+// (separately, so workload-specific post-load assertions — tree depth
+// non-vacuity — can anchor to the deterministic loaded state).
+void LoadStoreMixKeys(TxStoreApi& store, uint64_t num_keys) {
+  for (uint64_t key = 1; key <= num_keys; ++key) {
+    const uint64_t value = kStoreMixInitial;
     store.HostPut(key, &value);
   }
-  // Register the pre-run content of every slab word (bucket heads, node
+}
+
+// Runs the mix over the pre-loaded store, then the oracle, completion,
+// final-state, conservation and node-accounting checks. Workload-specific
+// epilogues (crash restart, tree shape) run on the returned result at the
+// call sites.
+CheckRunResult RunCheckedStoreMix(const CheckRunConfig& cfg, TmSystem& sys,
+                                  TxStoreApi& store, uint64_t num_keys) {
+  CheckRunResult result;
+
+  constexpr uint64_t kInitial = kStoreMixInitial;
+  constexpr uint64_t kCounterMask = 0xffffffffull;
+  // Register the pre-run content of every slab word (structure words, node
   // pool) so first reads are checked against a known initial state.
   for (uint32_t p = 0; p < store.num_partitions(); ++p) {
     const auto [base, bytes] = store.SlabRange(p);
@@ -376,7 +385,7 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
   std::vector<uint64_t> removed_sum(n, 0);   // counters carried off by deletes
   const std::pair<uint64_t, uint64_t> slab0 = store.SlabRange(0);
   for (uint32_t i = 0; i < n; ++i) {
-    sys.SetAppBody(i, [&, i](CoreEnv&, TxRuntime& rt) {
+    sys.SetAppBody(i, [&, i, num_keys](CoreEnv&, TxRuntime& rt) {
       Rng rng(cfg.seed * 131 + 17 * (i + 1));
       for (uint32_t k = 0; k < cfg.txs_per_core; ++k) {
         if (cfg.migrate && i == 0 && k == cfg.txs_per_core / 2) {
@@ -389,7 +398,7 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
         // Unique per (core, transaction); each op persists at most one
         // value word, so the tag disambiguates every committed value.
         const uint64_t tag = static_cast<uint64_t>(i + 1) * cfg.txs_per_core + k;
-        const uint64_t key = 1 + rng.NextBelow(cfg.accounts);
+        const uint64_t key = 1 + rng.NextBelow(num_keys);
         const uint64_t pick = rng.NextBelow(10);
         if (pick < 4) {
           // Hot-key increment through ReadModifyWrite: the lost-update
@@ -401,7 +410,8 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
           }
         } else if (pick < 6) {
           // Delete, banking the removed counter: a lost delete (or a
-          // resurrected node) breaks conservation.
+          // resurrected node) breaks conservation. On the B+-tree this is
+          // also the merge/borrow trigger.
           std::vector<uint64_t> old;
           if (store.Delete(rt, key, &old)) {
             removed_sum[i] += old[0] & kCounterMask;
@@ -409,14 +419,18 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
         } else if (pick < 8) {
           // Reinsert-if-absent with a fresh counter of 0. Insert (not
           // Put): blindly overwriting a resident key would destroy its
-          // counter and void the conservation argument.
+          // counter and void the conservation argument. On the B+-tree
+          // this is the split trigger.
           const uint64_t value = tag << 32;
           store.Insert(rt, key, &value);
         } else if (pick < 9) {
           store.Get(rt, key, nullptr);
         } else {
-          // Bounded ReadMany scan: the elastic-style traversal.
-          store.Scan(rt, 1 + rng.NextBelow(cfg.accounts), cfg.accounts);
+          // Bounded scan: the elastic-style traversal (ReadMany bucket
+          // heads on the hash store, ReadMany node loads down the tree
+          // plus the leaf chain on the B+-tree).
+          store.Scan(rt, 1 + rng.NextBelow(num_keys),
+                     static_cast<uint32_t>(num_keys));
         }
       }
       done[i] = true;
@@ -450,7 +464,7 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
     // every delete moves a counter out of the store, unchanged; reinserts
     // start at 0. So: live counters + removed counters == initial total +
     // applied increments, whatever the interleaving.
-    uint64_t expected = static_cast<uint64_t>(cfg.accounts) * kInitial;
+    uint64_t expected = num_keys * kInitial;
     uint64_t live_nodes = 0;
     for (uint32_t i = 0; i < n; ++i) {
       expected += increments[i];
@@ -469,22 +483,96 @@ CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
                               std::to_string(expected) +
                               " (lost updates or delete/reinsert ABA)"});
     }
-    // Structural cross-check: the pool's live-node accounting must agree
-    // with what a host-side walk of the chains actually finds.
-    uint64_t pool_in_use = 0;
-    for (uint32_t p = 0; p < store.num_partitions(); ++p) {
-      pool_in_use += store.NodesInUse(p);
-    }
-    if (pool_in_use != live_nodes) {
-      result.report.violations.push_back(OracleViolation{
-          "node-accounting", "pool says " + std::to_string(pool_in_use) +
-                                 " live nodes, chains hold " + std::to_string(live_nodes) +
-                                 " (leaked or doubly-linked node)"});
+    // Structural cross-check, hash store only: one node per resident entry,
+    // so the pool's live-node accounting must agree with a host-side walk.
+    // (The B+-tree's nodes hold many entries plus inner structure; its
+    // accounting is checked by HostCheckStructure at the call site.)
+    if (std::string(store.IndexKindName()) == "hash") {
+      uint64_t pool_in_use = 0;
+      for (uint32_t p = 0; p < store.num_partitions(); ++p) {
+        pool_in_use += store.NodesInUse(p);
+      }
+      if (pool_in_use != live_nodes) {
+        result.report.violations.push_back(OracleViolation{
+            "node-accounting", "pool says " + std::to_string(pool_in_use) +
+                                   " live nodes, chains hold " + std::to_string(live_nodes) +
+                                   " (leaked or doubly-linked node)"});
+      }
     }
   }
 
+  return result;
+}
+
+CheckRunResult RunCheckedKvWorkload(const CheckRunConfig& cfg) {
+  TmSystem sys(MakeCheckedSystemConfig(cfg));
+
+  KvStoreConfig kv_cfg;
+  kv_cfg.value_words = 1;
+  // Tiny and hot on purpose: few buckets so chains exist (traversals
+  // overlap), capacity just above the keyspace so recycling is exercised.
+  kv_cfg.buckets_per_partition = 2;
+  kv_cfg.capacity_per_partition = cfg.accounts + 8;
+  kv_cfg.reuse_nodes = true;
+  KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), kv_cfg);
+  LoadStoreMixKeys(store, cfg.accounts);
+
+  CheckRunResult result = RunCheckedStoreMix(cfg, sys, store, cfg.accounts);
+
   if (cfg.crash) {
     RunKvCrashRestart(cfg, sys, store, &result);
+  }
+
+  return result;
+}
+
+CheckRunResult RunCheckedIndexWorkload(const CheckRunConfig& cfg) {
+  TmSystem sys(MakeCheckedSystemConfig(cfg));
+
+  OrderedIndexConfig oi_cfg;
+  oi_cfg.value_words = 1;
+  // Small fanout and a keyspace of `accounts` keys PER PARTITION: every
+  // partition's tree loads at least two levels deep, so the chaos mix's
+  // inserts and deletes split and merge real multi-level trees instead of
+  // nibbling at root leaves.
+  oi_cfg.fanout = 4;
+  const uint64_t keys_per_partition =
+      std::max<uint64_t>(cfg.accounts, 2 * oi_cfg.fanout);
+  const uint64_t num_keys = keys_per_partition * sys.deployment().num_service();
+  oi_cfg.key_min = 1;
+  oi_cfg.key_max = num_keys;
+  // Slack for the fault runs: with kSmoSkipParentLink every split leaks an
+  // orphan leaf, and the run must exhaust its transaction budget — not the
+  // pool — so the structural invariants get to deliver the verdict.
+  oi_cfg.capacity_per_partition =
+      static_cast<uint32_t>(2 * keys_per_partition + 4 * cfg.txs_per_core);
+  oi_cfg.reuse_nodes = true;
+  oi_cfg.smo_skip_parent_link = cfg.fault == FaultMode::kSmoSkipParentLink;
+  OrderedIndex store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(),
+                     oi_cfg);
+  LoadStoreMixKeys(store, num_keys);
+
+  if (!oi_cfg.smo_skip_parent_link) {
+    // Non-vacuity, anchored to the deterministic loaded state: the
+    // invariants below would pass trivially on a forest of root leaves.
+    // (With the SMO fault planted the roots legitimately never grow — that
+    // is the bug — so the guarantee only binds intact runs.)
+    for (uint32_t p = 0; p < store.num_partitions(); ++p) {
+      TM2C_CHECK_MSG(store.HostDepthOfPartition(p) >= 2,
+                     "index workload sized too small: partition tree has no inner nodes");
+    }
+  }
+
+  CheckRunResult result = RunCheckedStoreMix(cfg, sys, store, num_keys);
+
+  // Tree-shape invariants over the final structure: sorted leaves,
+  // separator bounds, linked-leaf completeness, node accounting. This is
+  // the check that catches SMO bugs the serializability oracle cannot see
+  // (every transaction of a broken split is internally consistent).
+  std::vector<std::string> problems;
+  store.HostCheckStructure(&problems);
+  for (const std::string& problem : problems) {
+    result.report.violations.push_back(OracleViolation{"tree-shape", problem});
   }
 
   return result;
@@ -498,8 +586,15 @@ CheckRunResult RunCheckedWorkload(const CheckRunConfig& cfg) {
                  "crash-restart checking needs the kv workload with durability on");
   TM2C_CHECK_MSG(!cfg.migrate || (cfg.workload == CheckWorkload::kKv && cfg.num_service >= 2),
                  "migration checking needs the kv workload and at least two partitions");
-  return cfg.workload == CheckWorkload::kKv ? RunCheckedKvWorkload(cfg)
-                                            : RunCheckedBankWorkload(cfg);
+  switch (cfg.workload) {
+    case CheckWorkload::kKv:
+      return RunCheckedKvWorkload(cfg);
+    case CheckWorkload::kIndex:
+      return RunCheckedIndexWorkload(cfg);
+    case CheckWorkload::kBank:
+      break;
+  }
+  return RunCheckedBankWorkload(cfg);
 }
 
 }  // namespace tm2c

@@ -26,13 +26,31 @@ namespace tm2c {
 //    removed counters == initial total + applied increments), which
 //    catches lost updates and delete/reinsert ABA even when the history
 //    looks locally clean.
+//  - kIndex: the same store mix — driven through the shared TxStoreApi —
+//    on the partitioned B+-tree (src/apps/ordered_index.h), sized so every
+//    partition's tree is multi-level (splits and merges happen under
+//    chaos, non-vacuously). On top of the kKv checks the harness runs
+//    OrderedIndex::HostCheckStructure post-run: sorted leaves, separator
+//    bounds, linked-leaf completeness and node accounting, reported as
+//    "tree-shape" violations. FaultMode::kSmoSkipParentLink plants the
+//    publish-child-before-parent-link SMO bug, which these invariants —
+//    not the serializability oracle — must flag on every seed.
 enum class CheckWorkload : uint8_t {
   kBank = 0,
   kKv = 1,
+  kIndex = 2,
 };
 
 inline const char* CheckWorkloadName(CheckWorkload w) {
-  return w == CheckWorkload::kBank ? "bank" : "kv";
+  switch (w) {
+    case CheckWorkload::kBank:
+      return "bank";
+    case CheckWorkload::kKv:
+      return "kv";
+    case CheckWorkload::kIndex:
+      return "index";
+  }
+  return "?";
 }
 
 struct CheckRunConfig {

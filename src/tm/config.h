@@ -57,6 +57,14 @@ enum class FaultMode : uint8_t {
   // grant inside the drain window is a grant the protocol forbids. The
   // migration oracle (CheckMigrationHistory) must flag each one.
   kGrantDuringMigration = 5,
+  // Application-level SMO fault (the protocol itself stays intact): a
+  // B+-tree leaf split publishes the new leaf in the leaf chain but skips
+  // linking it into its parent. The serializability oracle sees nothing —
+  // every transaction is internally correct — which is exactly the point:
+  // OrderedIndex::HostCheckStructure's tree-shape invariants must catch
+  // it. Applied by OrderedIndex (src/apps/ordered_index.h) when the chaos
+  // harness plumbs it through; ignored by the runtime and lock service.
+  kSmoSkipParentLink = 6,
 };
 
 inline const char* FaultModeName(FaultMode f) {
@@ -73,6 +81,8 @@ inline const char* FaultModeName(FaultMode f) {
       return "ack-before-log-flush";
     case FaultMode::kGrantDuringMigration:
       return "grant-during-migration";
+    case FaultMode::kSmoSkipParentLink:
+      return "smo-skip-parent-link";
   }
   return "?";
 }

@@ -12,6 +12,7 @@
 #include "src/check/checker.h"
 #include "src/common/rng.h"
 #include "src/tm/tm_system.h"
+#include "tests/store_semantics.h"
 
 namespace tm2c {
 namespace {
@@ -122,89 +123,29 @@ TEST(AddressMapOwnedRange, DescribeListsEveryRangeAndTheFallback) {
 // Store semantics
 // ---------------------------------------------------------------------------
 
+// The wrapper/host/routing contract is shared with the B+-tree: the cases
+// live in tests/store_semantics.h and run against TxStoreApi.
 TEST(KvStore, PutGetDeleteReadModifyWrite) {
   TmSystem sys(SmallConfig());
   KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(),
                 SmallStore());
-  struct Outcome {
-    bool inserted = false, updated_is_insert = true, found_after_put = false;
-    bool rmw_applied = false, removed = false, found_after_delete = true;
-    bool second_remove = true, rmw_after_delete = true;
-    std::vector<uint64_t> got, after_rmw, removed_value;
-  } out;
-  sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
-    const uint64_t v1[2] = {10, 20};
-    const uint64_t v2[2] = {30, 40};
-    out.inserted = store.Put(rt, 5, v1);
-    out.updated_is_insert = store.Put(rt, 5, v2);
-    out.found_after_put = store.Get(rt, 5, &out.got);
-    out.rmw_applied = store.ReadModifyWrite(rt, 5, [](uint64_t* v) { v[0] += 5; });
-    store.Get(rt, 5, &out.after_rmw);
-    out.removed = store.Delete(rt, 5, &out.removed_value);
-    out.found_after_delete = store.Get(rt, 5, nullptr);
-    out.second_remove = store.Delete(rt, 5);
-    out.rmw_after_delete = store.ReadModifyWrite(rt, 5, [](uint64_t* v) { v[0] += 1; });
-  });
-  sys.Run();
-  EXPECT_TRUE(out.inserted);
-  EXPECT_FALSE(out.updated_is_insert);
-  ASSERT_TRUE(out.found_after_put);
-  EXPECT_EQ(out.got, (std::vector<uint64_t>{30, 40}));
-  EXPECT_TRUE(out.rmw_applied);
-  EXPECT_EQ(out.after_rmw, (std::vector<uint64_t>{35, 40}));
-  ASSERT_TRUE(out.removed);
-  EXPECT_EQ(out.removed_value, (std::vector<uint64_t>{35, 40}));
-  EXPECT_FALSE(out.found_after_delete);
-  EXPECT_FALSE(out.second_remove);
-  EXPECT_FALSE(out.rmw_after_delete);
-  EXPECT_EQ(store.HostSize(), 0u);
-  EXPECT_TRUE(sys.AllLockTablesEmpty());
+  RunStoreMutationSemanticsCase(sys, store);
 }
 
 TEST(KvStore, InsertLeavesExistingValueAlone) {
   TmSystem sys(SmallConfig());
   KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(),
                 SmallStore(1));
-  bool first = false, second = true;
-  std::vector<uint64_t> got;
-  sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
-    const uint64_t a = 7, b = 9;
-    first = store.Insert(rt, 42, &a);
-    second = store.Insert(rt, 42, &b);
-    store.Get(rt, 42, &got);
-  });
-  sys.Run();
-  EXPECT_TRUE(first);
-  EXPECT_FALSE(second);
-  EXPECT_EQ(got, (std::vector<uint64_t>{7}));
+  RunStoreInsertOnlyCase(sys, store);
 }
 
 TEST(KvStore, HostHelpersAndLoadPhase) {
   TmSystem sys(SmallConfig());
   KvStoreConfig cfg = SmallStore(3);
   KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), cfg);
-  for (uint64_t key = 1; key <= 40; ++key) {
-    const uint64_t value[3] = {key, key * 2, key * 3};
-    EXPECT_TRUE(store.HostPut(key, value));
-  }
-  const uint64_t update[3] = {99, 98, 97};
-  EXPECT_FALSE(store.HostPut(17, update));  // update, not insert
-  EXPECT_EQ(store.HostSize(), 40u);
-  uint64_t got[3] = {0, 0, 0};
-  ASSERT_TRUE(store.HostGet(17, got));
-  EXPECT_EQ(got[0], 99u);
-  EXPECT_FALSE(store.HostGet(41, got));
-  uint64_t seen = 0;
-  std::set<uint64_t> keys;
-  store.HostForEach([&](uint64_t key, const uint64_t* value) {
-    ++seen;
-    keys.insert(key);
-    if (key != 17) {
-      EXPECT_EQ(value[1], key * 2);
-    }
-  });
-  EXPECT_EQ(seen, 40u);
-  EXPECT_EQ(keys.size(), 40u);
+  RunStoreHostHelpersCase(store, 40);
+  // Hash-specific accounting: one pool node per resident entry, and the
+  // per-partition sizes add up.
   uint64_t per_partition = 0;
   for (uint32_t p = 0; p < store.num_partitions(); ++p) {
     per_partition += store.HostSizeOfPartition(p);
@@ -213,20 +154,11 @@ TEST(KvStore, HostHelpersAndLoadPhase) {
   EXPECT_EQ(per_partition, 40u);
 }
 
-// Every word of every slab must route to the slab's owning partition: that
-// is the share-little property the store exists to provide.
 TEST(KvStore, AllSlabAddressesRouteToTheOwningPartition) {
   TmSystem sys(SmallConfig(8, 4));
   KvStore store(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(),
                 SmallStore());
-  const AddressMap& map = sys.address_map();
-  for (uint32_t p = 0; p < store.num_partitions(); ++p) {
-    const auto [base, bytes] = store.SlabRange(p);
-    for (uint64_t addr = base; addr < base + bytes; addr += kWordBytes) {
-      ASSERT_EQ(map.PartitionOf(addr), p) << "addr " << addr;
-      ASSERT_EQ(map.ResponsibleCore(addr), sys.deployment().ServiceCore(p));
-    }
-  }
+  RunStoreSlabRoutingCase(sys, store);
   // And the key hash agrees with the map: a key's bucket lives in the
   // partition the store reports for it.
   for (uint64_t key = 1; key <= 100; ++key) {
@@ -309,7 +241,7 @@ TEST(KvStore, ScanVsConcurrentPut) {
     Rng rng(7);
     for (int s = 0; s < 60; ++s) {
       const uint64_t start = 1 + rng.NextBelow(kKeys);
-      const std::vector<KvEntry> got = store.Scan(rt, start, 8);
+      const std::vector<KvEntry> got = store.HashScan(rt, start, 8);
       ++scans_done;
       entries_seen += got.size();
       std::set<uint64_t> seen;

@@ -1,0 +1,129 @@
+// Shared TxStoreApi semantics cases.
+//
+// Both store implementations — the partitioned hash KV store and the
+// partitioned B+-tree — must satisfy exactly the same keyed-operation
+// contract; these cases are written once against TxStoreApi and
+// instantiated by tests/kvstore_test.cc and tests/ordered_index_test.cc so
+// the contract cannot drift between them. Each case takes the TmSystem and
+// a freshly constructed store; structure-specific checks (hash chain
+// accounting, tree-shape invariants) stay in the per-store suites.
+#ifndef TM2C_TESTS_STORE_SEMANTICS_H_
+#define TM2C_TESTS_STORE_SEMANTICS_H_
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/apps/tx_store_api.h"
+#include "src/tm/tm_system.h"
+
+namespace tm2c {
+
+// Put/Get/Delete/ReadModifyWrite round trip through the one-transaction
+// wrappers. Requires value_words == 2.
+inline void RunStoreMutationSemanticsCase(TmSystem& sys, TxStoreApi& store) {
+  ASSERT_EQ(store.value_words(), 2u);
+  struct Outcome {
+    bool inserted = false, updated_is_insert = true, found_after_put = false;
+    bool rmw_applied = false, removed = false, found_after_delete = true;
+    bool second_remove = true, rmw_after_delete = true;
+    std::vector<uint64_t> got, after_rmw, removed_value;
+  } out;
+  sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
+    const uint64_t v1[2] = {10, 20};
+    const uint64_t v2[2] = {30, 40};
+    out.inserted = store.Put(rt, 5, v1);
+    out.updated_is_insert = store.Put(rt, 5, v2);
+    out.found_after_put = store.Get(rt, 5, &out.got);
+    out.rmw_applied = store.ReadModifyWrite(rt, 5, [](uint64_t* v) { v[0] += 5; });
+    store.Get(rt, 5, &out.after_rmw);
+    out.removed = store.Delete(rt, 5, &out.removed_value);
+    out.found_after_delete = store.Get(rt, 5, nullptr);
+    out.second_remove = store.Delete(rt, 5);
+    out.rmw_after_delete = store.ReadModifyWrite(rt, 5, [](uint64_t* v) { v[0] += 1; });
+  });
+  sys.Run();
+  EXPECT_TRUE(out.inserted);
+  EXPECT_FALSE(out.updated_is_insert);
+  ASSERT_TRUE(out.found_after_put);
+  EXPECT_EQ(out.got, (std::vector<uint64_t>{30, 40}));
+  EXPECT_TRUE(out.rmw_applied);
+  EXPECT_EQ(out.after_rmw, (std::vector<uint64_t>{35, 40}));
+  ASSERT_TRUE(out.removed);
+  EXPECT_EQ(out.removed_value, (std::vector<uint64_t>{35, 40}));
+  EXPECT_FALSE(out.found_after_delete);
+  EXPECT_FALSE(out.second_remove);
+  EXPECT_FALSE(out.rmw_after_delete);
+  EXPECT_EQ(store.HostSize(), 0u);
+  EXPECT_TRUE(sys.AllLockTablesEmpty());
+}
+
+// Insert is insert-only: a second insert of the same key must leave the
+// existing value alone. Requires value_words == 1.
+inline void RunStoreInsertOnlyCase(TmSystem& sys, TxStoreApi& store) {
+  ASSERT_EQ(store.value_words(), 1u);
+  bool first = false, second = true;
+  std::vector<uint64_t> got;
+  sys.SetAppBody(0, [&](CoreEnv&, TxRuntime& rt) {
+    const uint64_t a = 7, b = 9;
+    first = store.Insert(rt, 42, &a);
+    second = store.Insert(rt, 42, &b);
+    store.Get(rt, 42, &got);
+  });
+  sys.Run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(got, (std::vector<uint64_t>{7}));
+}
+
+// Host-side load/inspect helpers: HostPut insert-vs-update return value,
+// HostGet hit/miss, HostSize, and HostForEach visiting every resident
+// entry exactly once with its value. Works for any value_words.
+inline void RunStoreHostHelpersCase(TxStoreApi& store, uint64_t num_keys = 40) {
+  const uint32_t vw = store.value_words();
+  std::vector<uint64_t> value(vw);
+  for (uint64_t key = 1; key <= num_keys; ++key) {
+    for (uint32_t w = 0; w < vw; ++w) {
+      value[w] = key * (w + 1);
+    }
+    EXPECT_TRUE(store.HostPut(key, value.data()));
+  }
+  for (uint32_t w = 0; w < vw; ++w) {
+    value[w] = 99 - w;
+  }
+  EXPECT_FALSE(store.HostPut(17, value.data()));  // update, not insert
+  EXPECT_EQ(store.HostSize(), num_keys);
+  std::vector<uint64_t> got(vw, 0);
+  ASSERT_TRUE(store.HostGet(17, got.data()));
+  EXPECT_EQ(got[0], 99u);
+  EXPECT_FALSE(store.HostGet(num_keys + 1, got.data()));
+  uint64_t seen = 0;
+  std::set<uint64_t> keys;
+  store.HostForEach([&](uint64_t key, const uint64_t* v) {
+    ++seen;
+    keys.insert(key);
+    if (key != 17 && vw >= 2) {
+      EXPECT_EQ(v[1], key * 2);
+    }
+  });
+  EXPECT_EQ(seen, num_keys);
+  EXPECT_EQ(keys.size(), num_keys);
+}
+
+// Every word of every slab must route to the slab's owning partition: the
+// share-little property both stores exist to provide.
+inline void RunStoreSlabRoutingCase(TmSystem& sys, TxStoreApi& store) {
+  const AddressMap& map = sys.address_map();
+  for (uint32_t p = 0; p < store.num_partitions(); ++p) {
+    const auto [base, bytes] = store.SlabRange(p);
+    for (uint64_t addr = base; addr < base + bytes; addr += kWordBytes) {
+      ASSERT_EQ(map.PartitionOf(addr), p) << "addr " << addr;
+      ASSERT_EQ(map.ResponsibleCore(addr), sys.deployment().ServiceCore(p));
+    }
+  }
+}
+
+}  // namespace tm2c
+
+#endif  // TM2C_TESTS_STORE_SEMANTICS_H_

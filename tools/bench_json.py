@@ -7,8 +7,9 @@ measured on the deterministic simulator ("sim") or on real OS threads
 ("threads"), so one merged file carries both kinds side by side. `merge`
 combines documents into BENCH_results.json; `validate` checks either a
 per-bench document or a merged file, so CI can gate on the schema staying
-intact; `compare` diffs mean throughput per (bench, backend, platform)
-between two merged files and fails on regressions beyond a threshold.
+intact; `compare` diffs mean throughput per (bench, backend, platform,
+index) between two merged files and fails on regressions beyond a
+threshold.
 
   tools/bench_json.py merge --out BENCH_results.json [--smoke] a.json b.json ...
   tools/bench_json.py validate BENCH_results.json
@@ -29,7 +30,12 @@ depth-1 rows are the regression baseline. Rows carrying a truthy
 `migration` param (bench_elastic's live-handoff scenarios) are excluded
 too: they deliberately measure saturated and mid-migration phases, so
 their throughput tracks the elasticity scenario, not the protocol
-baseline.
+baseline. Rows carrying a non-zero `scan_len` param (YCSB-E range-scan
+sweeps) are likewise excluded — their throughput tracks the swept scan
+length. The `index` param (hash vs btree store) is a grouping dimension,
+not an exclusion: each index structure forms its own compare group, so
+hash-index lockstep rows stay a stable baseline while btree rows are
+gated separately rather than diluting it.
 """
 import argparse
 import json
@@ -141,7 +147,7 @@ def load_benches(path):
 
 
 def throughput_groups(benches):
-    """Mean throughput per (bench, backend, platform) across result rows.
+    """Mean throughput per (bench, backend, platform, index) across rows.
 
     Rows swept at pipeline_depth != 1 are excluded: the lockstep depth-1
     protocol is the regression baseline, and pipelined rows shifting (in
@@ -151,7 +157,15 @@ def throughput_groups(benches):
     for the same reason: elasticity scenarios measure deliberately
     saturated and mid-migration throughput, which moves with the scenario
     (policy windows, backoffs, admission control), not with the baseline
-    protocol.
+    protocol. Rows with a non-zero `scan_len` param (YCSB-E scan-length
+    sweeps) are excluded for the same reason again: their throughput
+    tracks the swept scan length, not the protocol.
+
+    The `index` param is different: hash and btree rows are both
+    legitimate baselines, just not each other's. It joins the group key
+    (default "-" for benches that predate it), so each store structure is
+    gated against its own history and hash rows stay a stable baseline
+    as index sweeps grow.
     """
     sums = {}
     for bench in benches:
@@ -161,8 +175,10 @@ def throughput_groups(benches):
                 continue
             if str(params.get("migration", "0")) not in ("0", ""):
                 continue
+            if str(params.get("scan_len", "0")) not in ("0", ""):
+                continue
             key = (bench["bench"], bench.get("backend", "sim"),
-                   params.get("platform", "-"))
+                   params.get("platform", "-"), params.get("index", "-"))
             total, count = sums.get(key, (0.0, 0))
             sums[key] = (total + result["throughput_ops_per_ms"], count + 1)
     return {key: total / count for key, (total, count) in sums.items() if count > 0}
@@ -191,17 +207,17 @@ def cmd_compare(args):
     new = throughput_groups(load_benches(args.new))
     regressions = []
     advisories = []
-    print(f"{'bench':<24} {'backend':<8} {'platform':<9} "
+    print(f"{'bench':<24} {'backend':<8} {'platform':<9} {'index':<6} "
           f"{'old op/ms':>10} {'new op/ms':>10} {'delta %':>8}")
     for key in sorted(set(old) | set(new)):
-        bench, backend, platform = key
+        bench, backend, platform, index = key
         if key not in old:
-            print(f"{bench:<24} {backend:<8} {platform:<9} {'-':>10} "
+            print(f"{bench:<24} {backend:<8} {platform:<9} {index:<6} {'-':>10} "
                   f"{new[key]:>10.2f}    (new)")
             continue
         if key not in new:
-            print(f"{bench:<24} {backend:<8} {platform:<9} {old[key]:>10.2f} "
-                  f"{'-':>10}    (gone)")
+            print(f"{bench:<24} {backend:<8} {platform:<9} {index:<6} "
+                  f"{old[key]:>10.2f} {'-':>10}    (gone)")
             continue
         delta_pct = (100.0 * (new[key] - old[key]) / old[key]) if old[key] > 0 else 0.0
         flag = ""
@@ -212,8 +228,8 @@ def cmd_compare(args):
             else:
                 advisories.append((key, delta_pct))
                 flag = "  (native, advisory)"
-        print(f"{bench:<24} {backend:<8} {platform:<9} {old[key]:>10.2f} "
-              f"{new[key]:>10.2f} {delta_pct:>+8.1f}{flag}")
+        print(f"{bench:<24} {backend:<8} {platform:<9} {index:<6} "
+              f"{old[key]:>10.2f} {new[key]:>10.2f} {delta_pct:>+8.1f}{flag}")
     if advisories:
         print(f"{len(advisories)} native group(s) regressed beyond "
               f"{args.max_regress}% (advisory only; use --gate-native to enforce)")

@@ -48,14 +48,14 @@ class ThroughputGroupsTest(unittest.TestCase):
             bench("a", [row(10.0, platform="scc"), row(20.0, platform="scc")]),
             bench("a", [row(40.0, platform="scc")], backend="threads"),
         ])
-        self.assertEqual(groups[("a", "sim", "scc")], 15.0)
-        self.assertEqual(groups[("a", "threads", "scc")], 40.0)
+        self.assertEqual(groups[("a", "sim", "scc", "-")], 15.0)
+        self.assertEqual(groups[("a", "threads", "scc", "-")], 40.0)
 
     def test_excludes_pipelined_rows_but_keeps_depth_one(self):
         groups = bench_json.throughput_groups([
             bench("p", [row(10.0, pipeline_depth=1), row(99.0, pipeline_depth=4)]),
         ])
-        self.assertEqual(groups[("p", "sim", "-")], 10.0)
+        self.assertEqual(groups[("p", "sim", "-", "-")], 10.0)
 
     def test_excludes_migration_rows(self):
         # bench_elastic's rows all carry migration=1: its saturated and
@@ -65,20 +65,48 @@ class ThroughputGroupsTest(unittest.TestCase):
                               row(80.0, policy="elastic", migration=1)]),
             bench("ycsb", [row(50.0)]),
         ])
-        self.assertNotIn(("elastic", "sim", "-"), groups)
-        self.assertEqual(groups[("ycsb", "sim", "-")], 50.0)
+        self.assertNotIn(("elastic", "sim", "-", "-"), groups)
+        self.assertEqual(groups[("ycsb", "sim", "-", "-")], 50.0)
 
     def test_migration_zero_or_absent_rows_still_count(self):
         groups = bench_json.throughput_groups([
             bench("m", [row(10.0, migration=0), row(30.0)]),
         ])
-        self.assertEqual(groups[("m", "sim", "-")], 20.0)
+        self.assertEqual(groups[("m", "sim", "-", "-")], 20.0)
 
     def test_mixed_bench_only_marked_rows_excluded(self):
         groups = bench_json.throughput_groups([
             bench("mix", [row(10.0), row(99.0, migration=1)]),
         ])
-        self.assertEqual(groups[("mix", "sim", "-")], 10.0)
+        self.assertEqual(groups[("mix", "sim", "-", "-")], 10.0)
+
+    def test_index_param_is_a_grouping_dimension(self):
+        # Hash and btree rows are both legitimate baselines — each against
+        # its own history. Adding btree rows to a sweep must not shift the
+        # pre-existing hash group's mean.
+        groups = bench_json.throughput_groups([
+            bench("ycsb_kv", [row(10.0, index="hash"), row(20.0, index="hash"),
+                              row(4.0, index="btree")]),
+        ])
+        self.assertEqual(groups[("ycsb_kv", "sim", "-", "hash")], 15.0)
+        self.assertEqual(groups[("ycsb_kv", "sim", "-", "btree")], 4.0)
+        self.assertNotIn(("ycsb_kv", "sim", "-", "-"), groups)
+
+    def test_excludes_scan_len_rows_but_keeps_point_ops(self):
+        # YCSB-E rows carry scan_len; their throughput tracks the swept
+        # scan length, so only the point-op rows form the baseline.
+        groups = bench_json.throughput_groups([
+            bench("ycsb_kv", [row(50.0, index="hash"),
+                              row(9.0, index="hash", scan_len=8),
+                              row(2.0, index="hash", scan_len=64)]),
+        ])
+        self.assertEqual(groups[("ycsb_kv", "sim", "-", "hash")], 50.0)
+
+    def test_scan_len_zero_or_absent_rows_still_count(self):
+        groups = bench_json.throughput_groups([
+            bench("s", [row(10.0, scan_len=0), row(30.0)]),
+        ])
+        self.assertEqual(groups[("s", "sim", "-", "-")], 20.0)
 
 
 class SchemaCheckTest(unittest.TestCase):

@@ -84,6 +84,8 @@ bool ParseFault(const std::string& name, FaultMode* out) {
     *out = FaultMode::kAckBeforeLogFlush;
   } else if (name == "grant-during-migration") {
     *out = FaultMode::kGrantDuringMigration;
+  } else if (name == "smo-skip-parent-link") {
+    *out = FaultMode::kSmoSkipParentLink;
   } else {
     return false;
   }
@@ -108,6 +110,8 @@ bool ParseWorkload(const std::string& name, CheckWorkload* out) {
     *out = CheckWorkload::kBank;
   } else if (name == "kv") {
     *out = CheckWorkload::kKv;
+  } else if (name == "index") {
+    *out = CheckWorkload::kIndex;
   } else {
     return false;
   }
@@ -144,10 +148,10 @@ int Main(int argc, char** argv) {
   flags.Register("cms", &cms, "comma list: wholly, faircm, backoff");
   flags.Register("modes", &modes,
                  "comma list: normal, early, eread (default: all three for bank; "
-                 "normal,early for kv — value-validated elastic reads admit "
-                 "pointer ABA when recycled nodes restore old link values, which "
-                 "is value-serializable by eread's contract but flagged by the "
-                 "order-based oracle; pass --modes=eread explicitly to see it)");
+                 "normal,early for kv and index — value-validated elastic reads "
+                 "admit pointer ABA when recycled nodes restore old link values, "
+                 "which is value-serializable by eread's contract but flagged by "
+                 "the order-based oracle; pass --modes=eread explicitly to see it)");
   flags.Register("batches", &batches, "comma list of max_batch values");
   flags.Register("pipeline-depths", &pipeline_depths,
                  "comma list of pipeline_depth values (1 = lockstep; depths > 1 "
@@ -155,7 +159,9 @@ int Main(int argc, char** argv) {
   flags.Register("fault", &fault_name,
                  "planted fault: none, skip-read-lock, ignore-revocation, "
                  "release-before-persist, ack-before-log-flush, "
-                 "grant-during-migration");
+                 "grant-during-migration, smo-skip-parent-link (index workload: "
+                 "a leaf split skips the parent link; the tree-shape invariants, "
+                 "not the oracle, must flag it)");
   flags.Register("durability", &durability_name,
                  "per-partition commit logging: off, buffered, fsync "
                  "(default: off, or buffered when --crash is set)");
@@ -171,8 +177,10 @@ int Main(int argc, char** argv) {
                  "hand the partition-0 slab off to partition 1 mid-run and run "
                  "the migration oracle on the history (forces --workload=kv)");
   flags.Register("workload", &workload_name,
-                 "adversarial workload: bank (hot accounts, default) or kv "
-                 "(KV store delete/reinsert mix)");
+                 "adversarial workload: bank (hot accounts, default), kv "
+                 "(KV store delete/reinsert mix) or index (the same mix on the "
+                 "partitioned B+-tree via TxStoreApi, plus post-run tree-shape "
+                 "invariants)");
   flags.Register("cores", &cores, "simulated cores per run");
   flags.Register("service-cores", &service_cores, "dedicated DTM service cores");
   flags.Register("txs-per-core", &txs_per_core, "transactions per app core");
@@ -212,7 +220,9 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (modes.empty()) {
-    modes = workload == CheckWorkload::kKv ? "normal,early" : "normal,early,eread";
+    // The store workloads skip eread by default: value-validated elastic
+    // reads admit pointer ABA on recycled structure words (see --modes).
+    modes = workload == CheckWorkload::kBank ? "normal,early,eread" : "normal,early";
   }
 
   uint64_t runs = 0;
