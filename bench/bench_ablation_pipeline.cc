@@ -162,7 +162,7 @@ void Run(BenchContext& ctx) {
                  "owner-local fast path did not cut the mean acquire latency");
 }
 
-TM2C_REGISTER_BENCH_NATIVE(
+TM2C_REGISTER_BENCH_THREADS_ONLY(  // sweeps multitasked deployments: dedicated-only process backend
     "ablation_pipeline", "ablation",
     "pipelined acquisition depth x owner-local fast path on a share-little KV mix", &Run);
 

@@ -7,7 +7,7 @@
 //   {
 //     "schema_version": 1,
 //     "bench": "...", "figure": "...", "description": "...",
-//     "backend": "sim" | "threads",
+//     "backend": "sim" | "threads" | "processes",
 //     "smoke": false,
 //     "results": [
 //       {"scenario": "cores=48 cm=faircm", "params": {...},
@@ -145,7 +145,8 @@ int main(int argc, char** argv) {
   flags.Register("json", &opts.json_path, "write machine-readable results to this file");
   flags.Register("backend", &opts.backend,
                  "runtime backend: sim (deterministic simulator, default) | threads "
-                 "(real OS threads over SPSC channels, wall-clock timing)");
+                 "(real OS threads over SPSC channels, wall-clock timing) | processes "
+                 "(forked partition servers over Unix sockets, wall-clock timing)");
   flags.Register("channel", &opts.channel,
                  "thread-backend transport: spsc (lock-free rings, default) | mutex "
                  "(v1 mailbox baseline)");
@@ -160,16 +161,31 @@ int main(int argc, char** argv) {
   flags.Register("native-capable", &native_capable_probe,
                  "exit 0 if this bench supports --backend=threads, 3 otherwise (run_all.sh "
                  "uses this to discover the native pass)");
+  bool processes_capable_probe = false;
+  flags.Register("processes-capable", &processes_capable_probe,
+                 "exit 0 if this bench supports --backend=processes, 3 otherwise "
+                 "(run_all.sh uses this to discover the processes pass)");
   flags.Parse(argc, argv);
 
   if (native_capable_probe) {
     return def.native ? 0 : 3;
+  }
+  if (processes_capable_probe) {
+    return def.processes ? 0 : 3;
   }
 
   if (BackendKindByName(opts.backend) == BackendKind::kThreads && !def.native) {
     std::fprintf(stderr,
                  "bench %s drives the simulator directly and has no native counterpart; "
                  "--backend=threads is not supported here\n",
+                 def.name);
+    return 1;
+  }
+  if (BackendKindByName(opts.backend) == BackendKind::kProcesses && !def.processes) {
+    std::fprintf(stderr,
+                 "bench %s sweeps a dimension the dedicated-only process backend does not "
+                 "have (or drives the simulator directly); --backend=processes is not "
+                 "supported here\n",
                  def.name);
     return 1;
   }

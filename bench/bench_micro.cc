@@ -197,7 +197,7 @@ void Run(BenchContext& ctx) {
   }
 }
 
-TM2C_REGISTER_BENCH_NATIVE(
+TM2C_REGISTER_BENCH_THREADS_ONLY(  // sweeps channel kinds: a thread-transport dimension
     "micro", "host",
     "host-side micro costs; with --backend=threads, mutex-vs-spsc channel throughput", &Run);
 

@@ -12,6 +12,7 @@
 #ifndef TM2C_BENCH_BENCH_UTIL_H_
 #define TM2C_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,18 @@ struct RunSpec {
   bool pin_threads = false;
 };
 
+// Fresh socket/WAL directory for one process-backend TmSystem. Each system
+// needs its own: the partition servers bind their Unix sockets in it, and
+// sequential sweep points must not inherit a predecessor's files. Respects
+// TMPDIR so run_all.sh can point the dirs at its own cleanup-scoped scratch
+// space; otherwise they land under /tmp.
+inline std::string FreshProcessRunDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string templ = std::string(tmp != nullptr ? tmp : "/tmp") + "/tm2c_bench_XXXXXX";
+  TM2C_CHECK(::mkdtemp(templ.data()) != nullptr);
+  return templ;
+}
+
 inline TmSystemConfig MakeConfig(const RunSpec& spec) {
   TmSystemConfig cfg;
   cfg.sim.platform = PlatformByName(spec.platform_name);
@@ -81,6 +94,9 @@ inline TmSystemConfig MakeConfig(const RunSpec& spec) {
   cfg.backend = spec.backend;
   cfg.channel = spec.channel;
   cfg.pin_threads = spec.pin_threads;
+  if (spec.backend == BackendKind::kProcesses) {
+    cfg.run_dir = FreshProcessRunDir();
+  }
   return cfg;
 }
 
@@ -400,7 +416,10 @@ class BenchContext {
 
   BackendKind Backend() const { return BackendKindByName(opts_.backend); }
   ChannelKind Channel() const { return ChannelKindByName(opts_.channel); }
-  bool native() const { return Backend() == BackendKind::kThreads; }
+  // True on any wall-clock backend (threads or processes): rows are host
+  // measurements, so the deterministic-run extras the sim rows carry
+  // (modelled-time identities, seeded reproducibility checks) don't apply.
+  bool native() const { return Backend() != BackendKind::kSim; }
 
   // Seeds a RunSpec with every shared override (platform, service cores,
   // CM, duration, seed) applied over the bench's defaults, so no flag is
@@ -507,20 +526,31 @@ struct BenchDef {
   // the runner rejects the flag for them instead of mislabelling sim rows
   // as native.
   bool native = false;
+  // Whether the bench also supports --backend=processes (forked partition
+  // servers over sockets). That backend is dedicated-deployment-only and
+  // has no thread-channel dimension, so a native bench that sweeps
+  // multitasked deployments or channel kinds stays threads-only.
+  bool processes = false;
 };
 
 // Registers the binary's bench with the runner in bench_main.cc; call once
-// at namespace scope via TM2C_REGISTER_BENCH (sim-only) or
-// TM2C_REGISTER_BENCH_NATIVE (also runnable on the thread backend).
+// at namespace scope via TM2C_REGISTER_BENCH (sim-only),
+// TM2C_REGISTER_BENCH_NATIVE (also runnable on the thread and process
+// backends) or TM2C_REGISTER_BENCH_THREADS_ONLY (thread backend, but the
+// bench sweeps a dimension the process backend does not have).
 bool RegisterBench(const BenchDef& def);
 
 #define TM2C_REGISTER_BENCH(name, figure, desc, fn) \
   [[maybe_unused]] const bool tm2c_bench_registered = \
-      ::tm2c::RegisterBench({name, figure, desc, fn, false})
+      ::tm2c::RegisterBench({name, figure, desc, fn, false, false})
 
 #define TM2C_REGISTER_BENCH_NATIVE(name, figure, desc, fn) \
   [[maybe_unused]] const bool tm2c_bench_registered = \
-      ::tm2c::RegisterBench({name, figure, desc, fn, true})
+      ::tm2c::RegisterBench({name, figure, desc, fn, true, true})
+
+#define TM2C_REGISTER_BENCH_THREADS_ONLY(name, figure, desc, fn) \
+  [[maybe_unused]] const bool tm2c_bench_registered = \
+      ::tm2c::RegisterBench({name, figure, desc, fn, true, false})
 
 }  // namespace tm2c
 

@@ -2,15 +2,21 @@
 # Runs every bench binary and merges their per-binary JSON documents into
 # one BENCH_results.json so the perf trajectory can be tracked PR-over-PR.
 #
-#   bench/run_all.sh [--smoke] [--with-native] [--native-cores N]
-#                    [--build-dir DIR] [--out FILE] [extra bench flags...]
+#   bench/run_all.sh [--smoke] [--with-native] [--with-processes]
+#                    [--native-cores N] [--build-dir DIR] [--out FILE]
+#                    [extra bench flags...]
 #
 #   --smoke         forward --smoke to every bench (CI-sized sweeps)
 #   --with-native   additionally run the native-capable benches with
 #                   --backend=threads (real OS threads, wall-clock rows);
 #                   both row kinds land side by side in the merged file
-#   --native-cores  pin --cores for the native pass only (native runs spawn
-#                   one OS thread per core — size them to the host)
+#   --with-processes additionally run the processes-capable benches with
+#                   --backend=processes (forked partition servers over Unix
+#                   sockets, wall-clock rows); their socket/WAL scratch dirs
+#                   land in this script's temp dir and vanish with it
+#   --native-cores  pin --cores for the native and processes passes only
+#                   (both spawn one OS thread or process per core — size
+#                   them to the host)
 #   --build-dir     where the bench binaries live      (default: build)
 #   --out           merged results file                (default: BENCH_results.json)
 #
@@ -45,12 +51,14 @@ build_dir=build
 out=BENCH_results.json
 smoke=""
 with_native=""
+with_processes=""
 native_cores=""
 extra=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke="--smoke"; shift ;;
     --with-native) with_native=1; shift ;;
+    --with-processes) with_processes=1; shift ;;
     --native-cores) native_cores="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
@@ -84,6 +92,20 @@ if [[ -n "$with_native" ]]; then
     # --native-cores comes last so it overrides a forwarded --cores.
     "$build_dir/$bench" $smoke --backend=threads \
       --json "$json_dir/$bench.native.json" ${extra[@]+"${extra[@]}"} \
+      ${native_cores:+--cores "$native_cores"}
+  done
+fi
+
+if [[ -n "$with_processes" ]]; then
+  for bench in "${BENCHES[@]}"; do
+    if ! "$build_dir/$bench" --processes-capable; then
+      continue
+    fi
+    echo "=== $bench (processes) ==="
+    # TMPDIR points the per-system socket/WAL run dirs into our scratch
+    # space so the EXIT trap cleans them up with the JSON fragments.
+    TMPDIR="$json_dir" "$build_dir/$bench" $smoke --backend=processes \
+      --json "$json_dir/$bench.processes.json" ${extra[@]+"${extra[@]}"} \
       ${native_cores:+--cores "$native_cores"}
   done
 fi

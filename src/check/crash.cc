@@ -48,6 +48,13 @@ CrashCutReport AnalyzeCrashCut(const History& history, uint64_t cut_seq,
           p.checkpoint_records = ev.records_covered;
         }
         break;
+      case DurabilityEvent::Kind::kTruncate:
+        // A restarted server's surviving prefix is at least the previous
+        // durable watermark (flushed bytes live in the OS page cache and
+        // survive a process kill), so the watermark stays monotone.
+        p.durable_records = std::max(p.durable_records, ev.durable_records);
+        p.durable_bytes = std::max(p.durable_bytes, ev.durable_bytes);
+        break;
       case DurabilityEvent::Kind::kAppend:
       case DurabilityEvent::Kind::kAck:
         break;  // appends/acks do not move the durable watermark
@@ -118,6 +125,30 @@ void CheckCrashRestartHistory(const History& history, const CrashCutReport& cut,
       case DurabilityEvent::Kind::kCheckpoint:
         covered[ev.partition] = std::max(covered[ev.partition], ev.records_covered);
         break;
+      case DurabilityEvent::Kind::kTruncate: {
+        covered[ev.partition] = std::max(covered[ev.partition], ev.durable_records);
+        // Appends past the surviving prefix that were never acknowledged
+        // died with the server process: they are void — the restarted
+        // server re-logs the retransmitted commits under fresh indices —
+        // so they must not read as "logged twice" or shadow the
+        // re-appends in the by-index view. Acknowledged appends are kept:
+        // losing an acked record is a real violation the later passes
+        // must still see.
+        for (auto it = appends.begin(); it != appends.end();) {
+          const uint32_t p = static_cast<uint32_t>(it->first.first >> 32);
+          if (p == ev.partition && it->second.record_index >= ev.durable_records &&
+              ack_seqs.find(it->first) == ack_seqs.end()) {
+            const auto bi = by_index.find({p, it->second.record_index});
+            if (bi != by_index.end() && bi->second == it->second.ev) {
+              by_index.erase(bi);
+            }
+            it = appends.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
     }
   }
 

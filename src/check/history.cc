@@ -141,6 +141,17 @@ void History::OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
   durability_events_.push_back(std::move(ev));
 }
 
+void History::OnWalTruncate(uint32_t partition, uint64_t records_remaining,
+                            uint64_t valid_bytes) {
+  DurabilityEvent ev;
+  ev.kind = DurabilityEvent::Kind::kTruncate;
+  ev.seq = NextSeq();
+  ev.partition = partition;
+  ev.durable_records = records_remaining;
+  ev.durable_bytes = valid_bytes;
+  durability_events_.push_back(std::move(ev));
+}
+
 void History::OnLockGrant(uint32_t service_core, uint32_t requester_core, uint64_t stripe) {
   grants_.push_back(GrantEvent{NextSeq(), service_core, requester_core, stripe});
 }
@@ -181,6 +192,8 @@ const char* DurabilityEventKindName(History::DurabilityEvent::Kind kind) {
       return "flush";
     case History::DurabilityEvent::Kind::kCheckpoint:
       return "checkpoint";
+    case History::DurabilityEvent::Kind::kTruncate:
+      return "truncate";
   }
   return "?";
 }
@@ -299,6 +312,10 @@ std::string History::ToJson() const {
       case DurabilityEvent::Kind::kCheckpoint:
         w.KV("checkpoint_index", ev.checkpoint_index);
         w.KV("records_covered", ev.records_covered);
+        break;
+      case DurabilityEvent::Kind::kTruncate:
+        w.KV("records_remaining", ev.durable_records);
+        w.KV("valid_bytes", ev.durable_bytes);
         break;
     }
     w.EndObject();

@@ -77,7 +77,7 @@ class History : public TxTraceSink {
   // watermark at an arbitrary cut, and to prove every commit ack was
   // preceded by a flush (or checkpoint) covering its record.
   struct DurabilityEvent {
-    enum class Kind { kAppend, kAck, kFlush, kCheckpoint };
+    enum class Kind { kAppend, kAck, kFlush, kCheckpoint, kTruncate };
     Kind kind = Kind::kAppend;
     uint64_t seq = 0;
     uint32_t partition = 0;
@@ -85,8 +85,12 @@ class History : public TxTraceSink {
     uint64_t epoch = 0;         // kAppend/kAck: committing tx epoch
     uint64_t record_index = 0;  // kAppend/kAck: 0-based index in the log
     std::vector<std::pair<uint64_t, uint64_t>> pairs;  // kAppend: [addr, value]
-    uint64_t durable_records = 0;   // kFlush: records durable after the flush
-    uint64_t durable_bytes = 0;     // kFlush: bytes durable after the flush
+    // kFlush: the watermark after the flush. kTruncate (a restarted
+    // partition server cut its WAL back to the valid prefix): the records
+    // and bytes that survived — appends beyond them were lost with the
+    // dead process and are void, not durability violations.
+    uint64_t durable_records = 0;
+    uint64_t durable_bytes = 0;
     uint64_t checkpoint_index = 0;  // kCheckpoint
     uint64_t records_covered = 0;   // kCheckpoint: log prefix the image covers
   };
@@ -137,6 +141,8 @@ class History : public TxTraceSink {
   void OnWalFlush(uint32_t partition, uint64_t durable_records, uint64_t durable_bytes) override;
   void OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
                     uint64_t records_covered) override;
+  void OnWalTruncate(uint32_t partition, uint64_t records_remaining,
+                     uint64_t valid_bytes) override;
   void OnLockGrant(uint32_t service_core, uint32_t requester_core, uint64_t stripe) override;
   void OnMigrationBegin(uint32_t from_core, uint32_t to_core, uint64_t base,
                         uint64_t bytes) override;

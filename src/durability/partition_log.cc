@@ -80,6 +80,26 @@ uint64_t PartitionDurability::Flush() {
   return newly_durable;
 }
 
+PartitionDurability::RecoveredCommits PartitionDurability::RecoverFromBackingFile() {
+  wal_.RecoverBackingFile();
+  RecoveredCommits recovered;
+  const WalReadResult kept = ReadWal(wal_.image());
+  TM2C_CHECK(kept.clean() && !kept.torn_tail);
+  for (uint64_t i = 0; i < kept.records.size(); ++i) {
+    CommitRecord record;
+    TM2C_CHECK_MSG(ParseCommitRecord(kept.records[i], &record),
+                   "wal recovery: malformed commit record in the valid prefix");
+    for (const auto& [addr, value] : record.pairs) {
+      shadow_[addr] = value;
+    }
+    recovered[{record.core, record.epoch}] = i;
+  }
+  if (trace_ != nullptr) {
+    trace_->OnWalTruncate(partition_, wal_.durable_records(), wal_.durable_bytes());
+  }
+  return recovered;
+}
+
 void PartitionDurability::TakeCheckpoint() {
   TM2C_CHECK_MSG(wal_.unflushed_records() == 0,
                  "checkpoint may not cover unflushed records: flush first");

@@ -25,6 +25,7 @@
 #define TM2C_SRC_DURABILITY_PARTITION_LOG_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -86,6 +87,25 @@ class PartitionDurability {
   // Snapshots the shadow map as the next checkpoint (emits OnCheckpoint).
   // Pre-condition: no unflushed records (the caller flushed first).
   void TakeCheckpoint();
+
+  // Flushes the WAL backing file's stdio buffer without advancing the
+  // durable watermark (see Wal::FlushFile — the pre-fork hazard).
+  void FlushBackingFile() { wal_.FlushFile(); }
+
+  // (core, epoch) -> record index for every commit that survived a
+  // RecoverFromBackingFile.
+  using RecoveredCommits = std::map<std::pair<uint32_t, uint64_t>, uint64_t>;
+
+  // Restart recovery for the process backend: a freshly activated standby
+  // server calls this on the PartitionDurability it inherited at fork
+  // time, after its predecessor was killed mid-run. Rebuilds the Wal from
+  // the backing file's valid prefix (truncating any torn tail), replays
+  // the kept records over the inherited shadow image, and emits
+  // OnWalTruncate with the surviving record count — the oracle's signal
+  // that appends beyond it were legitimately lost. Returns each kept
+  // commit's (core, epoch) -> record index so a retransmitted kCommitLog
+  // can be acknowledged with its original index instead of re-appended.
+  RecoveredCommits RecoverFromBackingFile();
 
   uint32_t partition() const { return partition_; }
   DurabilityMode mode() const { return options_.mode; }

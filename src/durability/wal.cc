@@ -117,7 +117,50 @@ WalReadResult ReadWalFile(const std::string& path) {
   return ReadWal(bytes);
 }
 
-Wal::Wal(Options options) : options_(std::move(options)) {
+Wal::Wal(Options options) : options_(std::move(options)) { Init(); }
+
+void Wal::RecoverBackingFile() {
+  TM2C_CHECK_MSG(!options_.path.empty(), "wal: recovery needs a backing file");
+  if (file_ != nullptr) {
+    // A restarted server's inherited handle: its stdio buffer is empty
+    // (the parent flushed before forking), so closing only drops this
+    // process's view of the descriptor.
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  options_.recover_existing = true;
+  image_.clear();
+  appended_records_ = 0;
+  durable_records_ = 0;
+  durable_bytes_ = kWalHeaderBytes;
+  recovered_records_ = 0;
+  Init();
+}
+
+void Wal::Init() {
+  if (options_.recover_existing && !options_.path.empty()) {
+    const WalReadResult existing = ReadWalFile(options_.path);
+    if (!existing.bad_magic) {
+      TM2C_CHECK_MSG(!existing.crc_mismatch,
+                     "wal: refusing to recover over a corrupt (non-torn) log");
+      // Keep exactly the valid prefix: rebuild the in-memory image from it
+      // and cut any torn tail off the file before appending after it.
+      image_.resize(kWalHeaderBytes);
+      std::memcpy(image_.data(), kWalMagic, kWalHeaderBytes);
+      for (const WalRecord& record : existing.records) {
+        Append(record.payload.data(), record.payload.size());
+      }
+      TM2C_CHECK(image_.size() == existing.valid_bytes);
+      TM2C_CHECK(::truncate(options_.path.c_str(),
+                            static_cast<off_t>(existing.valid_bytes)) == 0);
+      file_ = std::fopen(options_.path.c_str(), "ab");
+      TM2C_CHECK_MSG(file_ != nullptr, "wal: could not reopen backing file");
+      recovered_records_ = existing.records.size();
+      durable_records_ = appended_records_;
+      durable_bytes_ = image_.size();
+      return;
+    }
+  }
   // resize+memcpy rather than insert: GCC 12's -Wstringop-overflow misfires
   // on range-inserting a constant array into a fresh vector.
   image_.resize(kWalHeaderBytes);
@@ -166,6 +209,12 @@ void Wal::Flush() {
   }
   durable_records_ = appended_records_;
   durable_bytes_ = image_.size();
+}
+
+void Wal::FlushFile() {
+  if (file_ != nullptr) {
+    TM2C_CHECK(std::fflush(file_) == 0);
+  }
 }
 
 }  // namespace tm2c

@@ -70,6 +70,14 @@ class Wal {
     bool fsync_on_flush = false;
     // Mirror the image into this file; empty = in-memory only.
     std::string path;
+    // Reopen an existing backing file instead of truncating it: scan it,
+    // keep the valid prefix (ReadWal semantics — every complete CRC-clean
+    // frame), truncate any torn tail off the file, and continue appending
+    // after it. The kept records count as already durable. A missing or
+    // magic-less file falls back to a fresh log. Used by a restarted
+    // partition server recovering its WAL after the previous server
+    // process was killed.
+    bool recover_existing = false;
   };
 
   explicit Wal(Options options);
@@ -85,6 +93,23 @@ class Wal {
   // the backing file and advances the durable watermark.
   void Flush();
 
+  // Flushes the backing file's stdio buffer WITHOUT advancing the durable
+  // watermark. The process backend calls this on every log before forking
+  // partition servers: buffered bytes sitting in the parent's stdio buffer
+  // would otherwise be duplicated into the file by every child's exit.
+  void FlushFile();
+
+  // Records recovered from an existing backing file (recover_existing);
+  // zero for a fresh log.
+  uint64_t recovered_records() const { return recovered_records_; }
+
+  // Reinitializes this log from its backing file (recover_existing
+  // semantics): closes the current handle, keeps the file's valid prefix,
+  // truncates any torn tail off the file, and continues appending after
+  // it. A restarted partition server calls this on the Wal it inherited
+  // at fork time, after its predecessor died mid-run.
+  void RecoverBackingFile();
+
   uint64_t appended_records() const { return appended_records_; }
   uint64_t durable_records() const { return durable_records_; }
   uint64_t durable_bytes() const { return durable_bytes_; }
@@ -95,12 +120,15 @@ class Wal {
   const std::vector<uint8_t>& image() const { return image_; }
 
  private:
+  void Init();
+
   Options options_;
   std::vector<uint8_t> image_;
   std::FILE* file_ = nullptr;
   uint64_t appended_records_ = 0;
   uint64_t durable_records_ = 0;
   uint64_t durable_bytes_ = kWalHeaderBytes;
+  uint64_t recovered_records_ = 0;
 };
 
 }  // namespace tm2c

@@ -1,6 +1,8 @@
-// Backend selection: the deterministic simulator vs real OS threads.
+// Backend selection: the deterministic simulator, real OS threads, or
+// partition server processes.
 //
-// Both runtime backends (SimSystem, ThreadSystem) expose the same surface —
+// The runtime backends (SimSystem, ThreadSystem, ProcessSystem) expose the
+// same surface —
 // install per-core mains, run them, and hand out CoreEnv/shared-memory
 // handles — so everything above the transport (TmSystem, the benches, the
 // examples) can be written once and pointed at either. SystemBackend is
@@ -18,8 +20,9 @@
 namespace tm2c {
 
 enum class BackendKind : uint8_t {
-  kSim = 0,      // discrete-event simulator: deterministic, modelled time
-  kThreads = 1,  // one OS thread per core: real concurrency, wall-clock time
+  kSim = 0,        // discrete-event simulator: deterministic, modelled time
+  kThreads = 1,    // one OS thread per core: real concurrency, wall-clock time
+  kProcesses = 2,  // partition servers as forked processes over sockets
 };
 
 inline const char* BackendKindName(BackendKind kind) {
@@ -28,6 +31,8 @@ inline const char* BackendKindName(BackendKind kind) {
       return "sim";
     case BackendKind::kThreads:
       return "threads";
+    case BackendKind::kProcesses:
+      return "processes";
   }
   return "?";
 }
@@ -39,7 +44,10 @@ inline BackendKind BackendKindByName(const std::string& name) {
   if (name == "threads") {
     return BackendKind::kThreads;
   }
-  TM2C_FATAL("unknown backend (expected sim|threads)");
+  if (name == "processes") {
+    return BackendKind::kProcesses;
+  }
+  TM2C_FATAL("unknown backend (expected sim|threads|processes)");
 }
 
 class SystemBackend {

@@ -61,6 +61,22 @@ enum class MsgType : uint8_t {
   kBarrier,   // runtime barrier token
   kShutdown,  // tells a service core to exit its loop
   kApp,       // application-defined payload
+
+  // Process-backend host frames (src/runtime/process_system.cc). A forked
+  // partition server cannot call into a parent-side TxTraceSink, so its
+  // DtmService trace and stats events are serialized over its socket as
+  // ordinary messages addressed to the host (wire.h's kWireHostDst) and
+  // replayed into the sink by the parent. They never appear in a CoreEnv
+  // inbox on any backend.
+  kTraceWalAppend,      // w0=record index, w1=tx epoch, w2=committing core,
+                        // extra=[addr0, val0, addr1, val1, ...]
+  kTraceCommitLogAck,   // w0=record index, w1=tx epoch, w2=committing core
+  kTraceWalFlush,       // w0=durable records, w1=durable bytes
+  kTraceCheckpoint,     // w0=checkpoint index, w1=records covered
+  kTraceWalTruncate,    // restart recovery: w0=records remaining,
+                        // w1=valid bytes of the reopened log
+  kHostStats,           // partition exit report: extra=[lock table entries,
+                        // DtmServiceStats fields...] (see process_system.cc)
 };
 
 // Batch protocol (one request/response round trip per responsible node):

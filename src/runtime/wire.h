@@ -1,0 +1,100 @@
+// Wire serialization for the process backend.
+//
+// The in-memory Message struct crosses a socket as one length-prefixed,
+// CRC-framed byte frame, reusing the WAL framing discipline (and its CRC-32)
+// from src/durability/wal.cc:
+//
+//   [u32 payload_len_bytes][u32 crc32(payload)][payload: len/8 u64 words]
+//
+// The payload encodes the message as little-endian words:
+//
+//   word 0   (destination core << 32) | message type
+//   word 1   source core
+//   word 2-5 w0..w3
+//   word 6   extra word count n
+//   word 7.. the n extra words
+//
+// so every frame is self-describing and at least kWireMinFrameBytes long.
+// The destination rides inside the payload because one socket carries
+// traffic for many cores: the parent-side router demultiplexes replies to
+// per-core inboxes, and the child-side server uses kWireHostDst to address
+// frames at the host itself (trace + stats events, never a core inbox).
+//
+// Decoding is strict: a frame is either accepted whole or rejected whole
+// (no partial apply). A short read is kNeedMore (wait for more bytes); a
+// CRC mismatch, impossible length, unknown message type or inconsistent
+// extra count is kCorrupt and poisons the stream — after real corruption
+// frame boundaries can no longer be trusted, so the connection must be
+// dropped, exactly like a WAL scan stopping at its first bad frame.
+#ifndef TM2C_SRC_RUNTIME_WIRE_H_
+#define TM2C_SRC_RUNTIME_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/runtime/message.h"
+
+namespace tm2c {
+
+// Destination value addressing the host process itself (trace/stats frames
+// from a partition server) rather than a core inbox.
+constexpr uint32_t kWireHostDst = 0xFFFFFFFFu;
+
+// Framing overhead (length + CRC) and the fixed 7-word payload prologue.
+constexpr uint64_t kWireFrameOverheadBytes = 8;
+constexpr uint64_t kWireFixedPayloadWords = 7;
+constexpr uint64_t kWireMinFrameBytes =
+    kWireFrameOverheadBytes + kWireFixedPayloadWords * 8;
+
+// Hard cap on a frame's extra words. Generous (the largest real payload is
+// a commit record's addr/value pairs) but bounded, so a corrupt length
+// field cannot make the decoder buffer gigabytes before the CRC rejects it.
+constexpr uint64_t kWireMaxExtraWords = 1 << 20;
+
+// Last MsgType value a frame may carry; anything above is corruption.
+constexpr uint8_t kWireMaxMsgType = static_cast<uint8_t>(MsgType::kHostStats);
+
+// Appends the encoded frame for (dst, msg) to `out`.
+void EncodeFrame(uint32_t dst, const Message& msg, std::vector<uint8_t>* out);
+
+// Convenience: one message as its own byte vector.
+std::vector<uint8_t> EncodeMessage(uint32_t dst, const Message& msg);
+
+enum class WireDecodeStatus : uint8_t {
+  kOk = 0,        // one frame decoded
+  kNeedMore = 1,  // buffer holds only a frame prefix; feed more bytes
+  kCorrupt = 2,   // framing violated; the stream is poisoned
+};
+
+// Streaming decoder: feed arbitrary byte chunks, pull whole messages.
+// After the first kCorrupt every further TryNext returns kCorrupt — the
+// caller is expected to drop the connection.
+class WireDecoder {
+ public:
+  // Appends raw bytes read from the socket.
+  void Feed(const uint8_t* data, uint64_t size);
+
+  // Attempts to decode the next frame from the buffered bytes. On kOk the
+  // destination and message are stored through the out-params and the
+  // frame's bytes are consumed; on kNeedMore / kCorrupt nothing is.
+  WireDecodeStatus TryNext(uint32_t* dst, Message* msg);
+
+  bool corrupt() const { return corrupt_; }
+  uint64_t buffered_bytes() const { return buffer_.size(); }
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  std::deque<uint8_t> buffer_;
+  bool corrupt_ = false;
+  uint64_t frames_decoded_ = 0;
+};
+
+// One-shot decode of a complete frame at the start of `bytes`. Returns the
+// status; on kOk also stores the frame's total size in `*consumed`.
+WireDecodeStatus DecodeFrame(const std::vector<uint8_t>& bytes, uint32_t* dst,
+                             Message* msg, uint64_t* consumed);
+
+}  // namespace tm2c
+
+#endif  // TM2C_SRC_RUNTIME_WIRE_H_

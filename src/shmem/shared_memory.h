@@ -10,6 +10,8 @@
 #ifndef TM2C_SRC_SHMEM_SHARED_MEMORY_H_
 #define TM2C_SRC_SHMEM_SHARED_MEMORY_H_
 
+#include <sys/mman.h>
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -25,13 +27,44 @@ constexpr uint64_t kWordBytes = 8;
 
 class SharedMemory {
  public:
-  explicit SharedMemory(uint64_t bytes)
-      : size_bytes_((bytes + kWordBytes - 1) / kWordBytes * kWordBytes),
-        words_(new std::atomic<uint64_t>[size_bytes_ / kWordBytes]) {
-    for (uint64_t i = 0; i < size_bytes_ / kWordBytes; ++i) {
+  // `interprocess` backs the word array with an anonymous MAP_SHARED
+  // mapping instead of heap memory, so forked partition servers (the
+  // process backend) address the same physical words as the parent —
+  // exactly the SCC's off-chip DRAM: shared, addressable by everyone,
+  // kept consistent only by the DS-Lock protocol. std::atomic<uint64_t>
+  // is address-free when lock-free, so the atomics work across the
+  // process boundary.
+  explicit SharedMemory(uint64_t bytes, bool interprocess = false)
+      : size_bytes_((bytes + kWordBytes - 1) / kWordBytes * kWordBytes) {
+    static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                  "cross-process shared words need address-free atomics");
+    const uint64_t num_words = size_bytes_ / kWordBytes;
+    if (interprocess) {
+      void* mem = ::mmap(nullptr, size_bytes_, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+      TM2C_CHECK_MSG(mem != MAP_FAILED, "shmem: mmap(MAP_SHARED) failed");
+      mapped_bytes_ = size_bytes_;
+      words_ = static_cast<std::atomic<uint64_t>*>(mem);
+      for (uint64_t i = 0; i < num_words; ++i) {
+        new (&words_[i]) std::atomic<uint64_t>();
+      }
+    } else {
+      owned_.reset(new std::atomic<uint64_t>[num_words]);
+      words_ = owned_.get();
+    }
+    for (uint64_t i = 0; i < num_words; ++i) {
       words_[i].store(0, std::memory_order_relaxed);
     }
   }
+
+  ~SharedMemory() {
+    if (mapped_bytes_ != 0) {
+      ::munmap(words_, mapped_bytes_);
+    }
+  }
+
+  SharedMemory(const SharedMemory&) = delete;
+  SharedMemory& operator=(const SharedMemory&) = delete;
 
   // Acquire/release word accesses: free on x86 (plain MOVs) and what the
   // thread backend needs so a word used as a flag or lock register orders
@@ -68,7 +101,11 @@ class SharedMemory {
   uint64_t size_bytes_;
   // Atomic words so the std::thread backend can share the array without
   // data races; the simulator backend is single-threaded and unaffected.
-  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  // Backed by the heap (owned_) or an anonymous shared mapping (mapped_),
+  // depending on the backend's process topology.
+  std::atomic<uint64_t>* words_ = nullptr;
+  std::unique_ptr<std::atomic<uint64_t>[]> owned_;
+  uint64_t mapped_bytes_ = 0;
 };
 
 // Queueing model for the platform's memory controllers. Each controller

@@ -380,6 +380,18 @@ void DtmService::HandleCommitLog(const Message& msg) {
                  "malformed kCommitLog payload");
   ChargeProcessing(msg.extra.size() / 2);
 
+  if (!recovered_commits_.empty()) {
+    const auto it = recovered_commits_.find({msg.src, msg.w1});
+    if (it != recovered_commits_.end()) {
+      // Retransmitted after a restart: the record already survived in the
+      // recovered log prefix, so re-appending would duplicate it. Ack with
+      // its original index — the surviving prefix is durable by definition.
+      SendCommitLogAck(msg.src, msg.w1, it->second);
+      recovered_commits_.erase(it);
+      return;
+    }
+  }
+
   std::vector<std::pair<uint64_t, uint64_t>> pairs;
   pairs.reserve(msg.extra.size() / 2);
   for (size_t i = 0; i < msg.extra.size(); i += 2) {

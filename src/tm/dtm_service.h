@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/cm/contention_manager.h"
@@ -91,6 +92,15 @@ class DtmService {
   // does not own the object (TmSystem does — checkpoints and the log image
   // outlive the service for recovery).
   void AttachDurability(PartitionDurability* durability);
+
+  // Process-backend restart: the (core, epoch) pairs whose commit records
+  // survived in the recovered WAL prefix, mapped to their record index. A
+  // retransmitted kCommitLog matching an entry is acknowledged with its
+  // original index instead of appended again — the record is already
+  // durable, and re-logging it would duplicate it in the replayed log.
+  void SetRecoveredCommits(std::map<std::pair<uint32_t, uint64_t>, uint64_t> commits) {
+    recovered_commits_ = std::move(commits);
+  }
 
   // Group commit: flushes every appended-but-unflushed record and sends
   // the deferred kCommitLogAck responses. Called when the group fills,
@@ -177,6 +187,9 @@ class DtmService {
     uint64_t record_index;
   };
   std::vector<PendingAck> pending_acks_;
+  // (core, epoch) -> record index of commits that survived a restart's WAL
+  // recovery; consumed by their retransmissions (see SetRecoveredCommits).
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> recovered_commits_;
   // Open drain windows: range base -> (bytes, target partition). Usually
   // empty or a single entry; lookups are a bounded map walk.
   struct MigratingRange {

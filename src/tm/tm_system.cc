@@ -1,6 +1,7 @@
 #include "src/tm/tm_system.h"
 
 #include "src/common/check.h"
+#include "src/tm/wire_trace.h"
 
 namespace tm2c {
 namespace {
@@ -8,6 +9,18 @@ namespace {
 std::unique_ptr<SystemBackend> MakeBackend(const TmSystemConfig& config) {
   if (config.backend == BackendKind::kSim) {
     return std::make_unique<SimSystem>(config.sim);
+  }
+  if (config.backend == BackendKind::kProcesses) {
+    TM2C_CHECK_MSG(config.sim.strategy == DeployStrategy::kDedicated,
+                   "the process backend is dedicated-only (a partition server "
+                   "process cannot interleave an application task)");
+    ProcessSystemConfig pcfg;
+    pcfg.platform = config.sim.platform;
+    pcfg.num_cores = config.sim.num_cores;
+    pcfg.num_service = config.sim.num_service;
+    pcfg.shmem_bytes = config.sim.shmem_bytes;
+    pcfg.run_dir = config.run_dir;
+    return std::make_unique<ProcessSystem>(pcfg);
   }
   ThreadSystemConfig tcfg;
   tcfg.platform = config.sim.platform;
@@ -57,6 +70,11 @@ TmSystem::TmSystem(TmSystemConfig config)
         PartitionDurability::Options opts;
         opts.mode = config_.tm.durability;
         opts.checkpoint_every_records = config_.tm.checkpoint_every_records;
+        if (config_.backend == BackendKind::kProcesses) {
+          // The log must survive the server process: back it with a file
+          // in the run directory so a restarted standby can recover it.
+          opts.path = config_.run_dir + "/part" + std::to_string(p) + ".wal";
+        }
         durability_.push_back(std::make_unique<PartitionDurability>(p, opts));
         service->AttachDurability(durability_.back().get());
       }
@@ -76,6 +94,9 @@ TmSystem::TmSystem(TmSystemConfig config)
         }
         OnAppBodyDone();
       });
+    }
+    if (config_.backend == BackendKind::kProcesses) {
+      WireProcessBackend();
     }
     return;
   }
@@ -119,6 +140,101 @@ TmSystem::TmSystem(TmSystemConfig config)
   }
 }
 
+void TmSystem::WireProcessBackend() {
+  // The partition-side directory flip of a migration would happen in the
+  // server's copy-on-write heap and never reach the host runtimes' shared
+  // ownership directory, silently splitting the system's view of a stripe.
+  TM2C_CHECK_MSG(config_.tm.migrate_check_every == 0,
+                 "live migration is not supported on the process backend "
+                 "(the ownership directory is not shared across processes)");
+  auto* proc = static_cast<ProcessSystem*>(system_.get());
+  proc->SetAbortStatusBase(config_.tm.abort_status_base);
+
+  // The WAL backing files' stdio buffers must not be duplicated into the
+  // children: each would flush its inherited copy on exit and double the
+  // host-side load-phase records (checkpoint 0 seals, notably).
+  proc->SetPreForkHook([this]() {
+    for (auto& dur : durability_) {
+      dur->FlushBackingFile();
+    }
+  });
+
+  // Runs inside the freshly forked (or restarted) partition server. The
+  // sink is leaked deliberately: the child _exits, it never unwinds.
+  proc->SetChildStart([this](uint32_t partition, bool is_restart, CoreEnv& env) {
+    auto* sink = new WireTraceSink(&env);
+    services_[partition]->set_trace(sink);
+    if (is_restart && !durability_.empty()) {
+      // Attach the sink first so the recovery's OnWalTruncate reaches the
+      // host — the oracle's only evidence that the torn tail was dropped.
+      services_[partition]->SetRecoveredCommits(durability_[partition]->RecoverFromBackingFile());
+    }
+  });
+
+  // The child's parting report: lock-table occupancy first (the host-side
+  // AllLockTablesEmpty source of truth), then every DtmServiceStats field
+  // in declaration order (see ServiceStats for the mirror decode).
+  proc->SetChildExitReport([this](uint32_t partition) {
+    const DtmService& svc = *services_[partition];
+    const DtmServiceStats& s = svc.stats();
+    Message msg;
+    msg.type = MsgType::kHostStats;
+    msg.extra = {static_cast<uint64_t>(svc.lock_table().NumEntries()),
+                 s.requests,
+                 s.releases,
+                 s.notifications_sent,
+                 s.stale_requests_refused,
+                 s.batch_requests,
+                 s.batch_entries,
+                 s.misrouted_refused,
+                 s.local_direct_requests,
+                 s.local_direct_entries,
+                 s.commit_records,
+                 s.log_flushes,
+                 s.migrations_started,
+                 s.migrations_completed,
+                 s.migrating_refused,
+                 s.overload_refused};
+    return msg;
+  });
+
+  // Server-side durability events arriving as kTrace* frames, replayed
+  // into the attached sink on the partition's router thread (AttachTrace
+  // requires a MutexTraceSink here for exactly this reason).
+  proc->SetHostFrameHandler([this](uint32_t partition, const Message& msg) {
+    TxTraceSink* sink = attached_trace_;
+    if (sink == nullptr) {
+      return;
+    }
+    switch (msg.type) {
+      case MsgType::kTraceWalAppend: {
+        TM2C_CHECK(msg.extra.size() % 2 == 0);
+        std::vector<std::pair<uint64_t, uint64_t>> pairs;
+        pairs.reserve(msg.extra.size() / 2);
+        for (size_t i = 0; i + 1 < msg.extra.size(); i += 2) {
+          pairs.emplace_back(msg.extra[i], msg.extra[i + 1]);
+        }
+        sink->OnWalAppend(partition, static_cast<uint32_t>(msg.w2), msg.w1, msg.w0, pairs);
+        break;
+      }
+      case MsgType::kTraceCommitLogAck:
+        sink->OnCommitLogAck(partition, static_cast<uint32_t>(msg.w2), msg.w1, msg.w0);
+        break;
+      case MsgType::kTraceWalFlush:
+        sink->OnWalFlush(partition, msg.w0, msg.w1);
+        break;
+      case MsgType::kTraceCheckpoint:
+        sink->OnCheckpoint(partition, msg.w0, msg.w1);
+        break;
+      case MsgType::kTraceWalTruncate:
+        sink->OnWalTruncate(partition, msg.w0, msg.w1);
+        break;
+      default:
+        TM2C_FATAL("unexpected host-bound frame type");
+    }
+  });
+}
+
 void TmSystem::OnAppBodyDone() {
   if (system_->is_simulated()) {
     return;  // the simulator ends the run by draining its event queue
@@ -154,11 +270,17 @@ void TmSystem::SetAllAppBodies(const AppBody& body) {
 }
 
 void TmSystem::AttachTrace(TxTraceSink* trace) {
-  TM2C_CHECK_MSG(system_->is_simulated(),
-                 "execution traces are simulator-only (sinks are not thread-safe)");
+  TM2C_CHECK_MSG(system_->is_simulated() || config_.backend == BackendKind::kProcesses,
+                 "execution traces: simulator (any sink) or process backend "
+                 "(MutexTraceSink only) — the thread backend has no ordered "
+                 "event stream to trace");
+  attached_trace_ = trace;
   for (auto& rt : runtimes_) {
     rt->set_trace(trace);
   }
+  // Under processes this reaches only the host's pre-fork service images;
+  // the child-start hook replaces each child's sink with a WireTraceSink
+  // whose events come back as kTrace* frames (see WireProcessBackend).
   for (auto& service : services_) {
     service->set_trace(trace);
   }
@@ -191,8 +313,12 @@ SimTime TmSystem::Run(SimTime until) {
   // record append and its group-commit flush. The records are in the log;
   // force them durable so post-run accounting is exact (commit_records ==
   // flushed records) and the final WAL image matches the final KV state.
-  for (auto& service : services_) {
-    service->QuiesceFlush();
+  // Not under processes: the host's services are stale pre-fork images,
+  // and every partition server already flushed on its kShutdown path.
+  if (config_.backend != BackendKind::kProcesses) {
+    for (auto& service : services_) {
+      service->QuiesceFlush();
+    }
   }
   return elapsed;
 }
@@ -201,6 +327,41 @@ SimSystem& TmSystem::sim() {
   TM2C_CHECK_MSG(config_.backend == BackendKind::kSim,
                  "sim() is only valid on the simulator backend");
   return static_cast<SimSystem&>(*system_);
+}
+
+ProcessSystem& TmSystem::process() {
+  TM2C_CHECK_MSG(config_.backend == BackendKind::kProcesses,
+                 "process() is only valid on the process backend");
+  return static_cast<ProcessSystem&>(*system_);
+}
+
+DtmServiceStats TmSystem::ServiceStats(uint32_t partition) const {
+  TM2C_CHECK(partition < services_.size());
+  if (config_.backend != BackendKind::kProcesses) {
+    return services_[partition]->stats();
+  }
+  auto* proc = static_cast<ProcessSystem*>(system_.get());
+  const std::vector<uint64_t> report = proc->host_stats(partition);
+  // Layout built by the child-exit-report hook: [lock-table entries,
+  // then DtmServiceStats fields in declaration order].
+  TM2C_CHECK_MSG(report.size() == 16, "partition server exit report missing or malformed");
+  DtmServiceStats s;
+  s.requests = report[1];
+  s.releases = report[2];
+  s.notifications_sent = report[3];
+  s.stale_requests_refused = report[4];
+  s.batch_requests = report[5];
+  s.batch_entries = report[6];
+  s.misrouted_refused = report[7];
+  s.local_direct_requests = report[8];
+  s.local_direct_entries = report[9];
+  s.commit_records = report[10];
+  s.log_flushes = report[11];
+  s.migrations_started = report[12];
+  s.migrations_completed = report[13];
+  s.migrating_refused = report[14];
+  s.overload_refused = report[15];
+  return s;
 }
 
 const TxStats& TmSystem::AppStats(uint32_t app_index) const {
@@ -222,6 +383,19 @@ const DtmService& TmSystem::ServiceAt(uint32_t partition) const {
 }
 
 bool TmSystem::AllLockTablesEmpty() const {
+  if (config_.backend == BackendKind::kProcesses) {
+    // The live tables died with the servers; each exit report leads with
+    // its final occupancy. A missing report (server never exited cleanly)
+    // counts as non-empty.
+    auto* proc = static_cast<ProcessSystem*>(system_.get());
+    for (uint32_t p = 0; p < system_->deployment().num_service(); ++p) {
+      const std::vector<uint64_t> report = proc->host_stats(p);
+      if (report.empty() || report[0] != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
   for (const auto& service : services_) {
     if (service->lock_table().NumEntries() != 0) {
       return false;

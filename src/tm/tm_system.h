@@ -13,10 +13,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/durability/partition_log.h"
 #include "src/runtime/backend.h"
+#include "src/runtime/process_system.h"
 #include "src/runtime/sim_system.h"
 #include "src/runtime/thread_system.h"
 #include "src/tm/address_map.h"
@@ -37,6 +39,10 @@ struct TmSystemConfig {
   ChannelKind channel = ChannelKind::kSpscRing;
   bool pin_threads = false;
   uint32_t channel_capacity = 256;
+  // Process backend only: directory for the partition sockets and (when
+  // durability is on) the per-partition WAL backing files. Required there,
+  // ignored elsewhere. Pass a fresh per-run (temp) directory.
+  std::string run_dir;
 };
 
 class TmSystem {
@@ -71,8 +77,12 @@ class TmSystem {
   bool AllLockTablesEmpty() const;
 
   // Attaches an execution-trace recorder (typically a check::History) to
-  // every runtime and service. Call before Run(); verification only, and
-  // simulator-only (trace sinks are not thread-safe).
+  // every runtime and service. Call before Run(); verification only.
+  // Simulator: any sink. Process backend: the sink MUST be wrapped in a
+  // MutexTraceSink (app threads and partition routers feed it
+  // concurrently); partition-server durability events arrive over the
+  // sockets as kTrace* frames and are replayed into it here. Thread
+  // backend: unsupported (no per-event ordering to preserve them with).
   void AttachTrace(TxTraceSink* trace);
 
   // Backend-agnostic handles (work under sim and threads alike).
@@ -85,6 +95,21 @@ class TmSystem {
   // Simulator-specific handle (engine, latency model, chaos). Checked:
   // only valid when backend() == BackendKind::kSim.
   SimSystem& sim();
+
+  // Process-specific handle (kill/restart chaos, exit reports). Checked:
+  // only valid when backend() == BackendKind::kProcesses.
+  ProcessSystem& process();
+
+  // SIGKILLs the partition's server process mid-run (process backend
+  // only); its cold standby recovers the partition from the WAL.
+  void KillPartition(uint32_t partition) { process().KillPartition(partition); }
+
+  // Post-run service-side counters. Identical to ServiceAt(p).stats() on
+  // sim and threads; under processes the values come from the partition
+  // server's exit report — the host's DtmService object is a stale
+  // pre-fork image (counters accumulated before a kill die with the
+  // killed server; the report is the successor's).
+  DtmServiceStats ServiceStats(uint32_t partition) const;
 
   // Durability handles (only valid when config.tm.durability != kOff;
   // one PartitionDurability per service partition, owned here so the log
@@ -108,6 +133,10 @@ class TmSystem {
   // backend the last one shuts down the cores still blocked in Recv.
   void OnAppBodyDone();
 
+  // Installs the process backend's hooks (pre-fork WAL flush, child-side
+  // trace/recovery, exit reports, host-side trace-frame replay).
+  void WireProcessBackend();
+
   TmSystemConfig config_;
   std::unique_ptr<SystemBackend> system_;
   AddressMap map_;
@@ -117,6 +146,9 @@ class TmSystem {
   std::vector<std::unique_ptr<TxRuntime>> runtimes_;    // per app core
   std::vector<AppBody> bodies_;                         // per app core
   std::atomic<uint32_t> apps_running_{0};
+  // Sink from AttachTrace, consulted by the process backend's host-frame
+  // replay (set before Run, read by router threads during it).
+  TxTraceSink* attached_trace_ = nullptr;
 };
 
 }  // namespace tm2c

@@ -7,13 +7,18 @@
 // defined here (tm layer) so the tm code does not depend on src/check/;
 // the concrete recorder (check::History) implements this interface.
 //
-// The hooks are only meaningful under the deterministic single-threaded
+// The hooks are fully ordered only under the deterministic single-threaded
 // simulator backend: the recorder relies on call order being the real
-// execution order. Do not attach a sink under the std::thread backend.
+// execution order. Do not attach a bare sink under the std::thread
+// backend. The process backend records *durability* events through a
+// MutexTraceSink (below): per-partition durability call order is preserved
+// by the partition's socket FIFO, which is all the crash-restart oracle
+// needs — the serializability oracle still requires the simulator.
 #ifndef TM2C_SRC_TM_TRACE_H_
 #define TM2C_SRC_TM_TRACE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -93,6 +98,13 @@ class TxTraceSink {
                             uint64_t records_covered) {
     (void)partition, (void)checkpoint_index, (void)records_covered;
   }
+  // A restarted partition server truncated its WAL back to the valid
+  // prefix: `records_remaining` records / `valid_bytes` bytes survive;
+  // appends beyond them were legitimately lost with the dead process.
+  virtual void OnWalTruncate(uint32_t partition, uint64_t records_remaining,
+                             uint64_t valid_bytes) {
+    (void)partition, (void)records_remaining, (void)valid_bytes;
+  }
 
   // Migration visibility (the migration oracle's inputs; default no-ops so
   // migration-free runs record identical histories).
@@ -118,6 +130,98 @@ class TxTraceSink {
                                    uint64_t bytes, uint64_t version) {
     (void)from_core, (void)to_core, (void)base, (void)bytes, (void)version;
   }
+};
+
+// Serializes concurrent hook calls onto an underlying sink with one mutex.
+// The process backend's app threads and partition-router threads all feed
+// the same History; this wrapper makes each event atomic and assigns it
+// one global sequence position. Cross-thread event order is whatever the
+// lock arbitration yields — fine for the crash-restart oracle (which only
+// needs per-partition durability order and per-core transaction order,
+// both preserved by their single-threaded sources), NOT fine for the
+// serializability oracle (which needs the simulator's total order).
+class MutexTraceSink : public TxTraceSink {
+ public:
+  explicit MutexTraceSink(TxTraceSink* wrapped) : wrapped_(wrapped) {}
+
+  void OnTxBegin(uint32_t core, uint64_t epoch, SimTime now) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnTxBegin(core, epoch, now);
+  }
+  void OnTxRead(uint32_t core, uint64_t addr, uint64_t value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnTxRead(core, addr, value);
+  }
+  void OnTxPersist(uint32_t core, uint64_t addr, uint64_t value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnTxPersist(core, addr, value);
+  }
+  void OnTxCommit(uint32_t core, SimTime now) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnTxCommit(core, now);
+  }
+  void OnTxAbort(uint32_t core, SimTime now, ConflictKind reason) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnTxAbort(core, now, reason);
+  }
+  void OnRevocation(uint32_t service_core, uint32_t victim_core, uint64_t victim_epoch,
+                    ConflictKind kind) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnRevocation(service_core, victim_core, victim_epoch, kind);
+  }
+  void OnAcquireIssue(uint32_t core, uint64_t request_id, uint32_t node, uint32_t n,
+                      bool is_write) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnAcquireIssue(core, request_id, node, n, is_write);
+  }
+  void OnAcquireComplete(uint32_t core, uint64_t request_id, uint32_t granted,
+                         ConflictKind kind) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnAcquireComplete(core, request_id, granted, kind);
+  }
+  void OnWalAppend(uint32_t partition, uint32_t core, uint64_t epoch, uint64_t record_index,
+                   const std::vector<std::pair<uint64_t, uint64_t>>& pairs) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnWalAppend(partition, core, epoch, record_index, pairs);
+  }
+  void OnCommitLogAck(uint32_t partition, uint32_t core, uint64_t epoch,
+                      uint64_t record_index) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnCommitLogAck(partition, core, epoch, record_index);
+  }
+  void OnWalFlush(uint32_t partition, uint64_t durable_records,
+                  uint64_t durable_bytes) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnWalFlush(partition, durable_records, durable_bytes);
+  }
+  void OnCheckpoint(uint32_t partition, uint64_t checkpoint_index,
+                    uint64_t records_covered) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnCheckpoint(partition, checkpoint_index, records_covered);
+  }
+  void OnWalTruncate(uint32_t partition, uint64_t records_remaining,
+                     uint64_t valid_bytes) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnWalTruncate(partition, records_remaining, valid_bytes);
+  }
+  void OnLockGrant(uint32_t service_core, uint32_t requester_core, uint64_t stripe) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnLockGrant(service_core, requester_core, stripe);
+  }
+  void OnMigrationBegin(uint32_t from_core, uint32_t to_core, uint64_t base,
+                        uint64_t bytes) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnMigrationBegin(from_core, to_core, base, bytes);
+  }
+  void OnMigrationComplete(uint32_t from_core, uint32_t to_core, uint64_t base, uint64_t bytes,
+                           uint64_t version) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnMigrationComplete(from_core, to_core, base, bytes, version);
+  }
+
+ private:
+  TxTraceSink* wrapped_;
+  std::mutex mu_;
 };
 
 }  // namespace tm2c

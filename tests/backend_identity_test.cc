@@ -1,17 +1,21 @@
-// Backend identity: the same TmSystem workload, run once on the simulator
-// and once on real threads (both channel kinds), must commit exactly the
-// same transactions and leave identical shared-memory state. This is the
-// contract that makes native bench rows comparable to simulated ones —
-// the backend changes the clock and the transport, never the protocol
-// outcome of a fixed-work workload.
+// Backend identity: the same TmSystem workload, run on the simulator, on
+// real threads (both channel kinds), AND on the multi-process backend
+// (partition servers as forked processes over sockets), must commit
+// exactly the same transactions and leave identical shared-memory state.
+// This is the contract that makes native bench rows comparable to
+// simulated ones — the backend changes the clock and the transport, never
+// the protocol outcome of a fixed-work workload.
 //
-// Uses the simulator (fibers) as well as threads, so it is deliberately
-// NOT part of the TSan-labelled suites.
+// Uses the simulator (fibers) as well as threads and fork, so it is
+// deliberately NOT part of the TSan-labelled suites.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <string>
 
 #include "src/apps/kvstore.h"
+#include "src/apps/ordered_index.h"
 #include "src/common/rng.h"
 #include "src/tm/tm_system.h"
 
@@ -63,6 +67,17 @@ TmSystemConfig BaseConfig() {
   return cfg;
 }
 
+// A process-backend run needs a fresh directory for its per-generation
+// socket files (and WAL files, when durability is on).
+TmSystemConfig ProcessConfig(const std::string& tag) {
+  TmSystemConfig cfg = BaseConfig();
+  cfg.backend = BackendKind::kProcesses;
+  std::string templ = ::testing::TempDir() + "tm2c_bid_" + tag + "_XXXXXX";
+  EXPECT_NE(::mkdtemp(templ.data()), nullptr);
+  cfg.run_dir = templ;
+  return cfg;
+}
+
 TEST(BackendIdentity, SimAndThreadsCommitTheSameWorkload) {
   TmSystemConfig sim_cfg = BaseConfig();
   sim_cfg.backend = BackendKind::kSim;
@@ -81,6 +96,12 @@ TEST(BackendIdentity, SimAndThreadsCommitTheSameWorkload) {
     EXPECT_EQ(thr.commits, sim.commits) << ChannelKindName(channel);
     EXPECT_EQ(thr.counter_sum, sim.counter_sum) << ChannelKindName(channel);
   }
+
+  // Third side of the triangle: partition servers as forked processes.
+  const RunResult proc = RunCounterWorkload(ProcessConfig("counter"));
+  EXPECT_EQ(proc.commits, sim.commits);
+  EXPECT_EQ(proc.counter_sum, sim.counter_sum);
+  EXPECT_TRUE(proc.tables_empty);
 }
 
 // KV-store identity: the same fixed KV workload must leave byte-identical
@@ -142,7 +163,7 @@ KvRunResult RunKvWorkload(TmSystemConfig cfg, bool migrate = false) {
   KvRunResult result;
   result.commits = sys.MergedStats().commits;
   for (uint32_t p = 0; p < sys.deployment().num_service(); ++p) {
-    result.migrations_completed += sys.ServiceAt(p).stats().migrations_completed;
+    result.migrations_completed += sys.ServiceStats(p).migrations_completed;
   }
   result.slab0_partition = sys.address_map().PartitionOf(slab0.first);
   store.HostForEach([&result, &kv_cfg](uint64_t key, const uint64_t* value) {
@@ -168,6 +189,10 @@ TEST(BackendIdentity, KvStoreCommitsIdenticalFinalContents) {
     EXPECT_EQ(thr.commits, sim.commits) << ChannelKindName(channel);
     EXPECT_EQ(thr.contents, sim.contents) << ChannelKindName(channel);
   }
+
+  const KvRunResult proc = RunKvWorkload(ProcessConfig("kv"));
+  EXPECT_EQ(proc.commits, sim.commits);
+  EXPECT_EQ(proc.contents, sim.contents);
 }
 
 TEST(BackendIdentity, KvStoreContentsIdenticalAcrossMidRunMigration) {
@@ -199,6 +224,93 @@ TEST(BackendIdentity, KvStoreContentsIdenticalAcrossMidRunMigration) {
     EXPECT_EQ(thr.migrations_completed, 1u) << ChannelKindName(channel);
     EXPECT_EQ(thr.slab0_partition, 1u) << ChannelKindName(channel);
   }
+}
+
+// Ordered-index identity: the same fixed B+-tree workload — inserts,
+// updates, deletes and commutative shared RMW through the range-partitioned
+// index — must leave identical key/value contents on all three backends.
+// The tree SHAPE may differ run to run (splits and merges depend on the
+// interleaving); the CONTENTS may not, and every backend's tree must pass
+// the structural invariants.
+struct IndexRunResult {
+  uint64_t commits = 0;
+  std::map<uint64_t, std::vector<uint64_t>> contents;
+  std::vector<std::string> structure_problems;
+  bool tables_empty = false;
+};
+
+IndexRunResult RunIndexWorkload(TmSystemConfig cfg) {
+  constexpr uint64_t kSharedKeys = 8;
+  constexpr uint64_t kPrivateKeys = 12;  // per core, above the shared range
+  constexpr int kOpsPerCore = 150;
+  TmSystem sys(cfg);
+  OrderedIndexConfig ix_cfg;
+  ix_cfg.key_min = 1;
+  ix_cfg.key_max = 256;
+  ix_cfg.value_words = 2;
+  ix_cfg.fanout = 4;  // small fanout: splits and merges happen for real
+  ix_cfg.capacity_per_partition = 256;
+  OrderedIndex index(sys.allocator(), sys.shmem(), sys.address_map(), sys.deployment(), ix_cfg);
+  for (uint64_t key = 1; key <= kSharedKeys; ++key) {
+    const uint64_t value[2] = {0, key};
+    index.HostPut(key, value);
+  }
+  sys.SetAllAppBodies([&index](CoreEnv& env, TxRuntime& rt) {
+    const uint64_t private_base = kSharedKeys + 1 + env.core_id() * kPrivateKeys;
+    Rng rng(env.core_id() * 211 + 3);
+    for (int k = 0; k < kOpsPerCore; ++k) {
+      const uint64_t pick = rng.NextBelow(10);
+      if (pick < 3) {
+        const uint64_t key = 1 + rng.NextBelow(kSharedKeys);
+        index.ReadModifyWrite(rt, key, [](uint64_t* v) { v[0] += 1; });
+      } else if (pick < 6) {
+        const uint64_t key = private_base + rng.NextBelow(kPrivateKeys);
+        const uint64_t value[2] = {key * 3, key * 7};
+        index.Put(rt, key, value);
+      } else if (pick < 8) {
+        index.Delete(rt, private_base + rng.NextBelow(kPrivateKeys));
+      } else {
+        index.Scan(rt, 1 + rng.NextBelow(kSharedKeys), 4);
+      }
+    }
+  });
+  sys.Run();
+  IndexRunResult result;
+  result.commits = sys.MergedStats().commits;
+  result.tables_empty = sys.AllLockTablesEmpty();
+  index.HostForEach([&result, &ix_cfg](uint64_t key, const uint64_t* value) {
+    result.contents[key] = std::vector<uint64_t>(value, value + ix_cfg.value_words);
+  });
+  index.HostCheckStructure(&result.structure_problems);
+  return result;
+}
+
+TEST(BackendIdentity, OrderedIndexIdenticalContentsAcrossAllThreeBackends) {
+  TmSystemConfig sim_cfg = BaseConfig();
+  sim_cfg.backend = BackendKind::kSim;
+  const IndexRunResult sim = RunIndexWorkload(sim_cfg);
+
+  // 2 app cores x 150 ops, one committed transaction per op.
+  EXPECT_EQ(sim.commits, 2ull * 150);
+  EXPECT_FALSE(sim.contents.empty());
+  EXPECT_TRUE(sim.tables_empty);
+  EXPECT_TRUE(sim.structure_problems.empty());
+
+  for (const ChannelKind channel : {ChannelKind::kSpscRing, ChannelKind::kMutexMailbox}) {
+    TmSystemConfig thr_cfg = BaseConfig();
+    thr_cfg.backend = BackendKind::kThreads;
+    thr_cfg.channel = channel;
+    const IndexRunResult thr = RunIndexWorkload(thr_cfg);
+    EXPECT_EQ(thr.commits, sim.commits) << ChannelKindName(channel);
+    EXPECT_EQ(thr.contents, sim.contents) << ChannelKindName(channel);
+    EXPECT_TRUE(thr.structure_problems.empty()) << ChannelKindName(channel);
+  }
+
+  const IndexRunResult proc = RunIndexWorkload(ProcessConfig("index"));
+  EXPECT_EQ(proc.commits, sim.commits);
+  EXPECT_EQ(proc.contents, sim.contents);
+  EXPECT_TRUE(proc.tables_empty);
+  EXPECT_TRUE(proc.structure_problems.empty());
 }
 
 TEST(BackendIdentity, ThreadBackendRunReturnsWallClock) {

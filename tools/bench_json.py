@@ -3,8 +3,9 @@
 
 Every bench binary emits one document under the shared schema (see
 bench/bench_main.cc); the `backend` field says whether its rows were
-measured on the deterministic simulator ("sim") or on real OS threads
-("threads"), so one merged file carries both kinds side by side. `merge`
+measured on the deterministic simulator ("sim"), on real OS threads
+("threads") or on forked partition-server processes over Unix sockets
+("processes"), so one merged file carries every kind side by side. `merge`
 combines documents into BENCH_results.json; `validate` checks either a
 per-bench document or a merged file, so CI can gate on the schema staying
 intact; `compare` diffs mean throughput per (bench, backend, platform,
@@ -22,9 +23,11 @@ each backend. The output is deterministic for a given input, so CI can
 regenerate it and diff against the committed file as a freshness check.
 
 `compare` gates sim rows only by default: they are deterministic, so any
-drift is a real code change. Native (threads) rows are wall-clock numbers
-from whatever host ran them — they are reported but only enforced with
---gate-native (for dedicated, quiet perf hosts). Rows measured at
+drift is a real code change. Native (threads and processes) rows are
+wall-clock numbers from whatever host ran them — they are reported but only
+enforced with --gate-native (for dedicated, quiet perf hosts). The backend
+is part of every group key, so processes rows gate (or advise) against
+processes history, never against the threads numbers. Rows measured at
 pipeline_depth != 1 are excluded from the compare groups: the lockstep
 depth-1 rows are the regression baseline. Rows carrying a truthy
 `migration` param (bench_elastic's live-handoff scenarios) are excluded
@@ -43,7 +46,7 @@ import os
 import sys
 
 SCHEMA_VERSION = 1
-BACKENDS = ("sim", "threads")
+BACKENDS = ("sim", "threads", "processes")
 
 RESULT_NUMBER_FIELDS = [
     "throughput_ops_per_ms",
@@ -256,18 +259,19 @@ def render_report(benches, source_name):
         "# Benchmark results",
         "",
         "<!-- Generated file, do not edit. Regenerate with:",
-        "       bench/run_all.sh --with-native --native-cores 4",
+        "       bench/run_all.sh --with-native --with-processes --native-cores 4",
         f"       tools/bench_json.py report {source_name} --out docs/BENCHMARKS.md -->",
         "",
         "Best-throughput scenario per bench and backend, rendered from the",
         f"committed `{source_name}`. Simulator rows are deterministic modelled",
-        "time (reproducible to the byte under a fixed seed); threads rows are",
-        "wall-clock measurements from whatever host produced the file and are",
-        "comparable only to themselves.",
+        "time (reproducible to the byte under a fixed seed); threads and",
+        "processes rows are wall-clock measurements from whatever host produced",
+        "the file and are comparable only to themselves.",
         "",
         "| Bench | Figure | Best sim scenario | Sim ops/ms | Commit % "
-        "| Best threads scenario | Threads ops/ms |",
-        "| --- | --- | --- | --- | --- | --- | --- |",
+        "| Best threads scenario | Threads ops/ms "
+        "| Best processes scenario | Processes ops/ms |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- | --- |",
     ]
     total_rows = 0
     any_smoke = False
@@ -277,7 +281,7 @@ def render_report(benches, source_name):
         for backend in BACKENDS:
             bench = entry.get(backend)
             if bench is None:
-                cells += ["—", "—"] if backend == "threads" else ["—", "—", "—"]
+                cells += ["—", "—", "—"] if backend == "sim" else ["—", "—"]
                 continue
             total_rows += len(bench["results"])
             any_smoke = any_smoke or bench.get("smoke", False)
@@ -327,7 +331,7 @@ def main():
     compare.add_argument("--max-regress", type=float, default=15.0,
                          help="tolerated throughput drop per group, percent")
     compare.add_argument("--gate-native", action="store_true",
-                         help="fail on threads-backend regressions too")
+                         help="fail on wall-clock (threads/processes) regressions too")
     compare.set_defaults(fn=cmd_compare)
     report = sub.add_parser("report")
     report.add_argument("input")

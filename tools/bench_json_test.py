@@ -7,8 +7,13 @@ gating logic is itself gated.
 
   python3 tools/bench_json_test.py
 """
+import argparse
+import contextlib
+import io
+import json
 import os
 import sys
+import tempfile
 import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -50,6 +55,19 @@ class ThroughputGroupsTest(unittest.TestCase):
         ])
         self.assertEqual(groups[("a", "sim", "scc", "-")], 15.0)
         self.assertEqual(groups[("a", "threads", "scc", "-")], 40.0)
+
+    def test_processes_rows_form_their_own_group(self):
+        # The same bench measured on all three backends must yield three
+        # separate compare groups: processes rows gate against processes
+        # history, never against the sim or threads numbers.
+        groups = bench_json.throughput_groups([
+            bench("a", [row(10.0, platform="scc")]),
+            bench("a", [row(40.0, platform="scc")], backend="threads"),
+            bench("a", [row(25.0, platform="scc")], backend="processes"),
+        ])
+        self.assertEqual(groups[("a", "sim", "scc", "-")], 10.0)
+        self.assertEqual(groups[("a", "threads", "scc", "-")], 40.0)
+        self.assertEqual(groups[("a", "processes", "scc", "-")], 25.0)
 
     def test_excludes_pipelined_rows_but_keeps_depth_one(self):
         groups = bench_json.throughput_groups([
@@ -109,9 +127,50 @@ class ThroughputGroupsTest(unittest.TestCase):
         self.assertEqual(groups[("s", "sim", "-", "-")], 20.0)
 
 
+class CompareGateTest(unittest.TestCase):
+    """Wall-clock (threads/processes) regressions advise; sim ones gate."""
+
+    def _compare(self, old_benches, new_benches, gate_native=False):
+        with tempfile.TemporaryDirectory() as d:
+            old_path = os.path.join(d, "old.json")
+            new_path = os.path.join(d, "new.json")
+            for path, benches in ((old_path, old_benches), (new_path, new_benches)):
+                with open(path, "w") as f:
+                    json.dump({"schema_version": bench_json.SCHEMA_VERSION,
+                               "benches": benches}, f)
+            args = argparse.Namespace(old=old_path, new=new_path,
+                                      max_regress=15.0, gate_native=gate_native)
+            with contextlib.redirect_stdout(io.StringIO()):
+                bench_json.cmd_compare(args)
+
+    def test_processes_regression_is_advisory_by_default(self):
+        old = [bench("a", [row(100.0)], backend="processes")]
+        new = [bench("a", [row(40.0)], backend="processes")]
+        self._compare(old, new)  # must not raise SystemExit
+
+    def test_processes_regression_gates_with_gate_native(self):
+        old = [bench("a", [row(100.0)], backend="processes")]
+        new = [bench("a", [row(40.0)], backend="processes")]
+        with self.assertRaises(SystemExit):
+            self._compare(old, new, gate_native=True)
+
+    def test_sim_regression_always_gates(self):
+        old = [bench("a", [row(100.0)])]
+        new = [bench("a", [row(40.0)])]
+        with self.assertRaises(SystemExit):
+            self._compare(old, new)
+
+
 class SchemaCheckTest(unittest.TestCase):
     def test_valid_document_passes(self):
         bench_json.check_bench(bench("ok", [row(1.0)]))
+
+    def test_processes_backend_is_valid(self):
+        bench_json.check_bench(bench("ok", [row(1.0)], backend="processes"))
+
+    def test_unknown_backend_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_json.check_bench(bench("bad", [row(1.0)], backend="fibers"))
 
     def test_missing_field_fails(self):
         bad = bench("bad", [row(1.0)])

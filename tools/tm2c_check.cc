@@ -15,6 +15,12 @@
 //                                                 # the migration oracle bites
 //   tm2c_check --seeds=1 --seed-base=17 --cms=faircm --modes=normal
 //       --batches=8 --platforms=scc               # replay one failure
+//   tm2c_check --backend=processes --kill-partition --seeds=5
+//                                                 # real process-death sweep:
+//                                                 # SIGKILL a partition server
+//                                                 # mid-run, recover from the
+//                                                 # WAL, crash-restart oracle
+#include <stdlib.h>
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -23,6 +29,7 @@
 #include <vector>
 
 #include "src/check/checker.h"
+#include "src/check/process_kill.h"
 #include "src/common/flags.h"
 
 namespace tm2c {
@@ -140,8 +147,23 @@ int Main(int argc, char** argv) {
   bool no_chaos = false;
   bool verbose = false;
   std::string dump_dir = "failed_histories";
+  std::string backend_name = "sim";
+  bool kill_partition = false;
+  int kill_target = 0;
+  int ops_per_core = 400;
 
   FlagSet flags;
+  flags.Register("backend", &backend_name,
+                 "sim (default: the chaos matrix above) or processes (real "
+                 "partition-server processes; combine with --kill-partition)");
+  flags.Register("kill-partition", &kill_partition,
+                 "processes backend: SIGKILL one partition's server halfway "
+                 "through app core 0's fixed workload and hold the WAL "
+                 "recovery to the crash-restart oracle");
+  flags.Register("kill-target", &kill_target,
+                 "processes backend: which partition's server to kill");
+  flags.Register("ops-per-core", &ops_per_core,
+                 "processes backend: fixed transactions per app core");
   flags.Register("seeds", &seeds, "number of seeds per configuration");
   flags.Register("seed-base", &seed_base, "first seed of the sweep");
   flags.Register("platforms", &platforms, "comma list: scc, scc800, opteron");
@@ -189,6 +211,72 @@ int Main(int argc, char** argv) {
   flags.Register("verbose", &verbose, "print every run, not just failures");
   flags.Register("dump-dir", &dump_dir, "directory for failing-history JSON dumps");
   flags.Parse(argc, argv);
+
+  if (backend_name == "processes") {
+    // Real-death sweep: no simulated chaos matrix — the schedule space is
+    // the host's, the adversary is SIGKILL. One run per seed.
+    if (!kill_partition) {
+      std::fprintf(stderr, "--backend=processes requires --kill-partition\n");
+      return 2;
+    }
+    if (kill_target < 0 || kill_target >= service_cores) {
+      std::fprintf(stderr, "--kill-target must be in [0, --service-cores)\n");
+      return 2;
+    }
+    uint64_t runs = 0;
+    uint64_t failures = 0;
+    bool dump_dir_made = false;
+    for (uint64_t s = 0; s < seeds; ++s) {
+      ProcessKillConfig cfg;
+      cfg.seed = seed_base + s;
+      cfg.num_cores = static_cast<uint32_t>(cores);
+      cfg.num_service = static_cast<uint32_t>(service_cores);
+      cfg.kill_partition = static_cast<uint32_t>(kill_target);
+      cfg.ops_per_core = static_cast<uint32_t>(ops_per_core);
+      cfg.group_commit_txs = static_cast<uint32_t>(group_commit);
+      cfg.checkpoint_every_records = checkpoint_every;
+      std::string run_dir = "/tmp/tm2c_check_kill_XXXXXX";
+      if (::mkdtemp(run_dir.data()) == nullptr) {
+        std::fprintf(stderr, "could not create a run directory under /tmp\n");
+        return 2;
+      }
+      cfg.run_dir = run_dir;
+
+      const ProcessKillResult result = RunProcessKillWorkload(cfg);
+      ++runs;
+      const bool ok = result.report.violations.empty();
+      if (verbose || !ok) {
+        std::printf("%-48s %s\n", cfg.Name().c_str(), ok ? "ok" : "VIOLATION");
+      }
+      if (!ok) {
+        ++failures;
+        for (const OracleViolation& v : result.report.violations) {
+          std::printf("  [%s] %s\n", v.kind.c_str(), v.detail.c_str());
+        }
+        if (!dump_dir_made) {
+          ::mkdir(dump_dir.c_str(), 0755);  // best effort; may exist
+          dump_dir_made = true;
+        }
+        const std::string path = dump_dir + "/" + cfg.Name() + ".json";
+        std::ofstream out(path);
+        if (out) {
+          out << result.history.ToJson() << "\n";
+          std::printf("  history dumped to %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "  could not write %s\n", path.c_str());
+        }
+      }
+    }
+    std::printf("tm2c_check: %llu process-kill runs, %llu with violations (partition %d)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(failures), kill_target);
+    return failures == 0 ? 0 : 1;
+  }
+  if (backend_name != "sim") {
+    std::fprintf(stderr, "unknown --backend value (expected sim|processes): %s\n",
+                 backend_name.c_str());
+    return 2;
+  }
 
   FaultMode fault = FaultMode::kNone;
   if (!ParseFault(fault_name, &fault)) {
